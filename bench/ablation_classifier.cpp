@@ -1,0 +1,43 @@
+// Ablation: classifier sensitivity. Sweeps the detection threshold (bits
+// set in a region before a stream is declared) and the region half-width.
+// A higher threshold delays read-ahead (more direct I/Os before detection);
+// an overly small region can fail to capture a stream whose requests jump
+// in larger strides. Throughput should be robust across sane values — the
+// paper picks "a few tens" of blocks and finds it adequate.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+void AblationClassifier(benchmark::State& state) {
+  const auto threshold = static_cast<std::uint32_t>(state.range(0));
+  const auto offset_blocks = static_cast<std::uint32_t>(state.range(1));
+  constexpr std::uint32_t kStreams = 60;
+
+  node::NodeConfig cfg;
+  core::SchedulerParams params =
+      paper_params(kStreams, 2 * MiB, 1, static_cast<Bytes>(kStreams) * 2 * MiB);
+  params.classifier.detect_threshold = threshold;
+  params.classifier.offset_blocks = offset_blocks;
+
+  experiment::ExperimentResult result;
+  for (auto _ : state) result = run_sched(cfg, params, kStreams, 64 * KiB);
+
+  state.counters["MBps"] = result.total_mbps;
+  const double total = static_cast<double>(result.server_stats.requests);
+  state.counters["direct_frac"] =
+      total > 0 ? static_cast<double>(result.server_stats.direct_reads) / total : 0.0;
+  state.counters["streams_detected"] =
+      static_cast<double>(result.scheduler_stats.streams_created);
+}
+
+}  // namespace
+
+BENCHMARK(AblationClassifier)
+    ->ArgNames({"threshold", "offset_blocks"})
+    ->ArgsProduct({{2, 3, 4, 8}, {8, 32, 128}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

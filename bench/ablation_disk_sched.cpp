@@ -1,0 +1,45 @@
+// Ablation: on-disk command queue scheduling (FCFS vs LOOK elevator vs
+// SSTF) under the multi-stream sequential workload, raw and with the host
+// scheduler. The host scheduler's large requests leave little for the disk
+// queue to reorder (few outstanding commands), so the policy should matter
+// mostly for the raw baseline.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+void AblationDiskSched(benchmark::State& state) {
+  const auto kind = static_cast<disk::SchedulerKind>(state.range(0));
+  const auto streams = static_cast<std::uint32_t>(state.range(1));
+  const bool with_host_sched = state.range(2) != 0;
+
+  node::NodeConfig cfg;
+  cfg.disk.scheduler = kind;
+
+  experiment::ExperimentResult result;
+  if (with_host_sched) {
+    const core::SchedulerParams params =
+        paper_params(streams, 2 * MiB, 1, static_cast<Bytes>(streams) * 2 * MiB);
+    for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB);
+  } else {
+    for (auto _ : state) result = run_raw(cfg, streams, 64 * KiB);
+  }
+  state.counters["MBps"] = result.total_mbps;
+  state.SetLabel(std::string(disk::to_string(kind)) +
+                 (with_host_sched ? "+host" : "+raw"));
+}
+
+}  // namespace
+
+BENCHMARK(AblationDiskSched)
+    ->ArgNames({"disksched", "streams", "host"})
+    ->ArgsProduct({{static_cast<long>(disk::SchedulerKind::kFcfs),
+                    static_cast<long>(disk::SchedulerKind::kElevator),
+                    static_cast<long>(disk::SchedulerKind::kSstf)},
+                   {30, 100},
+                   {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

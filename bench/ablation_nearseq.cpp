@@ -1,0 +1,51 @@
+// Ablation: near-sequential streams (requests separated by gaps — the
+// future-work case the paper names in §4.1). As the duty cycle drops, the
+// raw disk degrades towards random I/O; the stream scheduler keeps
+// detecting the runs (while the stride fits the classifier region) and
+// trades wasted read-ahead bytes for seek amortization. The crossover
+// where contiguous read-ahead stops paying off is the interesting number.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+void AblationNearSeq(benchmark::State& state) {
+  const Bytes gap = static_cast<Bytes>(state.range(0)) * KiB;
+  const bool with_sched = state.range(1) != 0;
+  constexpr std::uint32_t kStreams = 30;
+  constexpr Bytes kRequest = 64 * KiB;
+
+  node::NodeConfig cfg;  // 1 disk
+  experiment::ExperimentConfig ec;
+  ec.node = cfg;
+  ec.warmup = sec(2);
+  ec.measure = sec(10);
+  ec.streams = workload::make_uniform_streams(kStreams, 1, cfg.disk.geometry.capacity,
+                                              kRequest);
+  for (auto& spec : ec.streams) spec.stride_gap = gap;
+  if (with_sched) {
+    core::SchedulerParams p;
+    p.read_ahead = 2 * MiB;
+    p.memory_budget = static_cast<Bytes>(kStreams) * 2 * MiB;
+    // Wide regions so large strides remain detectable.
+    p.classifier.offset_blocks = 64;
+    ec.scheduler = p;
+  }
+  experiment::ExperimentResult result;
+  for (auto _ : state) result = experiment::run_experiment(ec);
+  state.counters["MBps"] = result.total_mbps;
+  state.counters["useful_frac"] =
+      static_cast<double>(kRequest) / static_cast<double>(kRequest + gap);
+  state.SetLabel(with_sched ? "scheduler" : "raw");
+}
+
+}  // namespace
+
+BENCHMARK(AblationNearSeq)
+    ->ArgNames({"gapKB", "sched"})
+    ->ArgsProduct({{0, 64, 256, 1024}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

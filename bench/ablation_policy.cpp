@@ -1,0 +1,48 @@
+// Ablation: dispatch-set replacement policy. The paper uses round-robin
+// and sketches an offset-proximity alternative ("keep streams that access
+// nearby areas of the disk in the dispatch set"), noting its benefit is
+// unclear because issued requests are already large. This bench pits the
+// two policies against each other with a small dispatch set and many
+// streams, across read-ahead sizes — at large R the difference should
+// vanish, which is exactly the paper's argument for round-robin.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+void AblationPolicy(benchmark::State& state) {
+  const auto policy = static_cast<core::ReplacementPolicyKind>(state.range(0));
+  const Bytes read_ahead = static_cast<Bytes>(state.range(1)) * KiB;
+  constexpr std::uint32_t kStreams = 64;
+
+  node::NodeConfig cfg;  // 1 disk
+  core::SchedulerParams params;
+  params.dispatch_set_size = 4;
+  params.read_ahead = read_ahead;
+  params.requests_per_residency = 4;
+  params.memory_budget =
+      static_cast<Bytes>(params.dispatch_set_size) * read_ahead *
+          params.requests_per_residency +
+      64 * MiB;
+  params.policy = policy;
+
+  experiment::ExperimentResult result;
+  for (auto _ : state) result = run_sched(cfg, params, kStreams, 64 * KiB, sec(4), sec(16));
+  state.counters["MBps"] = result.total_mbps;
+  state.counters["fairness_min_max"] =
+      result.max_stream_mbps > 0 ? result.min_stream_mbps / result.max_stream_mbps : 0.0;
+  state.SetLabel(core::to_string(policy));
+}
+
+}  // namespace
+
+BENCHMARK(AblationPolicy)
+    ->ArgNames({"policy", "raKB"})
+    ->ArgsProduct({{static_cast<long>(core::ReplacementPolicyKind::kRoundRobin),
+                    static_cast<long>(core::ReplacementPolicyKind::kNearestOffset)},
+                   {128, 512, 2048}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Ablation: expose the 8 disks individually (one sub-population of
+// sequential streams per spindle, the paper's deployment) versus a single
+// RAID-0 striped volume. Striping chops every client-sequential stream
+// into stripe-unit-sized fragments interleaved across all spindles: each
+// disk now sees S interleaved near-random fragment streams instead of S/8
+// long sequential ones, multiplying the positioning overhead — unless the
+// stripe unit is large enough to amortize a seek by itself.
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "raid/striped_volume.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+double run_striped(std::uint32_t streams, Bytes stripe_unit, Bytes request) {
+  sim::Simulator simulator;
+  node::NodeConfig cfg = node::NodeConfig::medium();  // 8 disks
+  node::StorageNode node(simulator, cfg);
+  raid::StripedVolume volume(node.devices(), stripe_unit);
+
+  auto specs = workload::make_uniform_streams(streams, 1, volume.capacity(), request);
+  workload::RequestSink sink = [&volume](core::ClientRequest req) {
+    blockdev::BlockRequest io;
+    io.offset = req.offset;
+    io.length = req.length;
+    io.op = req.op;
+    io.data = req.data;
+    io.on_complete = std::move(req.on_complete);
+    volume.submit(std::move(io));
+  };
+  std::vector<std::unique_ptr<workload::StreamClient>> clients;
+  for (const auto& spec : specs) {
+    clients.push_back(std::make_unique<workload::StreamClient>(simulator, sink, spec,
+                                                               volume.capacity()));
+  }
+  for (auto& c : clients) c->start();
+  simulator.run_until(sec(2));
+  for (auto& c : clients) c->begin_measurement();
+  const SimTime t0 = simulator.now();
+  const SimTime t1 = t0 + sec(10);
+  simulator.run_until(t1);
+  double total = 0.0;
+  for (const auto& c : clients) total += c->stats().throughput.mbps(t0, t1);
+  return total;
+}
+
+void AblationStriping(benchmark::State& state) {
+  const auto streams = static_cast<std::uint32_t>(state.range(0));
+  const Bytes stripe_kb = static_cast<Bytes>(state.range(1));
+  double mbps = 0.0;
+  if (stripe_kb == 0) {
+    // Per-spindle placement (the paper's deployment).
+    node::NodeConfig cfg = node::NodeConfig::medium();
+    experiment::ExperimentResult result;
+    for (auto _ : state) result = run_raw(cfg, streams, 64 * KiB);
+    mbps = result.total_mbps;
+    state.SetLabel("per-spindle");
+  } else {
+    for (auto _ : state) mbps = run_striped(streams, stripe_kb * KiB, 64 * KiB);
+    state.SetLabel("raid0/" + std::to_string(stripe_kb) + "K");
+  }
+  state.counters["MBps"] = mbps;
+}
+
+}  // namespace
+
+BENCHMARK(AblationStriping)
+    ->ArgNames({"streams", "stripeKB"})
+    ->ArgsProduct({{80, 240}, {0, 64, 512, 4096}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

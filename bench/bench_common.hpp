@@ -1,0 +1,57 @@
+// Shared plumbing for the per-figure benchmark binaries. Every figure bench
+// registers google-benchmark cases with Iterations(1): one "iteration" is a
+// complete simulated experiment (warm-up + measurement window), and the
+// figure's series values are exported as user counters (MBps, latency).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "experiment/runner.hpp"
+#include "node/storage_node.hpp"
+#include "workload/generator.hpp"
+
+namespace sstbench {
+
+using namespace sst;  // NOLINT(google-build-using-namespace) — bench-local
+
+/// Baseline run: clients talk to the block devices directly.
+inline experiment::ExperimentResult run_raw(const node::NodeConfig& node,
+                                            std::uint32_t total_streams, Bytes request_size,
+                                            SimTime warmup = sec(2), SimTime measure = sec(10)) {
+  experiment::ExperimentConfig cfg;
+  cfg.node = node;
+  cfg.warmup = warmup;
+  cfg.measure = measure;
+  cfg.streams = workload::make_uniform_streams(total_streams, node.total_disks(),
+                                               node.disk.geometry.capacity, request_size);
+  return experiment::run_experiment(cfg);
+}
+
+/// System run: clients go through the stream-scheduler storage server.
+inline experiment::ExperimentResult run_sched(const node::NodeConfig& node,
+                                              const core::SchedulerParams& params,
+                                              std::uint32_t total_streams, Bytes request_size,
+                                              SimTime warmup = sec(2),
+                                              SimTime measure = sec(10)) {
+  experiment::ExperimentConfig cfg;
+  cfg.node = node;
+  cfg.warmup = warmup;
+  cfg.measure = measure;
+  cfg.scheduler = params;
+  cfg.streams = workload::make_uniform_streams(total_streams, node.total_disks(),
+                                               node.disk.geometry.capacity, request_size);
+  return experiment::run_experiment(cfg);
+}
+
+/// The paper's (D=S, N=1, M=D*R*N) parameterization used in Figs. 10 & 12.
+inline core::SchedulerParams paper_params(std::uint32_t dispatch, Bytes read_ahead,
+                                          std::uint32_t residency, Bytes memory) {
+  core::SchedulerParams p;
+  p.dispatch_set_size = dispatch;
+  p.read_ahead = read_ahead;
+  p.requests_per_residency = residency;
+  p.memory_budget = memory;
+  return p;
+}
+
+}  // namespace sstbench

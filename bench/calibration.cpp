@@ -1,0 +1,73 @@
+// Calibration diagnostic: prints the raw numbers of the simulated WD800JD
+// disk model and a few end-to-end sanity experiments. Run this first when
+// judging whether the simulator matches the paper's testbed:
+//   - sequential media rate outer/inner zone      (paper: ~55-60 MB/s app)
+//   - average seek                                 (datasheet: 8.9 ms)
+//   - single-stream app throughput                 (paper: ~55 MB/s)
+//   - 30-stream raw throughput at 64 KB            (paper: collapses)
+//   - 30-stream with the scheduler at R=8M         (paper: ~50 MB/s)
+#include <cstdio>
+
+#include "core/autotune.hpp"
+#include "disk/geometry.hpp"
+#include "disk/seek_model.hpp"
+#include "experiment/runner.hpp"
+#include "node/storage_node.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace sst;
+
+double run_streams(std::uint32_t streams, Bytes request, bool with_scheduler, Bytes read_ahead,
+                   Bytes memory) {
+  experiment::ExperimentConfig cfg;
+  cfg.node = node::NodeConfig::base();
+  cfg.streams = workload::make_uniform_streams(
+      streams, 1, cfg.node.disk.geometry.capacity, request);
+  if (with_scheduler) {
+    core::SchedulerParams sched;
+    sched.read_ahead = read_ahead;
+    sched.memory_budget = memory;
+    sched.dispatch_set_size = 0;  // memory-derived
+    cfg.scheduler = sched;
+  }
+  const auto result = experiment::run_experiment(cfg);
+  return result.total_mbps;
+}
+
+}  // namespace
+
+int main() {
+  disk::DiskParams params = disk::DiskParams::wd800jd();
+  disk::Geometry geometry(params.geometry);
+  disk::SeekModel seek(params.seek, geometry.total_cylinders());
+
+  std::printf("== disk model ==\n");
+  std::printf("capacity           : %.1f GB\n", geometry.capacity_bytes() / 1e9);
+  std::printf("cylinders          : %u\n", geometry.total_cylinders());
+  std::printf("rotation period    : %.2f ms\n", to_millis(geometry.rotation_period()));
+  std::printf("track skew         : %u sectors\n", geometry.track_skew_sectors());
+  std::printf("media rate outer   : %.1f MB/s\n", geometry.media_rate_bps(0) / 1e6);
+  std::printf("media rate inner   : %.1f MB/s\n",
+              geometry.media_rate_bps(geometry.total_sectors() - 1) / 1e6);
+  std::printf("seq rate outer     : %.1f MB/s\n", geometry.sequential_rate_bps(0) / 1e6);
+  std::printf("seek 1 cyl         : %.2f ms\n", to_millis(seek.seek_time(1)));
+  std::printf("seek C/3 (avg)     : %.2f ms\n",
+              to_millis(seek.seek_time(geometry.total_cylinders() / 3)));
+  std::printf("seek full stroke   : %.2f ms\n",
+              to_millis(seek.seek_time(geometry.total_cylinders() - 1)));
+
+  std::printf("\n== end-to-end sanity (64 KB requests, 1 disk) ==\n");
+  std::printf("1 stream raw       : %.1f MB/s\n", run_streams(1, 64 * KiB, false, 0, 0));
+  std::printf("30 streams raw     : %.1f MB/s\n", run_streams(30, 64 * KiB, false, 0, 0));
+  std::printf("100 streams raw    : %.1f MB/s\n", run_streams(100, 64 * KiB, false, 0, 0));
+  std::printf("30 str sched R=8M  : %.1f MB/s\n",
+              run_streams(30, 64 * KiB, true, 8 * MiB, 240 * MiB));
+  std::printf("100 str sched R=8M : %.1f MB/s\n",
+              run_streams(100, 64 * KiB, true, 8 * MiB, 800 * MiB));
+
+  const auto tuned = core::autotune(core::NodeDescription{});
+  std::printf("\n== autotune (defaults) ==\n%s\n", tuned.rationale.c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 1: throughput collapse for multiple sequential streams on a
+// 60-disk setup (15 controllers x 4 disks), request sizes 8K-256K, for
+// 60/100/300/500 total streams. No host scheduler — this is the problem
+// statement: as streams per disk grow, aggregate throughput collapses by
+// a factor of 2-5.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+void Fig01(benchmark::State& state) {
+  const auto streams = static_cast<std::uint32_t>(state.range(0));
+  const Bytes request = static_cast<Bytes>(state.range(1)) * KiB;
+
+  node::NodeConfig cfg;
+  cfg.num_controllers = 15;
+  cfg.disks_per_controller = 4;  // 60 disks
+
+  experiment::ExperimentResult result;
+  for (auto _ : state) {
+    result = run_raw(cfg, streams, request, sec(2), sec(8));
+  }
+  state.counters["MBps"] = result.total_mbps;
+  state.counters["MBps_per_disk"] = result.per_disk_mbps(cfg.total_disks());
+  state.counters["streams_per_disk"] =
+      static_cast<double>(streams) / cfg.total_disks();
+}
+
+}  // namespace
+
+BENCHMARK(Fig01)
+    ->ArgNames({"streams", "reqKB"})
+    ->ArgsProduct({{60, 100, 300, 500}, {8, 16, 64, 128, 256}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

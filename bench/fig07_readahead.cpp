@@ -1,0 +1,41 @@
+// Figure 7: effect of firmware read-ahead under a FIXED 8 MB disk cache:
+// the #segments x segment-size split sweeps from 128x64K to 8x1M. While
+// streams <= segments, larger segments help; once streams exceed the
+// segment count, segments are reclaimed before their prefetch is consumed
+// and large read-ahead becomes WORSE than none.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+void Fig07(benchmark::State& state) {
+  const auto num_segments = static_cast<std::uint32_t>(state.range(0));
+  const auto streams = static_cast<std::uint32_t>(state.range(1));
+
+  node::NodeConfig cfg;
+  cfg.disk.cache.size = 8 * MiB;
+  cfg.disk.cache.num_segments = num_segments;  // segment = 8M / n
+
+  experiment::ExperimentResult result;
+  for (auto _ : state) {
+    result = run_raw(cfg, streams, 64 * KiB);
+  }
+  state.counters["MBps"] = result.total_mbps;
+  state.counters["segKB"] =
+      static_cast<double>(cfg.disk.cache.segment_bytes()) / 1024.0;
+  state.counters["wasted_prefetch_MB"] = static_cast<double>(sectors_to_bytes(
+      result.disk_totals.wasted_prefetch_sectors)) / (1 << 20);
+  state.counters["media_MB"] =
+      static_cast<double>(result.disk_totals.bytes_from_media) / (1 << 20);
+}
+
+}  // namespace
+
+BENCHMARK(Fig07)
+    ->ArgNames({"segments", "streams"})
+    ->ArgsProduct({{128, 64, 32, 16, 8}, {1, 10, 30, 50, 100}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

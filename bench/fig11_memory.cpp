@@ -1,0 +1,45 @@
+// Figure 11: effect of storage-node memory size on throughput. The
+// dispatch set is derived from memory (D = M / (R*N)), so small memories
+// stage only a few streams at a time. The paper's observation: a large R
+// with little memory (one 8 MB stream staged at a time) beats dispatching
+// all 100 streams with a small R — read-ahead size matters more than
+// dispatch-set size.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+void Fig11(benchmark::State& state) {
+  const Bytes memory = static_cast<Bytes>(state.range(0)) * MiB;
+  const Bytes read_ahead = static_cast<Bytes>(state.range(1)) * KiB;
+  const auto streams = static_cast<std::uint32_t>(state.range(2));
+
+  if (memory < read_ahead) {
+    state.SkipWithError("memory cannot stage one read-ahead buffer");
+    return;
+  }
+
+  node::NodeConfig cfg;  // 1 disk
+  core::SchedulerParams params;
+  params.dispatch_set_size = 0;  // derive D from M / (R*N)
+  params.read_ahead = read_ahead;
+  params.requests_per_residency = 1;
+  params.memory_budget = memory;
+
+  experiment::ExperimentResult result;
+  for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB);
+
+  state.counters["MBps"] = result.total_mbps;
+  state.counters["D_effective"] = static_cast<double>(params.effective_dispatch_size());
+}
+
+}  // namespace
+
+BENCHMARK(Fig11)
+    ->ArgNames({"memMB", "raKB", "streams"})
+    ->ArgsProduct({{8, 16, 64, 128, 256}, {256, 1024, 8192}, {1, 10, 100}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

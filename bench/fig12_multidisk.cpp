@@ -1,0 +1,43 @@
+// Figure 12: throughput scaling on the 8-disk setup (2 controllers x 4
+// disks) with D = S (every staged stream also dispatches), N = 1,
+// M = D*R*N. Despite large read-ahead, aggregate throughput falls well
+// short of the controllers' ~900 MB/s ceiling: with hundreds of dispatched
+// streams the host drowns in buffer management (the per-buffer CPU cost),
+// motivating Figure 13's dispatched < staged configuration.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+void Fig12(benchmark::State& state) {
+  const Bytes read_ahead = static_cast<Bytes>(state.range(0)) * KiB;
+  const auto per_disk = static_cast<std::uint32_t>(state.range(1));
+
+  node::NodeConfig cfg = node::NodeConfig::medium();  // 2 x 4 disks
+  const std::uint32_t streams = per_disk * cfg.total_disks();
+
+  experiment::ExperimentResult result;
+  if (read_ahead == 0) {
+    for (auto _ : state) result = run_raw(cfg, streams, 64 * KiB);
+  } else {
+    const core::SchedulerParams params =
+        paper_params(streams, read_ahead, 1,
+                     static_cast<Bytes>(streams) * read_ahead);
+    for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB);
+  }
+  state.counters["MBps"] = result.total_mbps;
+  state.counters["cpu_util"] = result.host_cpu_utilization;
+  state.counters["buffers_peak_MB"] =
+      static_cast<double>(result.peak_buffer_memory) / (1 << 20);
+}
+
+}  // namespace
+
+BENCHMARK(Fig12)
+    ->ArgNames({"raKB", "streams_per_disk"})
+    ->ArgsProduct({{0, 512, 1024, 2048}, {10, 30, 60, 100}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

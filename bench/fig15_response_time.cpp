@@ -1,0 +1,49 @@
+// Figure 15: average stream response time (client-observed, 64 KB
+// requests, one outstanding per stream) versus read-ahead size, for
+// 1/10/100 streams and 8/64/256 MB of storage-node memory. The paper's
+// findings: response time is driven primarily by the number of streams;
+// at a fixed stream count, larger read-ahead *reduces* mean response time
+// (most requests become buffered-set hits); memory helps when it lets more
+// streams stage.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sstbench;
+
+void Fig15(benchmark::State& state) {
+  const Bytes read_ahead = static_cast<Bytes>(state.range(0)) * KiB;
+  const Bytes memory = static_cast<Bytes>(state.range(1)) * MiB;
+  const auto streams = static_cast<std::uint32_t>(state.range(2));
+
+  if (memory < read_ahead) {
+    state.SkipWithError("memory cannot stage one read-ahead buffer");
+    return;
+  }
+
+  node::NodeConfig cfg;  // 1 disk
+  core::SchedulerParams params;
+  params.dispatch_set_size = 0;  // D = M / (R*N)
+  params.read_ahead = read_ahead;
+  params.requests_per_residency = 1;
+  params.memory_budget = memory;
+
+  experiment::ExperimentResult result;
+  for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB, sec(4), sec(16));
+
+  state.counters["mean_ms"] = result.latency.mean_ms();
+  state.counters["p50_ms"] = result.latency.p50_ms();
+  state.counters["p95_ms"] = result.latency.p95_ms();
+  state.counters["p99_ms"] = result.latency.p99_ms();
+  state.counters["MBps"] = result.total_mbps;
+}
+
+}  // namespace
+
+BENCHMARK(Fig15)
+    ->ArgNames({"raKB", "memMB", "streams"})
+    ->ArgsProduct({{256, 1024, 8192}, {8, 64, 256}, {1, 10, 100}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Turn streamstore bench CSV output into per-figure plots.
+
+Usage:
+    ./build/bench/fig10_host_readahead --benchmark_format=csv > fig10.csv
+    python3 scripts/plot_figures.py fig10.csv            # writes fig10.png
+
+Each benchmark row is named like "Fig10/raKB:2048/streams:60/iterations:1"
+with the measured series values exported as user counters (MBps, mean_ms,
+...). The script groups rows by every argument except the last one, which
+becomes the x axis, and plots the first counter it finds.
+
+Requires matplotlib (not needed to build or test the library itself).
+"""
+
+import csv
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def parse_name(name: str):
+    """Split 'Fig10/raKB:2048/streams:60/iterations:1' into parts."""
+    parts = name.split("/")
+    base = parts[0]
+    args = {}
+    for part in parts[1:]:
+        match = re.match(r"([A-Za-z_]+):(-?\d+)", part)
+        if match and match.group(1) != "iterations":
+            args[match.group(1)] = int(match.group(2))
+    return base, args
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    path = Path(sys.argv[1])
+    rows = []
+    with path.open() as fh:
+        # google-benchmark CSV has a preamble; find the header line.
+        lines = fh.readlines()
+    header_idx = next(i for i, line in enumerate(lines) if line.startswith("name,"))
+    reader = csv.DictReader(lines[header_idx:])
+    for row in reader:
+        rows.append(row)
+    if not rows:
+        print("no benchmark rows found")
+        return 1
+
+    counters = [k for k in rows[0].keys()
+                if k and k[0].isupper() is False and k not in
+                ("name", "iterations", "real_time", "cpu_time", "time_unit",
+                 "bytes_per_second", "items_per_second", "label",
+                 "error_occurred", "error_message")]
+    metric = "MBps" if "MBps" in rows[0] else (counters[0] if counters else None)
+    if metric is None:
+        print("no counter column found")
+        return 1
+
+    series = defaultdict(list)  # (base, fixed-args-tuple) -> [(x, y)]
+    x_name = None
+    for row in rows:
+        base, args = parse_name(row["name"])
+        if not args or not row.get(metric):
+            continue
+        x_name = list(args.keys())[-1]
+        x = args.pop(x_name)
+        key = (base, tuple(sorted(args.items())))
+        try:
+            series[key].append((x, float(row[metric])))
+        except ValueError:
+            continue
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for (base, fixed), points in sorted(series.items()):
+        points.sort()
+        label = ", ".join(f"{k}={v}" for k, v in fixed) or base
+        ax.plot([p[0] for p in points], [p[1] for p in points], marker="o", label=label)
+    ax.set_xlabel(x_name or "x")
+    ax.set_ylabel(metric)
+    ax.set_xscale("log", base=2)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+    out = path.with_suffix(".png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

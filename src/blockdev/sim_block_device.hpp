@@ -1,0 +1,32 @@
+// BlockDevice adapter over one disk channel of a simulated controller.
+// Byte-addressed requests are converted to sector extents; reads with a
+// data pointer are filled with the device's deterministic pattern at
+// completion time (the simulator models timing, not storage).
+#pragma once
+
+#include <string>
+
+#include "blockdev/block_device.hpp"
+#include "controller/controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::blockdev {
+
+class SimBlockDevice final : public BlockDevice {
+ public:
+  /// `controller` and the target disk must outlive this adapter.
+  SimBlockDevice(ctrl::Controller& controller, std::uint32_t disk_index, std::uint64_t seed);
+
+  void submit(BlockRequest request) override;
+
+  [[nodiscard]] Bytes capacity() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  ctrl::Controller& controller_;
+  std::uint32_t disk_index_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sst::blockdev

@@ -1,0 +1,59 @@
+// Tiny key=value configuration store. Experiments and examples accept
+// "key=value" pairs on the command line (mirroring DiskSim's parameter-file
+// style) and look values up with typed accessors that support size suffixes
+// (K/M/G, powers of two) and time suffixes (ns/us/ms/s).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace sst {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse a list of "key=value" tokens (e.g. argv tail). Unknown formats
+  /// produce an error naming the offending token.
+  static Result<Config> from_args(const std::vector<std::string>& args);
+
+  /// Parse newline-separated "key=value" text; '#' starts a comment.
+  static Result<Config> from_text(std::string_view text);
+
+  void set(std::string key, std::string value);
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Typed getters return the fallback if the key is missing; a present but
+  /// malformed value is reported via get_*_checked.
+  [[nodiscard]] std::string get_string(std::string_view key, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+  /// Accepts raw bytes or suffixed sizes: "64K", "8M", "1G" (binary units).
+  [[nodiscard]] Bytes get_bytes(std::string_view key, Bytes fallback) const;
+  /// Accepts "500us", "10ms", "2s", or raw nanoseconds.
+  [[nodiscard]] SimTime get_duration(std::string_view key, SimTime fallback) const;
+
+  [[nodiscard]] Result<Bytes> get_bytes_checked(std::string_view key) const;
+  [[nodiscard]] Result<SimTime> get_duration_checked(std::string_view key) const;
+
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  /// Standalone parsers, reused by getters and directly by tests.
+  static Result<Bytes> parse_bytes(std::string_view text);
+  static Result<SimTime> parse_duration(std::string_view text);
+  static Result<bool> parse_bool(std::string_view text);
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace sst

@@ -1,0 +1,45 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace sst {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, std::string_view component, std::string_view message) {
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line.append("[");
+  line.append(to_string(level));
+  line.append("][");
+  line.append(component);
+  line.append("] ");
+  line.append(message);
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace detail
+}  // namespace sst

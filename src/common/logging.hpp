@@ -1,0 +1,48 @@
+// Leveled logging to stderr. Quiet by default (kWarn) so benchmarks print
+// clean tables; tests and examples raise the level explicitly.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace sst {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, std::string_view message);
+}
+
+/// Streaming log statement builder:
+///   LogMessage(LogLevel::kInfo, "disk") << "seek to cyl " << cyl;
+/// emits on destruction if the level passes the threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component), enabled_(level >= log_level()) {}
+  ~LogMessage() {
+    if (enabled_) detail::log_emit(level_, component_, stream_.str());
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace sst

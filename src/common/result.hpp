@@ -1,0 +1,78 @@
+// Minimal expected/result type used for fallible construction and config
+// parsing. We avoid exceptions on hot simulation paths; errors are values.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sst {
+
+/// Error payload: a code-free human-readable message. The library is a
+/// research artifact; callers branch on ok()/has_value, not on error codes.
+struct Error {
+  std::string message;
+};
+
+[[nodiscard]] inline Error make_error(std::string msg) { return Error{std::move(msg)}; }
+
+/// Result<T>: either a value or an Error. A deliberately small subset of
+/// std::expected (not available in libstdc++ 12).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+  static Status success() { return {}; }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace sst

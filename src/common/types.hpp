@@ -1,0 +1,93 @@
+// Core value types and units shared by every streamstore module.
+//
+// Conventions:
+//  - Simulated time is an integral count of nanoseconds (SimTime). All
+//    latency parameters are expressed through the literal-style helpers
+//    below (usec/msec/sec) so call sites stay unit-checked by eye.
+//  - Disk addresses are 512-byte sectors (Lba). Host-visible requests are
+//    byte-addressed (ByteOffset/Bytes) and converted at the device edge.
+//  - Identifiers are small integer handles, distinct types to prevent
+//    accidental cross-assignment.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sst {
+
+// ---------------------------------------------------------------- time ----
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Signed duration in nanoseconds (useful for differences).
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+[[nodiscard]] constexpr SimTime nsec(std::uint64_t n) { return n; }
+[[nodiscard]] constexpr SimTime usec(std::uint64_t u) { return u * 1'000ULL; }
+[[nodiscard]] constexpr SimTime msec(std::uint64_t m) { return m * 1'000'000ULL; }
+[[nodiscard]] constexpr SimTime sec(std::uint64_t s) { return s * 1'000'000'000ULL; }
+
+/// Fractional seconds -> SimTime (rounds to nearest nanosecond).
+[[nodiscard]] constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + 0.5);
+}
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+[[nodiscard]] constexpr double to_millis(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+// --------------------------------------------------------------- sizes ----
+
+using Bytes = std::uint64_t;
+using ByteOffset = std::uint64_t;
+
+inline constexpr Bytes KiB = 1024ULL;
+inline constexpr Bytes MiB = 1024ULL * KiB;
+inline constexpr Bytes GiB = 1024ULL * MiB;
+
+/// Disk sector size; every Lba addresses one sector.
+inline constexpr Bytes kSectorSize = 512;
+
+/// Logical block address in units of kSectorSize.
+using Lba = std::uint64_t;
+
+[[nodiscard]] constexpr Lba bytes_to_sectors(Bytes b) {
+  return (b + kSectorSize - 1) / kSectorSize;
+}
+[[nodiscard]] constexpr Bytes sectors_to_bytes(Lba s) { return s * kSectorSize; }
+
+/// Throughput helper: bytes over a simulated interval -> MB/s (decimal MB,
+/// matching the paper's axes).
+[[nodiscard]] constexpr double mb_per_sec(Bytes bytes, SimTime elapsed) {
+  if (elapsed == 0) return 0.0;
+  return (static_cast<double>(bytes) / 1e6) / to_seconds(elapsed);
+}
+
+// ----------------------------------------------------------- identities ----
+
+/// Identifies a disk within the whole storage node (flat numbering).
+using DiskId = std::uint32_t;
+
+/// Identifies a controller within the storage node.
+using ControllerId = std::uint32_t;
+
+/// Identifies a detected sequential stream inside the core scheduler.
+using StreamId = std::uint64_t;
+
+/// Identifies a client-issued request (unique per storage-node lifetime).
+using RequestId = std::uint64_t;
+
+inline constexpr StreamId kInvalidStream = std::numeric_limits<StreamId>::max();
+inline constexpr RequestId kInvalidRequest = std::numeric_limits<RequestId>::max();
+
+// ------------------------------------------------------------- request ----
+
+enum class IoOp : std::uint8_t { kRead, kWrite };
+
+[[nodiscard]] constexpr const char* to_string(IoOp op) {
+  return op == IoOp::kRead ? "read" : "write";
+}
+
+}  // namespace sst

@@ -1,0 +1,164 @@
+#include "configio/loaders.hpp"
+
+#include <algorithm>
+
+#include "workload/generator.hpp"
+
+namespace sst::configio {
+
+namespace {
+
+/// True when any stored key starts with `prefix`.
+bool has_prefix(const Config& cfg, std::string_view prefix) {
+  for (const auto& [key, value] : cfg.entries()) {
+    if (key.size() >= prefix.size() && key.compare(0, prefix.size(), prefix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<disk::DiskParams> load_disk_params(const Config& cfg) {
+  disk::DiskParams p = disk::DiskParams::wd800jd();
+  p.geometry.capacity = cfg.get_bytes("disk.capacity", p.geometry.capacity);
+  p.geometry.rpm = static_cast<std::uint32_t>(cfg.get_int("disk.rpm", p.geometry.rpm));
+  p.geometry.heads = static_cast<std::uint32_t>(cfg.get_int("disk.heads", p.geometry.heads));
+  p.geometry.num_zones =
+      static_cast<std::uint32_t>(cfg.get_int("disk.zones", p.geometry.num_zones));
+  p.geometry.outer_spt =
+      static_cast<std::uint32_t>(cfg.get_int("disk.outer_spt", p.geometry.outer_spt));
+  p.geometry.inner_spt =
+      static_cast<std::uint32_t>(cfg.get_int("disk.inner_spt", p.geometry.inner_spt));
+  p.seek.single_cylinder = cfg.get_duration("disk.seek_single", p.seek.single_cylinder);
+  p.seek.average = cfg.get_duration("disk.seek_avg", p.seek.average);
+  p.seek.full_stroke = cfg.get_duration("disk.seek_full", p.seek.full_stroke);
+  p.cache.size = cfg.get_bytes("disk.cache.size", p.cache.size);
+  p.cache.num_segments =
+      static_cast<std::uint32_t>(cfg.get_int("disk.cache.segments", p.cache.num_segments));
+  if (cfg.contains("disk.cache.read_ahead")) {
+    const auto text = cfg.get_string("disk.cache.read_ahead", "segment");
+    if (text == "segment" || text == "fill") {
+      p.cache.read_ahead = disk::CacheParams::kFillSegment;
+    } else {
+      const auto parsed = Config::parse_bytes(text);
+      if (!parsed.ok()) return parsed.error();
+      p.cache.read_ahead = parsed.value();
+    }
+  }
+  p.interface_rate_bps = cfg.get_double("disk.interface_rate_mbps", 150.0) * 1e6;
+  p.command_overhead = cfg.get_duration("disk.overhead", p.command_overhead);
+  if (cfg.contains("disk.scheduler")) {
+    const auto name = cfg.get_string("disk.scheduler", "fcfs");
+    if (name == "fcfs") p.scheduler = disk::SchedulerKind::kFcfs;
+    else if (name == "elevator") p.scheduler = disk::SchedulerKind::kElevator;
+    else if (name == "sstf") p.scheduler = disk::SchedulerKind::kSstf;
+    else return make_error("unknown disk.scheduler: '" + name + "'");
+  }
+  if (p.geometry.inner_spt == 0 || p.geometry.outer_spt < p.geometry.inner_spt) {
+    return make_error("disk zone sectors-per-track must satisfy outer >= inner > 0");
+  }
+  if (p.seek.single_cylinder > p.seek.average || p.seek.average > p.seek.full_stroke) {
+    return make_error("disk seek curve must satisfy single <= average <= full");
+  }
+  return p;
+}
+
+Result<ctrl::ControllerParams> load_controller_params(const Config& cfg) {
+  ctrl::ControllerParams p = ctrl::ControllerParams::bc4810();
+  p.cache_size = cfg.get_bytes("ctrl.cache", p.cache_size);
+  p.prefetch = cfg.get_bytes("ctrl.prefetch", p.prefetch);
+  p.transfer_rate_bps = cfg.get_double("ctrl.rate_mbps", 450.0) * 1e6;
+  p.command_overhead = cfg.get_duration("ctrl.overhead", p.command_overhead);
+  return p;
+}
+
+Result<core::SchedulerParams> load_scheduler_params(const Config& cfg) {
+  core::SchedulerParams p;
+  p.dispatch_set_size =
+      static_cast<std::uint32_t>(cfg.get_int("sched.dispatch", p.dispatch_set_size));
+  p.read_ahead = cfg.get_bytes("sched.read_ahead", p.read_ahead);
+  p.requests_per_residency =
+      static_cast<std::uint32_t>(cfg.get_int("sched.residency", p.requests_per_residency));
+  p.memory_budget = cfg.get_bytes("sched.memory", p.memory_budget);
+  if (cfg.contains("sched.policy")) {
+    const auto name = cfg.get_string("sched.policy", "round-robin");
+    if (name == "round-robin") p.policy = core::ReplacementPolicyKind::kRoundRobin;
+    else if (name == "nearest-offset") p.policy = core::ReplacementPolicyKind::kNearestOffset;
+    else return make_error("unknown sched.policy: '" + name + "'");
+  }
+  p.classifier.block_bytes =
+      cfg.get_bytes("sched.classifier.block", p.classifier.block_bytes);
+  p.classifier.offset_blocks = static_cast<std::uint32_t>(
+      cfg.get_int("sched.classifier.offset_blocks", p.classifier.offset_blocks));
+  p.classifier.detect_threshold = static_cast<std::uint32_t>(
+      cfg.get_int("sched.classifier.threshold", p.classifier.detect_threshold));
+  p.buffer_timeout = cfg.get_duration("sched.buffer_timeout", p.buffer_timeout);
+  p.pending_timeout = cfg.get_duration("sched.pending_timeout", p.pending_timeout);
+  p.stream_timeout = cfg.get_duration("sched.stream_timeout", p.stream_timeout);
+  p.gc_period = cfg.get_duration("sched.gc_period", p.gc_period);
+  p.materialize_buffers = cfg.get_bool("sched.materialize", p.materialize_buffers);
+  const Status valid = p.validate();
+  if (!valid.ok()) return valid.error();
+  return p;
+}
+
+Result<node::NodeConfig> load_node_config(const Config& cfg) {
+  node::NodeConfig n;
+  n.num_controllers =
+      static_cast<std::uint32_t>(cfg.get_int("node.controllers", n.num_controllers));
+  n.disks_per_controller = static_cast<std::uint32_t>(
+      cfg.get_int("node.disks_per_controller", n.disks_per_controller));
+  n.seed = static_cast<std::uint64_t>(cfg.get_int("node.seed", 0)) != 0
+               ? static_cast<std::uint64_t>(cfg.get_int("node.seed", 0))
+               : n.seed;
+  if (n.num_controllers == 0 || n.disks_per_controller == 0) {
+    return make_error("node topology must have at least one controller and disk");
+  }
+  auto disk_params = load_disk_params(cfg);
+  if (!disk_params.ok()) return disk_params.error();
+  n.disk = disk_params.value();
+  auto ctrl_params = load_controller_params(cfg);
+  if (!ctrl_params.ok()) return ctrl_params.error();
+  n.controller = ctrl_params.value();
+  return n;
+}
+
+Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
+  experiment::ExperimentConfig ec;
+  auto node_config = load_node_config(cfg);
+  if (!node_config.ok()) return node_config.error();
+  ec.node = node_config.value();
+
+  const bool sched_enabled = cfg.get_bool("sched.enable", has_prefix(cfg, "sched."));
+  if (sched_enabled) {
+    auto sched = load_scheduler_params(cfg);
+    if (!sched.ok()) return sched.error();
+    ec.scheduler = sched.value();
+  }
+
+  const auto streams =
+      static_cast<std::uint32_t>(cfg.get_int("workload.streams", 10));
+  const Bytes request = cfg.get_bytes("workload.request", 64 * KiB);
+  if (streams == 0) return make_error("workload.streams must be >= 1");
+  if (request == 0 || request % kSectorSize != 0) {
+    return make_error("workload.request must be a positive multiple of 512");
+  }
+  ec.streams = workload::make_uniform_streams(streams, ec.node.total_disks(),
+                                              ec.node.disk.geometry.capacity, request);
+  const auto outstanding =
+      static_cast<std::uint32_t>(cfg.get_int("workload.outstanding", 1));
+  const SimTime think = cfg.get_duration("workload.think", 0);
+  const SimTime period = cfg.get_duration("workload.issue_period", 0);
+  for (auto& spec : ec.streams) {
+    spec.outstanding = std::max<std::uint32_t>(1, outstanding);
+    spec.think_time = think;
+    spec.issue_period = period;
+  }
+  ec.warmup = cfg.get_duration("run.warmup", ec.warmup);
+  ec.measure = cfg.get_duration("run.measure", ec.measure);
+  return ec;
+}
+
+}  // namespace sst::configio

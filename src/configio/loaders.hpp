@@ -1,0 +1,57 @@
+// DiskSim-style parameter loading: build every parameter struct in the
+// system from a flat key=value Config (file or command line), so whole
+// experiments are reproducible from a single text description. Keys are
+// namespaced with dotted prefixes; anything omitted keeps its documented
+// default.
+//
+//   # one controller, one WD800JD-class disk, the paper's Fig. 10 point
+//   node.controllers = 1
+//   node.disks_per_controller = 1
+//   disk.capacity = 80G
+//   disk.cache.size = 8M
+//   sched.read_ahead = 8M
+//   sched.memory = 800M
+//   workload.streams = 100
+//   workload.request = 64K
+//   run.measure = 20s
+#pragma once
+
+#include "common/config.hpp"
+#include "common/result.hpp"
+#include "controller/params.hpp"
+#include "core/params.hpp"
+#include "disk/params.hpp"
+#include "experiment/runner.hpp"
+#include "node/storage_node.hpp"
+
+namespace sst::configio {
+
+/// Keys: disk.capacity, disk.rpm, disk.heads, disk.zones, disk.outer_spt,
+/// disk.inner_spt, disk.seek_single, disk.seek_avg, disk.seek_full,
+/// disk.cache.size, disk.cache.segments, disk.cache.read_ahead
+/// ("segment" = fill whole segment, or a size), disk.interface_rate_mbps,
+/// disk.overhead, disk.scheduler (fcfs|elevator|sstf).
+[[nodiscard]] Result<disk::DiskParams> load_disk_params(const Config& cfg);
+
+/// Keys: ctrl.cache, ctrl.prefetch, ctrl.rate_mbps, ctrl.overhead.
+[[nodiscard]] Result<ctrl::ControllerParams> load_controller_params(const Config& cfg);
+
+/// Keys: sched.dispatch (D; 0 = derive from memory), sched.read_ahead (R),
+/// sched.residency (N), sched.memory (M), sched.policy
+/// (round-robin|nearest-offset), sched.classifier.block,
+/// sched.classifier.offset_blocks, sched.classifier.threshold,
+/// sched.buffer_timeout, sched.pending_timeout, sched.stream_timeout, sched.gc_period,
+/// sched.materialize.
+[[nodiscard]] Result<core::SchedulerParams> load_scheduler_params(const Config& cfg);
+
+/// Keys: node.controllers, node.disks_per_controller, node.seed, plus all
+/// disk.* and ctrl.* keys.
+[[nodiscard]] Result<node::NodeConfig> load_node_config(const Config& cfg);
+
+/// Keys: all of the above plus workload.streams, workload.request,
+/// workload.outstanding, workload.think, workload.issue_period,
+/// run.warmup, run.measure, and sched.enable (default: true when any
+/// sched.* key is present).
+[[nodiscard]] Result<experiment::ExperimentConfig> load_experiment(const Config& cfg);
+
+}  // namespace sst::configio

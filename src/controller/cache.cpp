@@ -1,0 +1,113 @@
+#include "controller/cache.hpp"
+
+#include <algorithm>
+
+namespace sst::ctrl {
+
+ExtentCache::ExtentCache(Bytes capacity) : capacity_(capacity) {}
+
+bool ExtentCache::lookup(std::uint32_t disk, Lba lba, Lba sectors, SimTime now) {
+  if (!enabled()) {
+    ++stats_.misses;
+    return false;
+  }
+  for (auto it = extents_.begin(); it != extents_.end(); ++it) {
+    if (it->disk != disk || !it->filled) continue;
+    if (lba >= it->start && lba + sectors <= it->start + it->length) {
+      it->last_access = now;
+      it->consumed = std::max(it->consumed, lba + sectors - it->start);
+      extents_.splice(extents_.begin(), extents_, it);  // MRU to front
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void ExtentCache::account_waste(const Extent& extent) {
+  if (extent.length > extent.consumed) {
+    stats_.wasted_prefetch_bytes += sectors_to_bytes(extent.length - extent.consumed);
+  }
+  if (!extent.filled) ++stats_.inflight_evictions;
+}
+
+void ExtentCache::evict_lru() {
+  auto victim = extents_.begin();
+  for (auto it = extents_.begin(); it != extents_.end(); ++it) {
+    if (it->last_access < victim->last_access) victim = it;
+  }
+  ++stats_.evictions;
+  account_waste(*victim);
+  used_ -= sectors_to_bytes(victim->length);
+  extents_.erase(victim);
+}
+
+ExtentCache::ExtentId ExtentCache::reserve(std::uint32_t disk, Lba lba, Lba sectors,
+                                           Lba request_sectors, SimTime now) {
+  if (!enabled() || sectors == 0) return 0;
+  const Lba keep = std::min(sectors, bytes_to_sectors(capacity_));
+  // Replace any extent this one supersedes (same stream moving forward).
+  for (auto it = extents_.begin(); it != extents_.end();) {
+    const bool overlap =
+        it->disk == disk && lba < it->start + it->length && it->start < lba + keep;
+    if (overlap) {
+      account_waste(*it);
+      used_ -= sectors_to_bytes(it->length);
+      it = extents_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  while (used_ + sectors_to_bytes(keep) > capacity_ && !extents_.empty()) {
+    evict_lru();
+  }
+  Extent ext;
+  ext.id = next_id_++;
+  ext.disk = disk;
+  ext.start = lba;
+  ext.length = keep;
+  ext.consumed = std::min(request_sectors, keep);
+  ext.filled = false;
+  ext.last_access = now;
+  used_ += sectors_to_bytes(keep);
+  const ExtentId id = ext.id;
+  extents_.push_front(ext);
+  if (sectors > request_sectors) {
+    stats_.prefetched_bytes += sectors_to_bytes(sectors - request_sectors);
+  }
+  return id;
+}
+
+bool ExtentCache::mark_filled(ExtentId id, SimTime now) {
+  if (id == 0) return false;
+  for (auto& ext : extents_) {
+    if (ext.id == id) {
+      ext.filled = true;
+      ext.last_access = now;
+      return true;
+    }
+  }
+  return false;  // evicted while in flight
+}
+
+void ExtentCache::install(std::uint32_t disk, Lba lba, Lba sectors, Lba request_sectors,
+                          SimTime now) {
+  const ExtentId id = reserve(disk, lba, sectors, request_sectors, now);
+  (void)mark_filled(id, now);
+}
+
+void ExtentCache::invalidate(std::uint32_t disk, Lba lba, Lba sectors) {
+  for (auto it = extents_.begin(); it != extents_.end();) {
+    const bool overlap =
+        it->disk == disk && lba < it->start + it->length && it->start < lba + sectors;
+    if (overlap) {
+      used_ -= sectors_to_bytes(it->length);
+      it = extents_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sst::ctrl

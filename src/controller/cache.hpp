@@ -1,0 +1,88 @@
+// Controller read cache: a byte-budgeted collection of variable-length
+// extents (one per prefetch operation), evicted LRU. Unlike the disk's
+// fixed segment array, controller firmware manages a heap of buffers, so
+// extent sizes follow the configured prefetch.
+//
+// Buffer space is RESERVED WHEN THE PREFETCH IS ISSUED, not when the data
+// arrives — a controller cannot read 4 MB off a disk without 4 MB to put
+// it in. Under `streams x prefetch > cache` pressure, new reservations
+// evict extents (filled or still in flight) before their data is consumed:
+// that is precisely the Fig. 8 collapse, and the waste counters quantify
+// it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+
+#include "common/types.hpp"
+
+namespace sst::ctrl {
+
+struct CtrlCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inflight_evictions = 0;  ///< reservations evicted unfilled
+  Bytes prefetched_bytes = 0;
+  Bytes wasted_prefetch_bytes = 0;
+};
+
+class ExtentCache {
+ public:
+  /// Token identifying a reservation; 0 is never issued.
+  using ExtentId = std::uint64_t;
+
+  explicit ExtentCache(Bytes capacity);
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used_bytes() const { return used_; }
+
+  /// Full-containment lookup over FILLED extents; refreshes LRU and
+  /// advances the consumed watermark on hit.
+  [[nodiscard]] bool lookup(std::uint32_t disk, Lba lba, Lba sectors, SimTime now);
+
+  /// Reserve buffer space for a read of [lba, lba+sectors) about to be
+  /// issued to the disk; `request_sectors` is the demanded prefix. Evicts
+  /// LRU extents (including unfilled reservations) until the new one fits;
+  /// extents larger than the whole cache are truncated. Returns 0 when the
+  /// cache is disabled.
+  ExtentId reserve(std::uint32_t disk, Lba lba, Lba sectors, Lba request_sectors,
+                   SimTime now);
+
+  /// The reserved read completed. Returns false when the reservation was
+  /// evicted while in flight (the data has nowhere to live and is dropped).
+  bool mark_filled(ExtentId id, SimTime now);
+
+  /// reserve() + mark_filled() in one step — data already at hand.
+  void install(std::uint32_t disk, Lba lba, Lba sectors, Lba request_sectors, SimTime now);
+
+  /// Drop cached data overlapping a written extent.
+  void invalidate(std::uint32_t disk, Lba lba, Lba sectors);
+
+  [[nodiscard]] std::size_t extent_count() const { return extents_.size(); }
+  [[nodiscard]] const CtrlCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CtrlCacheStats{}; }
+
+ private:
+  struct Extent {
+    ExtentId id = 0;
+    std::uint32_t disk = 0;
+    Lba start = 0;
+    Lba length = 0;
+    Lba consumed = 0;
+    bool filled = false;
+    SimTime last_access = 0;
+  };
+
+  void evict_lru();
+  void account_waste(const Extent& extent);
+
+  std::list<Extent> extents_;  ///< small population; linear scans suffice
+  Bytes capacity_ = 0;
+  Bytes used_ = 0;
+  ExtentId next_id_ = 1;
+  CtrlCacheStats stats_;
+};
+
+}  // namespace sst::ctrl

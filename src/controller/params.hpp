@@ -1,0 +1,30 @@
+// Controller model parameters. Defaults describe the paper's Broadcom
+// BC4810-class entry-level SATA RAID controller: 8 channels, ~450 MB/s
+// aggregate transfer, modest onboard cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace sst::ctrl {
+
+struct ControllerParams {
+  std::string model = "BC4810";
+  /// Onboard cache devoted to read caching/prefetch. Commodity controllers
+  /// carry 4-16 MB; the paper's Fig. 8 experiment provisions 128 MB.
+  Bytes cache_size = 16 * MiB;
+  /// Bytes prefetched beyond each read request (0 disables controller
+  /// read-ahead; the controller then forwards requests unmodified).
+  Bytes prefetch = 0;
+  /// Aggregate transfer ceiling between controller and host.
+  double transfer_rate_bps = 450e6;
+  /// Per-command processing cost (firmware + DMA setup), charged on the
+  /// shared transfer path.
+  SimTime command_overhead = usec(40);
+
+  [[nodiscard]] static ControllerParams bc4810() { return ControllerParams{}; }
+};
+
+}  // namespace sst::ctrl

@@ -1,0 +1,58 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sst::core {
+
+double effective_throughput_bps(double seq_rate_bps, SimTime position_time,
+                                Bytes read_ahead) {
+  if (read_ahead == 0 || seq_rate_bps <= 0.0) return 0.0;
+  const double xfer_s = static_cast<double>(read_ahead) / seq_rate_bps;
+  const double cycle_s = to_seconds(position_time) + xfer_s;
+  return static_cast<double>(read_ahead) / cycle_s;
+}
+
+AdmissionPlan plan_admission(const AdmissionRequest& request) {
+  AdmissionPlan plan;
+  const NodeDescription& node = request.node;
+
+  // Pick R: caller's choice, or autotune's efficiency-targeted size.
+  const TuningResult tuned = autotune(node);
+  plan.read_ahead = request.read_ahead != 0 ? request.read_ahead : tuned.params.read_ahead;
+
+  plan.effective_disk_bps =
+      effective_throughput_bps(node.disk_seq_rate_bps, node.avg_position_time,
+                               plan.read_ahead);
+  if (request.stream_rate_bps > 0.0) {
+    plan.streams_per_disk = static_cast<std::uint32_t>(
+        plan.effective_disk_bps / request.stream_rate_bps);
+  }
+  plan.streams_disk_bound = plan.streams_per_disk * node.num_disks;
+
+  // Memory: on average every admitted stream keeps one R-sized buffer
+  // staged (dispatch working set plus buffered-set residue).
+  plan.streams_memory_bound = static_cast<std::uint32_t>(
+      plan.read_ahead ? node.host_memory / plan.read_ahead : 0);
+
+  plan.admissible_streams = std::min(plan.streams_disk_bound, plan.streams_memory_bound);
+
+  plan.scheduler = tuned.params;
+  plan.scheduler.read_ahead = plan.read_ahead;
+  // Short residencies suit paced consumers: each visit stages a bounded
+  // amount, and the round-robin returns before the playout buffer drains.
+  plan.scheduler.requests_per_residency =
+      std::min<std::uint32_t>(plan.scheduler.requests_per_residency, 4);
+  plan.scheduler.memory_budget = node.host_memory;
+  plan.scheduler.dispatch_set_size = std::max<std::uint32_t>(1, node.num_disks);
+
+  std::ostringstream why;
+  why << "T_eff=" << plan.effective_disk_bps / 1e6 << "MB/s at R=" << plan.read_ahead / KiB
+      << "K -> " << plan.streams_per_disk << " streams/disk x " << node.num_disks
+      << " disks = " << plan.streams_disk_bound << "; memory caps at "
+      << plan.streams_memory_bound << " -> admit " << plan.admissible_streams;
+  plan.rationale = why.str();
+  return plan;
+}
+
+}  // namespace sst::core

@@ -1,0 +1,59 @@
+// Admission planning: the quantitative form of the paper's introductory
+// tradeoff — "if an application requires streams of 1 MByte/s, then a disk
+// with a maximum throughput of 50 MBytes/s could sustain 50 streams; in
+// practice, a much smaller number can be serviced".
+//
+// With the stream scheduler, a disk switching between streams delivers
+//
+//     T_eff(R) = T_seq * xfer / (position + xfer),  xfer = R / T_seq
+//
+// so the number of admissible constant-bitrate streams per disk is
+// floor(T_eff / bitrate), and sustaining them needs staged memory
+// proportional to the stream population and the read-ahead. This module
+// computes those numbers; the admission tests validate the model against
+// the simulator to within a configured tolerance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/autotune.hpp"
+#include "core/params.hpp"
+
+namespace sst::core {
+
+struct AdmissionRequest {
+  NodeDescription node;
+  /// Per-stream consumption rate (bytes/sec), e.g. 4 Mb/s video = 500 KB/s.
+  double stream_rate_bps = 500e3;
+  /// Read-ahead the scheduler will use (0 = let the planner pick via
+  /// autotune's efficiency target).
+  Bytes read_ahead = 0;
+};
+
+struct AdmissionPlan {
+  /// Effective per-disk throughput once positioning overhead is paid.
+  double effective_disk_bps = 0.0;
+  /// Streams one disk sustains at the requested rate.
+  std::uint32_t streams_per_disk = 0;
+  /// Whole node (all disks), before the memory constraint.
+  std::uint32_t streams_disk_bound = 0;
+  /// Cap imposed by host memory: each admitted stream needs one staged
+  /// read-ahead buffer on average.
+  std::uint32_t streams_memory_bound = 0;
+  /// min(disk bound, memory bound) — the planner's answer.
+  std::uint32_t admissible_streams = 0;
+  Bytes read_ahead = 0;
+  SchedulerParams scheduler;  ///< configuration to run the admitted load
+  std::string rationale;
+};
+
+/// Effective sequential throughput of a disk that pays `position_time` per
+/// `read_ahead`-sized transfer.
+[[nodiscard]] double effective_throughput_bps(double seq_rate_bps, SimTime position_time,
+                                              Bytes read_ahead);
+
+[[nodiscard]] AdmissionPlan plan_admission(const AdmissionRequest& request);
+
+}  // namespace sst::core

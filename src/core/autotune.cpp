@@ -1,0 +1,67 @@
+#include "core/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sst::core {
+
+namespace {
+/// Round up to the next power of two, in bytes.
+Bytes next_pow2(Bytes v) {
+  Bytes p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TuningResult autotune(const NodeDescription& node, double target_efficiency) {
+  TuningResult result;
+  SchedulerParams& p = result.params;
+
+  const double eff = std::clamp(target_efficiency, 0.5, 0.99);
+  const double position_s = to_seconds(node.avg_position_time);
+
+  // efficiency = xfer / (position + xfer) with xfer = R / rate
+  //   => R = rate * position * eff / (1 - eff).
+  const double r_raw = node.disk_seq_rate_bps * position_s * eff / (1.0 - eff);
+  Bytes read_ahead = next_pow2(static_cast<Bytes>(r_raw));
+  read_ahead = std::clamp<Bytes>(read_ahead, 128 * KiB, 16 * MiB);
+
+  // One dispatch slot per disk keeps every spindle streaming while bounding
+  // buffer-management overhead (paper Fig. 13 vs 12).
+  const std::uint32_t dispatch = std::max<std::uint32_t>(1, node.num_disks);
+
+  // Memory must hold at least one residency (D*R*N); cap the read-ahead if
+  // the node is memory-starved, then spend what is left on residency so
+  // each dispatched stream amortizes its dispatch over many requests.
+  while (read_ahead > 128 * KiB &&
+         static_cast<Bytes>(dispatch) * read_ahead > node.host_memory) {
+    read_ahead /= 2;
+  }
+  const Bytes per_slot = node.host_memory / dispatch;
+  std::uint32_t residency =
+      static_cast<std::uint32_t>(std::max<Bytes>(1, per_slot / read_ahead));
+  residency = std::min<std::uint32_t>(residency, 128);
+
+  p.dispatch_set_size = dispatch;
+  p.read_ahead = read_ahead;
+  p.requests_per_residency = residency;
+  p.memory_budget = std::max<Bytes>(
+      node.host_memory, static_cast<Bytes>(dispatch) * read_ahead * residency);
+
+  const double xfer_s = static_cast<double>(read_ahead) / node.disk_seq_rate_bps;
+  result.predicted_efficiency = xfer_s / (xfer_s + position_s);
+
+  std::ostringstream why;
+  why << "R=" << read_ahead / KiB << "K for " << static_cast<int>(eff * 100)
+      << "% target efficiency (position " << to_millis(node.avg_position_time)
+      << "ms at " << node.disk_seq_rate_bps / 1e6 << "MB/s); D=" << dispatch
+      << " (one per disk); N=" << residency << " from M="
+      << node.host_memory / MiB << "M; predicted efficiency "
+      << static_cast<int>(result.predicted_efficiency * 100) << "%";
+  result.rationale = why.str();
+  return result;
+}
+
+}  // namespace sst::core

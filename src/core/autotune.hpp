@@ -1,0 +1,42 @@
+// Static auto-tuning of the (D, R, N, M) knobs from a storage-node
+// description (paper §5.4 and conclusion: the parameters can be set
+// independently, so the subsystem can be configured for nodes "of varying
+// technologies and configurations"). Given the disks' mechanical numbers
+// and the node's memory, pick a read-ahead large enough to reach a target
+// seek efficiency, dispatch one slot per disk, and spend the remaining
+// memory on residency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/params.hpp"
+
+namespace sst::core {
+
+struct NodeDescription {
+  std::uint32_t num_disks = 1;
+  /// Sustained sequential media rate of one disk (bytes/sec).
+  double disk_seq_rate_bps = 55e6;
+  /// Average positioning cost of a stream switch (seek + rotation).
+  SimTime avg_position_time = msec(13);
+  /// Host memory available for I/O buffering.
+  Bytes host_memory = 256 * MiB;
+};
+
+struct TuningResult {
+  SchedulerParams params;
+  /// Fraction of disk time spent transferring (vs positioning) that the
+  /// chosen R achieves for a dedicated stream.
+  double predicted_efficiency = 0.0;
+  std::string rationale;
+};
+
+/// Derive scheduler parameters for a node. `target_efficiency` is the
+/// desired transfer-time fraction per read-ahead request (default 85%,
+/// which lands on R = 8 MB for the paper's WD800JD-class disks).
+[[nodiscard]] TuningResult autotune(const NodeDescription& node,
+                                    double target_efficiency = 0.85);
+
+}  // namespace sst::core

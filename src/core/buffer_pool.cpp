@@ -1,0 +1,43 @@
+#include "core/buffer_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sst::core {
+
+IoBuffer::IoBuffer(BufferPool& pool, std::uint32_t device, ByteOffset offset, Bytes capacity,
+                   bool materialize, SimTime now)
+    : pool_(pool), device_(device), offset_(offset), capacity_(capacity), last_touch_(now) {
+  if (materialize) data_.resize(capacity);
+}
+
+IoBuffer::~IoBuffer() { pool_.release(capacity_); }
+
+BufferPool::BufferPool(Bytes budget, bool materialize)
+    : budget_(budget), materialize_(materialize) {}
+
+std::unique_ptr<IoBuffer> BufferPool::allocate(std::uint32_t device, ByteOffset offset,
+                                               Bytes capacity, SimTime now) {
+  assert(capacity > 0);
+  if (committed_ + capacity > budget_) {
+    ++stats_.allocation_failures;
+    return nullptr;
+  }
+  committed_ += capacity;
+  ++live_buffers_;
+  ++stats_.allocations;
+  stats_.peak_committed = std::max(stats_.peak_committed, committed_);
+  // Private constructor: can't use make_unique.
+  return std::unique_ptr<IoBuffer>(
+      new IoBuffer(*this, device, offset, capacity, materialize_, now));
+}
+
+void BufferPool::release(Bytes capacity) {
+  assert(committed_ >= capacity);
+  assert(live_buffers_ > 0);
+  committed_ -= capacity;
+  --live_buffers_;
+  ++stats_.releases;
+}
+
+}  // namespace sst::core

@@ -1,0 +1,116 @@
+// Bounded pool of I/O buffers backing the dispatch and buffered sets
+// (paper §4.2-4.3). The pool enforces the memory budget M: allocation fails
+// once the budget is committed, which is precisely what bounds the dispatch
+// set when D is not set explicitly.
+//
+// Buffers optionally carry real memory (materialize=true) so devices can
+// fill them and tests can verify data integrity end to end; benches skip
+// the allocation and model accounting only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sst::core {
+
+class BufferPool;
+
+/// One staged read-ahead extent: [offset, offset + valid) of a device.
+class IoBuffer {
+ public:
+  ~IoBuffer();
+  IoBuffer(const IoBuffer&) = delete;
+  IoBuffer& operator=(const IoBuffer&) = delete;
+
+  [[nodiscard]] std::uint32_t device() const { return device_; }
+  [[nodiscard]] ByteOffset offset() const { return offset_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  /// Bytes actually filled by the device (== capacity once the read lands).
+  [[nodiscard]] Bytes valid() const { return valid_; }
+  [[nodiscard]] bool filled() const { return valid_ > 0; }
+  [[nodiscard]] ByteOffset end() const { return offset_ + valid_; }
+
+  /// Backing memory, or nullptr when the pool does not materialize.
+  [[nodiscard]] std::byte* data() { return data_.empty() ? nullptr : data_.data(); }
+  [[nodiscard]] const std::byte* data() const { return data_.empty() ? nullptr : data_.data(); }
+
+  /// Contains the whole byte range?
+  [[nodiscard]] bool contains(ByteOffset off, Bytes len) const {
+    return filled() && off >= offset_ && off + len <= end();
+  }
+
+  void mark_filled(Bytes valid, SimTime when) {
+    valid_ = valid;
+    filled_at_ = when;
+    last_touch_ = when;
+  }
+
+  /// Record that [off, off+len) was served to a client.
+  void consume(ByteOffset off, Bytes len, SimTime when) {
+    const ByteOffset rel_end = off + len - offset_;
+    if (rel_end > consumed_upto_) consumed_upto_ = rel_end;
+    last_touch_ = when;
+  }
+
+  /// Fully consumed = every byte up to valid() served at least once
+  /// (streams are sequential, so a high-water mark suffices).
+  [[nodiscard]] bool fully_consumed() const { return filled() && consumed_upto_ >= valid_; }
+  [[nodiscard]] Bytes consumed_upto() const { return consumed_upto_; }
+  [[nodiscard]] SimTime last_touch() const { return last_touch_; }
+
+ private:
+  friend class BufferPool;
+  IoBuffer(BufferPool& pool, std::uint32_t device, ByteOffset offset, Bytes capacity,
+           bool materialize, SimTime now);
+
+  BufferPool& pool_;
+  std::uint32_t device_;
+  ByteOffset offset_;
+  Bytes capacity_;
+  Bytes valid_ = 0;
+  Bytes consumed_upto_ = 0;
+  SimTime filled_at_ = 0;
+  SimTime last_touch_ = 0;
+  std::vector<std::byte> data_;
+};
+
+struct BufferPoolStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t allocation_failures = 0;
+  std::uint64_t releases = 0;
+  Bytes peak_committed = 0;
+};
+
+class BufferPool {
+ public:
+  BufferPool(Bytes budget, bool materialize);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Allocate a buffer of `capacity` bytes for `[offset, ...)` of `device`;
+  /// nullptr when the budget would be exceeded.
+  [[nodiscard]] std::unique_ptr<IoBuffer> allocate(std::uint32_t device, ByteOffset offset,
+                                                   Bytes capacity, SimTime now);
+
+  [[nodiscard]] Bytes budget() const { return budget_; }
+  [[nodiscard]] Bytes committed() const { return committed_; }
+  [[nodiscard]] Bytes available() const { return budget_ - committed_; }
+  [[nodiscard]] std::size_t live_buffers() const { return live_buffers_; }
+  [[nodiscard]] const BufferPoolStats& stats() const { return stats_; }
+
+ private:
+  friend class IoBuffer;
+  void release(Bytes capacity);
+
+  Bytes budget_;
+  bool materialize_;
+  Bytes committed_ = 0;
+  std::size_t live_buffers_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace sst::core

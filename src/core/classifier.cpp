@@ -1,0 +1,103 @@
+#include "core/classifier.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace sst::core {
+
+Classifier::Classifier(const ClassifierParams& params) : params_(params) {
+  assert(params_.block_bytes > 0);
+  assert(params_.offset_blocks > 0);
+}
+
+bool Classifier::set_bit(Region& region, std::uint64_t block) {
+  const std::uint64_t index = block - region.first_block;
+  const std::size_t word = index / 64;
+  const std::uint64_t mask = 1ULL << (index % 64);
+  if (word >= region.bits.size()) return false;
+  if (region.bits[word] & mask) return false;
+  region.bits[word] |= mask;
+  if (region.popcount == 0) {
+    region.min_block = block;
+    region.max_block = block;
+  } else {
+    if (block < region.min_block) region.min_block = block;
+    if (block > region.max_block) region.max_block = block;
+  }
+  ++region.popcount;
+  return true;
+}
+
+std::optional<DetectedStream> Classifier::record(std::uint32_t device, ByteOffset offset,
+                                                 Bytes length, SimTime now) {
+  ++stats_.requests_seen;
+  const std::uint64_t first_block = offset / params_.block_bytes;
+  const std::uint64_t last_block = (offset + (length ? length - 1 : 0)) / params_.block_bytes;
+  const std::uint32_t span = span_blocks();
+
+  // Find a region covering the request's first block: the candidate is the
+  // region with the greatest start <= first_block.
+  Region* region = nullptr;
+  auto it = regions_.upper_bound({device, first_block});
+  if (it != regions_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first.first == device && prev->second.covers(first_block, span)) {
+      region = &prev->second;
+    }
+  }
+  if (region == nullptr) {
+    // Allocate a bitmap for the blocks around this access:
+    // [first_block - offset_blocks, first_block + offset_blocks].
+    const std::uint64_t base = first_block > params_.offset_blocks
+                                   ? first_block - params_.offset_blocks
+                                   : 0;
+    Region fresh;
+    fresh.first_block = base;
+    fresh.bits.assign((span + 63) / 64, 0);
+    auto [inserted, ok] = regions_.emplace(std::make_pair(device, base), std::move(fresh));
+    assert(ok);
+    region = &inserted->second;
+    ++stats_.regions_allocated;
+    stats_.bitmap_bytes += region->bits.size() * sizeof(std::uint64_t);
+  }
+
+  region->last_touch = now;
+  for (std::uint64_t b = first_block; b <= last_block; ++b) {
+    if (!region->covers(b, span)) break;  // request tail beyond the bitmap
+    set_bit(*region, b);
+  }
+
+  if (region->popcount >= params_.detect_threshold) {
+    DetectedStream detected;
+    detected.device = device;
+    detected.start = region->min_block * params_.block_bytes;
+    detected.end = (region->max_block + 1) * params_.block_bytes;
+    ++stats_.streams_detected;
+    // Retire the region: its job is done, the stream takes over.
+    stats_.bitmap_bytes -= region->bits.size() * sizeof(std::uint64_t);
+    regions_.erase({device, region->first_block});
+    ++stats_.regions_collected;
+    return detected;
+  }
+  return std::nullopt;
+}
+
+std::size_t Classifier::collect_garbage(SimTime now) {
+  std::size_t collected = 0;
+  const SimTime horizon = now > params_.region_timeout ? now - params_.region_timeout : 0;
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    if (it->second.last_touch < horizon) {
+      stats_.bitmap_bytes -= it->second.bits.size() * sizeof(std::uint64_t);
+      it = regions_.erase(it);
+      ++collected;
+      ++stats_.regions_collected;
+    } else {
+      ++it;
+    }
+  }
+  return collected;
+}
+
+std::size_t Classifier::region_count() const { return regions_.size(); }
+
+}  // namespace sst::core

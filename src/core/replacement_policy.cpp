@@ -1,0 +1,56 @@
+#include "core/replacement_policy.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace sst::core {
+
+std::size_t NearestOffsetPolicy::pick(
+    const std::deque<StreamId>& candidates,
+    const std::function<const Stream&(StreamId)>& lookup,
+    const std::map<std::uint32_t, ByteOffset>& last_issue_pos) {
+  const StreamId front = candidates.front();
+  if (front != last_front_) {
+    last_front_ = front;
+    front_bypasses_ = 0;
+  }
+  // Strict aging: a head-of-queue stream bypassed too often wins outright.
+  if (front_bypasses_ >= kWindow) {
+    front_bypasses_ = 0;
+    last_front_ = kInvalidStream;
+    return 0;
+  }
+
+  std::size_t best = 0;
+  auto best_distance = std::numeric_limits<std::uint64_t>::max();
+  const std::size_t window = std::min(candidates.size(), kWindow);
+  for (std::size_t i = 0; i < window; ++i) {
+    const Stream& s = lookup(candidates[i]);
+    const auto it = last_issue_pos.find(s.device);
+    if (it == last_issue_pos.end()) continue;  // device untouched: no signal
+    const ByteOffset pos = it->second;
+    const std::uint64_t distance =
+        s.prefetch_pos > pos ? s.prefetch_pos - pos : pos - s.prefetch_pos;
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  if (best != 0) {
+    ++front_bypasses_;
+  } else {
+    last_front_ = kInvalidStream;
+  }
+  return best;
+}
+
+std::unique_ptr<ReplacementPolicy> make_policy(ReplacementPolicyKind kind) {
+  switch (kind) {
+    case ReplacementPolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
+    case ReplacementPolicyKind::kNearestOffset: return std::make_unique<NearestOffsetPolicy>();
+  }
+  return std::make_unique<RoundRobinPolicy>();
+}
+
+}  // namespace sst::core

@@ -1,0 +1,64 @@
+// Dispatch-set replacement policies (paper §4.2). The policy chooses which
+// candidate stream takes a freed dispatch slot. Round-robin is the paper's
+// default; nearest-offset implements the proximity idea the paper sketches
+// ("keep streams that access nearby areas of the disk in the dispatch set")
+// for the ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "core/stream.hpp"
+
+namespace sst::core {
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Pick the index (into `candidates`) of the stream to dispatch next.
+  /// `lookup` maps a StreamId to its Stream; `last_issue_pos` gives the most
+  /// recent read-ahead position per device. `candidates` is non-empty.
+  [[nodiscard]] virtual std::size_t pick(
+      const std::deque<StreamId>& candidates,
+      const std::function<const Stream&(StreamId)>& lookup,
+      const std::map<std::uint32_t, ByteOffset>& last_issue_pos) = 0;
+};
+
+/// FIFO: always the head of the candidate queue.
+class RoundRobinPolicy final : public ReplacementPolicy {
+ public:
+  [[nodiscard]] std::size_t pick(const std::deque<StreamId>&,
+                                 const std::function<const Stream&(StreamId)>&,
+                                 const std::map<std::uint32_t, ByteOffset>&) override {
+    return 0;
+  }
+};
+
+/// Choose the candidate whose next prefetch offset is closest to the last
+/// issued position on its device (falls back to FIFO across devices that
+/// have not issued yet). Greedy proximity would starve far-away streams,
+/// so two guards bound the bypassing: only the oldest `kWindow` candidates
+/// compete, and a head-of-queue stream bypassed `kWindow` consecutive
+/// times is force-picked (strict aging).
+class NearestOffsetPolicy final : public ReplacementPolicy {
+ public:
+  static constexpr std::size_t kWindow = 8;
+
+  [[nodiscard]] std::size_t pick(const std::deque<StreamId>& candidates,
+                                 const std::function<const Stream&(StreamId)>& lookup,
+                                 const std::map<std::uint32_t, ByteOffset>& last_issue_pos) override;
+
+ private:
+  StreamId last_front_ = kInvalidStream;
+  std::size_t front_bypasses_ = 0;
+};
+
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_policy(ReplacementPolicyKind kind);
+
+}  // namespace sst::core

@@ -1,0 +1,442 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace sst::core {
+
+namespace {
+constexpr std::string_view kLog = "scheduler";
+
+/// Does the union of (optionally only filled) buffer ranges cover
+/// [off, off+len)? Buffers are kept sorted by offset and contiguous ranges
+/// may span several buffers.
+bool covered_by(const std::vector<std::unique_ptr<IoBuffer>>& buffers, ByteOffset off,
+                Bytes len, bool filled_only) {
+  ByteOffset cursor = off;
+  const ByteOffset end = off + len;
+  for (const auto& b : buffers) {
+    const ByteOffset b_end = filled_only ? b->end() : b->offset() + b->capacity();
+    if (b->offset() > cursor) {
+      if (cursor >= end) break;
+      if (b->offset() >= end) break;
+      return false;  // gap before reaching `cursor`
+    }
+    if (b_end > cursor) cursor = b_end;
+    if (cursor >= end) return true;
+  }
+  return cursor >= end;
+}
+}  // namespace
+
+StreamScheduler::StreamScheduler(sim::Simulator& simulator,
+                                 std::vector<blockdev::BlockDevice*> devices,
+                                 SchedulerParams params)
+    : sim_(simulator),
+      devices_(std::move(devices)),
+      params_(params),
+      pool_(params.memory_budget, params.materialize_buffers),
+      cpu_(simulator, params.host),
+      policy_(make_policy(params.policy)),
+      index_(devices_.size()) {
+  assert(!devices_.empty());
+  const Status valid = params_.validate();
+  assert(valid.ok());
+  (void)valid;
+}
+
+StreamScheduler::~StreamScheduler() { gc_event_.cancel(); }
+
+void StreamScheduler::arm_gc() {
+  if (gc_event_.pending()) return;
+  gc_event_ = sim_.schedule_after(params_.gc_period, [this]() {
+    collect_garbage();
+    if (!streams_.empty()) arm_gc();
+  });
+}
+
+Stream* StreamScheduler::find_stream(std::uint32_t device, ByteOffset offset) {
+  assert(device < index_.size());
+  auto& idx = index_[device];
+  auto it = idx.upper_bound(offset);
+  if (it == idx.begin()) return nullptr;
+  --it;
+  Stream& s = stream_ref(it->second);
+  if (offset >= s.range_start && offset < s.match_end(params_.read_ahead)) return &s;
+  return nullptr;
+}
+
+Stream& StreamScheduler::create_stream(std::uint32_t device, ByteOffset range_start,
+                                       ByteOffset detection_end) {
+  assert(device < devices_.size());
+  auto stream = std::make_unique<Stream>();
+  stream->id = next_stream_id_++;
+  stream->device = device;
+  stream->range_start = range_start;
+  stream->prefetch_pos = std::min<ByteOffset>(detection_end, devices_[device]->capacity());
+  stream->served_upto = detection_end;
+  stream->last_activity = sim_.now();
+  Stream& ref = *stream;
+  index_[device].insert_or_assign(range_start, stream->id);
+  streams_.emplace(stream->id, std::move(stream));
+  ++stats_.streams_created;
+  arm_gc();
+  LogMessage(LogLevel::kDebug, kLog) << "stream " << ref.id << " created on dev " << device
+                                     << " at " << range_start;
+  return ref;
+}
+
+Stream& StreamScheduler::stream_ref(StreamId id) {
+  const auto it = streams_.find(id);
+  assert(it != streams_.end());
+  return *it->second;
+}
+
+const Stream* StreamScheduler::stream_by_id(StreamId id) const {
+  const auto it = streams_.find(id);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+std::size_t StreamScheduler::buffered_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : streams_) {
+    if (s->state == StreamState::kBuffered && !s->buffers.empty()) ++n;
+  }
+  return n;
+}
+
+void StreamScheduler::enqueue(Stream& stream, ClientRequest request) {
+  assert(request.device == stream.device);
+  assert(request.op == IoOp::kRead && "writes take the direct path in the server");
+  stream.last_activity = sim_.now();
+  ++stream.stats.client_requests;
+
+  // 1. Already staged? Serve immediately (a buffered-set or dispatch-set hit).
+  if (covered_by(stream.buffers, request.offset, request.length, /*filled_only=*/true)) {
+    ++stream.stats.buffer_hits;
+    ++stats_.buffer_hits;
+    serve_request(stream, std::move(request));
+    reap_buffers(stream);  // frees memory; may unblock stalled dispatches
+    return;
+  }
+
+  // 2. Covered by in-flight read-ahead, or starting at/after the prefetch
+  //    cursor: park it; it completes when data lands. A request merely
+  //    *straddling* the cursor would never be fully covered by future
+  //    read-ahead, so it must not be parked (it falls through to 3).
+  const bool inflight_covers =
+      covered_by(stream.buffers, request.offset, request.length, /*filled_only=*/false);
+  const bool ahead = request.offset >= stream.prefetch_pos;
+  if (inflight_covers || (ahead && !stream.at_device_end)) {
+    request.arrival = sim_.now();  // parking time governs escalation
+    auto pos = std::upper_bound(
+        stream.pending.begin(), stream.pending.end(), request.offset,
+        [](ByteOffset off, const ClientRequest& r) { return off < r.offset; });
+    stream.pending.insert(pos, std::move(request));
+    if (!inflight_covers) make_candidate(stream);
+    pump();
+    return;
+  }
+
+  // 3. Behind the prefetch cursor with no staged copy (reclaimed by GC, or
+  //    past the device end): fall back to a direct device read. A streak of
+  //    consecutive sequential fallbacks means the client rewound (e.g.
+  //    looped playout) — re-aim the prefetch cursor at the new position.
+  ++stats_.fallback_direct_reads;
+  if (request.offset == stream.last_fallback_end) {
+    ++stream.fallback_streak;
+  } else {
+    stream.fallback_streak = 1;
+  }
+  stream.last_fallback_end = request.offset + request.length;
+  if (stream.fallback_streak >= 3) {
+    stream.fallback_streak = 0;
+    stream.prefetch_pos = stream.last_fallback_end;
+    stream.served_upto = stream.last_fallback_end;
+    stream.at_device_end = false;
+  }
+  blockdev::BlockRequest direct;
+  direct.offset = request.offset;
+  direct.length = request.length;
+  direct.op = IoOp::kRead;
+  direct.id = request.id;
+  direct.data = request.data;
+  direct.on_complete = std::move(request.on_complete);
+  devices_[stream.device]->submit(std::move(direct));
+}
+
+void StreamScheduler::make_candidate(Stream& stream) {
+  if (stream.state == StreamState::kDispatched || stream.state == StreamState::kCandidate) {
+    return;
+  }
+  stream.state = StreamState::kCandidate;
+  candidates_.push_back(stream.id);
+}
+
+void StreamScheduler::pump() {
+  const std::uint32_t slots = params_.effective_dispatch_size();
+  while (dispatched_ < slots && !candidates_.empty()) {
+    const std::size_t choice = policy_->pick(
+        candidates_, [this](StreamId id) -> const Stream& { return stream_ref(id); },
+        last_issue_pos_);
+    const StreamId id = candidates_[choice];
+    candidates_.erase(candidates_.begin() + static_cast<std::ptrdiff_t>(choice));
+    Stream& stream = stream_ref(id);
+    dispatch(stream);
+    if (stream.state == StreamState::kCandidate && !candidates_.empty() &&
+        candidates_.front() == id) {
+      // Dispatch bounced on memory; retry later when buffers free up.
+      break;
+    }
+  }
+}
+
+void StreamScheduler::dispatch(Stream& stream) {
+  assert(stream.state == StreamState::kCandidate);
+  stream.state = StreamState::kDispatched;
+  ++dispatched_;
+  stream.issued_in_residency = 0;
+  ++stream.stats.residencies;
+  issue_next(stream);
+}
+
+void StreamScheduler::issue_next(Stream& stream) {
+  assert(stream.state == StreamState::kDispatched);
+  if (stream.issued_in_residency >= params_.requests_per_residency) {
+    rotate_out(stream);
+    return;
+  }
+  const Bytes capacity = devices_[stream.device]->capacity();
+  if (stream.prefetch_pos >= capacity) {
+    stream.at_device_end = true;
+    rotate_out(stream);
+    return;
+  }
+  const Bytes len = std::min<Bytes>(params_.read_ahead, capacity - stream.prefetch_pos);
+
+  auto buffer = pool_.allocate(stream.device, stream.prefetch_pos, len, sim_.now());
+  if (buffer == nullptr) {
+    ++stats_.dispatch_stalls;
+    const bool first_issue = stream.issued_in_residency == 0;
+    // Leave the dispatch set; on a first-issue bounce go back to the head
+    // of the candidate queue and stall the pump until memory frees.
+    --dispatched_;
+    ++stats_.rotations;
+    stream.state = StreamState::kCandidate;
+    if (first_issue) {
+      candidates_.push_front(stream.id);
+    } else {
+      candidates_.push_back(stream.id);
+    }
+    return;
+  }
+
+  IoBuffer* raw = buffer.get();
+  stream.buffers.push_back(std::move(buffer));
+  // Keep buffers sorted by offset (allocations are monotone per stream, but
+  // an earlier buffer may have been reaped, so enforce it).
+  std::sort(stream.buffers.begin(), stream.buffers.end(),
+            [](const auto& a, const auto& b) { return a->offset() < b->offset(); });
+
+  const ByteOffset issue_offset = stream.prefetch_pos;
+  stream.prefetch_pos += len;
+  ++stream.issued_in_residency;
+  ++stream.inflight;
+  ++stream.stats.disk_reads;
+  stream.stats.bytes_prefetched += len;
+  ++stats_.disk_reads;
+  stats_.bytes_prefetched += len;
+  last_issue_pos_[stream.device] = issue_offset + len;
+
+  const StreamId sid = stream.id;
+  const std::uint32_t dev = stream.device;
+  cpu_.execute(cpu_.issue_cost(pool_.live_buffers()), [this, sid, dev, issue_offset, len,
+                                                       data = raw->data()]() {
+    blockdev::BlockRequest req;
+    req.offset = issue_offset;
+    req.length = len;
+    req.op = IoOp::kRead;
+    req.data = data;
+    req.on_complete = [this, sid, issue_offset](SimTime) {
+      on_read_complete(sid, issue_offset);
+    };
+    devices_[dev]->submit(std::move(req));
+  });
+}
+
+void StreamScheduler::rotate_out(Stream& stream) {
+  assert(stream.state == StreamState::kDispatched);
+  assert(dispatched_ > 0);
+  --dispatched_;
+  ++stats_.rotations;
+  // Streams with unmet demand re-enter the candidate queue (round-robin
+  // tail); satisfied streams park in the buffered set.
+  const bool unmet = std::any_of(
+      stream.pending.begin(), stream.pending.end(), [&stream](const ClientRequest& r) {
+        return !covered_by(stream.buffers, r.offset, r.length, /*filled_only=*/false);
+      });
+  if (unmet && !stream.at_device_end) {
+    stream.state = StreamState::kCandidate;
+    candidates_.push_back(stream.id);
+  } else {
+    stream.state = StreamState::kBuffered;
+  }
+}
+
+void StreamScheduler::on_read_complete(StreamId stream_id, ByteOffset buffer_offset) {
+  Stream& stream = stream_ref(stream_id);
+  assert(stream.inflight > 0);
+  --stream.inflight;
+  for (auto& b : stream.buffers) {
+    if (b->offset() == buffer_offset && !b->filled()) {
+      b->mark_filled(b->capacity(), sim_.now());
+      break;
+    }
+  }
+
+  // Issue path first (paper §4.2): keep the disks fed before unwinding
+  // completions.
+  if (stream.state == StreamState::kDispatched) {
+    issue_next(stream);
+  }
+  pump();
+
+  drain_pending(stream);
+  reap_buffers(stream);
+}
+
+void StreamScheduler::drain_pending(Stream& stream) {
+  for (auto it = stream.pending.begin(); it != stream.pending.end();) {
+    if (covered_by(stream.buffers, it->offset, it->length, /*filled_only=*/true)) {
+      ClientRequest req = std::move(*it);
+      it = stream.pending.erase(it);
+      serve_request(stream, std::move(req));
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StreamScheduler::serve_request(Stream& stream, ClientRequest request) {
+  // Consume across every overlapping buffer (a request may straddle two
+  // read-ahead extents) and copy data when both sides are materialized.
+  const ByteOffset req_end = request.offset + request.length;
+  for (auto& b : stream.buffers) {
+    const ByteOffset lo = std::max(request.offset, b->offset());
+    const ByteOffset hi = std::min(req_end, b->end());
+    if (lo >= hi) continue;
+    b->consume(lo, hi - lo, sim_.now());
+    if (request.data != nullptr && b->data() != nullptr) {
+      std::memcpy(request.data + (lo - request.offset), b->data() + (lo - b->offset()),
+                  hi - lo);
+    }
+  }
+  if (req_end > stream.served_upto) stream.served_upto = req_end;
+  stream.stats.bytes_served += request.length;
+  stats_.bytes_served += request.length;
+  ++stats_.client_completions;
+
+  cpu_.execute(cpu_.complete_cost(pool_.live_buffers()),
+               [cb = std::move(request.on_complete), this]() {
+                 if (cb) cb(sim_.now());
+               });
+}
+
+void StreamScheduler::reap_buffers(Stream& stream) {
+  auto& buffers = stream.buffers;
+  buffers.erase(std::remove_if(buffers.begin(), buffers.end(),
+                               [](const std::unique_ptr<IoBuffer>& b) {
+                                 return b->fully_consumed();
+                               }),
+                buffers.end());
+  // Memory freed: streams stalled on allocation may proceed now.
+  if (!candidates_.empty()) pump();
+}
+
+void StreamScheduler::collect_garbage() {
+  const SimTime now = sim_.now();
+  const SimTime buffer_horizon =
+      now > params_.buffer_timeout ? now - params_.buffer_timeout : 0;
+  const SimTime stream_horizon =
+      now > params_.stream_timeout ? now - params_.stream_timeout : 0;
+  const SimTime pending_horizon =
+      now > params_.pending_timeout ? now - params_.pending_timeout : 0;
+
+  std::vector<StreamId> dead;
+  for (auto& [id, stream] : streams_) {
+    // Escalate starved parked requests: under memory pressure a request
+    // straddling a reclaimed/never-staged range would otherwise wait
+    // forever (the cursor only moves forward). Anything parked longer than
+    // the buffer timeout goes to the device directly.
+    for (auto it = stream->pending.begin(); it != stream->pending.end();) {
+      if (it->arrival < pending_horizon) {
+        ClientRequest req = std::move(*it);
+        it = stream->pending.erase(it);
+        ++stats_.fallback_direct_reads;
+        ++stats_.escalated_reads;
+        blockdev::BlockRequest direct;
+        direct.offset = req.offset;
+        direct.length = req.length;
+        direct.op = IoOp::kRead;
+        direct.id = req.id;
+        direct.data = req.data;
+        direct.on_complete = std::move(req.on_complete);
+        devices_[stream->device]->submit(std::move(direct));
+      } else {
+        ++it;
+      }
+    }
+    auto& buffers = stream->buffers;
+    // A buffer that overlaps a parked request must survive: the request is
+    // waiting for the rest of its range to be prefetched, and the cursor
+    // will never revisit a reclaimed range (it only moves forward).
+    const auto needed_by_pending = [&stream](const IoBuffer& b) {
+      for (const ClientRequest& r : stream->pending) {
+        if (r.offset < b.offset() + b.capacity() && b.offset() < r.offset + r.length) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (auto it = buffers.begin(); it != buffers.end();) {
+      IoBuffer& b = **it;
+      // Never reclaim in-flight reads; filled-and-idle buffers whose data
+      // nobody consumed within the timeout are the paper's leak case.
+      if (b.filled() && b.last_touch() < buffer_horizon && !needed_by_pending(b)) {
+        stats_.gc_bytes_wasted += b.valid() - b.consumed_upto();
+        ++stats_.gc_buffers_reclaimed;
+        it = buffers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const bool inert = stream->state == StreamState::kIdle ||
+                       stream->state == StreamState::kBuffered;
+    if (inert && stream->inflight == 0 && stream->pending.empty() &&
+        stream->buffers.empty() && stream->last_activity < stream_horizon) {
+      dead.push_back(id);
+    }
+  }
+  for (const StreamId id : dead) {
+    ++stats_.gc_streams_retired;
+    retire_stream(id);
+  }
+  if (!candidates_.empty()) pump();
+}
+
+void StreamScheduler::retire_stream(StreamId id) {
+  const auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  Stream& s = *it->second;
+  assert(s.inflight == 0 && s.pending.empty());
+  auto& idx = index_[s.device];
+  const auto entry = idx.find(s.range_start);
+  if (entry != idx.end() && entry->second == id) idx.erase(entry);
+  streams_.erase(it);
+  ++stats_.streams_retired;
+}
+
+}  // namespace sst::core

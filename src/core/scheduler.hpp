@@ -1,0 +1,129 @@
+// The stream scheduler (paper §4.2-4.4): maintains the dispatch set of at
+// most D streams that actively issue R-sized read-ahead requests to their
+// disks (each stream for N requests per residency, replaced by the
+// configured policy), and the buffered set of staged prefetched data that
+// rotated-out streams leave behind until clients consume it or a timeout
+// reclaims it. Client requests are served from staged buffers when
+// possible; the completion path gives priority to the issue path so the
+// disks never idle while completions drain.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "common/types.hpp"
+#include "core/buffer_pool.hpp"
+#include "core/host_cpu.hpp"
+#include "core/params.hpp"
+#include "core/replacement_policy.hpp"
+#include "core/stream.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::core {
+
+struct SchedulerStats {
+  std::uint64_t streams_created = 0;
+  std::uint64_t streams_retired = 0;
+  std::uint64_t disk_reads = 0;
+  Bytes bytes_prefetched = 0;
+  std::uint64_t client_completions = 0;
+  Bytes bytes_served = 0;
+  std::uint64_t buffer_hits = 0;        ///< requests served on arrival
+  std::uint64_t rotations = 0;          ///< residency expirations
+  std::uint64_t dispatch_stalls = 0;    ///< allocation failures at dispatch
+  std::uint64_t gc_buffers_reclaimed = 0;
+  Bytes gc_bytes_wasted = 0;            ///< staged-but-unread bytes reclaimed
+  std::uint64_t gc_streams_retired = 0;
+  std::uint64_t fallback_direct_reads = 0;  ///< served outside the cursor
+  /// Parked requests that waited past the buffer timeout and were bailed
+  /// out with a direct device read (memory-starvation escape hatch).
+  std::uint64_t escalated_reads = 0;
+};
+
+class StreamScheduler {
+ public:
+  /// Devices are indexed by position; they must outlive the scheduler. The
+  /// params must validate(). The periodic GC arms itself on first use.
+  StreamScheduler(sim::Simulator& simulator,
+                  std::vector<blockdev::BlockDevice*> devices, SchedulerParams params);
+  ~StreamScheduler();
+  StreamScheduler(const StreamScheduler&) = delete;
+  StreamScheduler& operator=(const StreamScheduler&) = delete;
+
+  /// Find the stream that claims `offset` on `device`, or nullptr.
+  [[nodiscard]] Stream* find_stream(std::uint32_t device, ByteOffset offset);
+
+  /// Create a stream from a classifier detection: read-ahead will start at
+  /// `detection_end` (data before it was already served directly).
+  Stream& create_stream(std::uint32_t device, ByteOffset range_start,
+                        ByteOffset detection_end);
+
+  /// Hand a client request to a stream (the request's offset must lie in
+  /// the stream's range). Serves it from staged data when possible,
+  /// otherwise queues it and schedules the stream for dispatch.
+  void enqueue(Stream& stream, ClientRequest request);
+
+  /// Run the issue path: fill free dispatch slots from the candidates.
+  void pump();
+
+  /// One GC sweep (also runs periodically): reclaim timed-out staged
+  /// buffers and dismantle dead streams. Exposed for tests.
+  void collect_garbage();
+
+  [[nodiscard]] const SchedulerParams& params() const { return params_; }
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
+  [[nodiscard]] const BufferPool& pool() const { return pool_; }
+  [[nodiscard]] HostCpu& cpu() { return cpu_; }
+  [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+  [[nodiscard]] std::size_t dispatched_count() const { return dispatched_; }
+  [[nodiscard]] std::size_t candidate_count() const { return candidates_.size(); }
+  /// Streams holding staged data while not dispatched (the buffered set).
+  [[nodiscard]] std::size_t buffered_count() const;
+  [[nodiscard]] const Stream* stream_by_id(StreamId id) const;
+
+ private:
+  Stream& stream_ref(StreamId id);
+  /// Move a stream into the candidate queue if not already scheduled.
+  void make_candidate(Stream& stream);
+  /// Give `stream` a dispatch slot and start its residency.
+  void dispatch(Stream& stream);
+  /// Issue the stream's next R-sized read, or rotate it out when its
+  /// residency expired / memory ran out / the device is exhausted.
+  void issue_next(Stream& stream);
+  /// End the stream's residency; staged data remains in the buffered set.
+  void rotate_out(Stream& stream);
+  void on_read_complete(StreamId stream_id, ByteOffset buffer_offset);
+  /// Serve every pending request that staged data now covers.
+  void drain_pending(Stream& stream);
+  /// Serve one request from the staged buffers covering it (CPU-charged
+  /// completion; copies data when both sides are materialized).
+  void serve_request(Stream& stream, ClientRequest request);
+  /// Release fully consumed buffers; drop empty buffered streams from the
+  /// buffered set.
+  void reap_buffers(Stream& stream);
+  void retire_stream(StreamId id);
+  void arm_gc();
+
+  sim::Simulator& sim_;
+  std::vector<blockdev::BlockDevice*> devices_;
+  SchedulerParams params_;
+  BufferPool pool_;
+  HostCpu cpu_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+
+  std::map<StreamId, std::unique_ptr<Stream>> streams_;
+  /// Per device: range_start -> stream, for claiming incoming requests.
+  std::vector<std::map<ByteOffset, StreamId>> index_;
+  std::deque<StreamId> candidates_;
+  std::size_t dispatched_ = 0;
+  std::map<std::uint32_t, ByteOffset> last_issue_pos_;
+  StreamId next_stream_id_ = 1;
+  sim::EventHandle gc_event_;
+  SchedulerStats stats_;
+};
+
+}  // namespace sst::core

@@ -1,0 +1,71 @@
+#include "core/server.hpp"
+
+#include <cassert>
+
+namespace sst::core {
+
+StorageServer::StorageServer(sim::Simulator& simulator,
+                             std::vector<blockdev::BlockDevice*> devices,
+                             SchedulerParams params)
+    : sim_(simulator),
+      devices_(devices),
+      classifier_(params.classifier),
+      scheduler_(simulator, std::move(devices), params) {}
+
+void StorageServer::submit(ClientRequest request) {
+  assert(request.device < devices_.size());
+  assert(request.length > 0);
+  assert(request.offset + request.length <= devices_[request.device]->capacity());
+  ++stats_.requests;
+
+  // Classifier regions age out alongside the scheduler's GC; piggyback a
+  // sweep on a deterministic request cadence to avoid a second timer.
+  if ((stats_.requests & 0x3FF) == 0) {
+    classifier_.collect_garbage(sim_.now());
+  }
+
+  if (request.op == IoOp::kWrite) {
+    ++stats_.direct_writes;
+    direct(std::move(request));
+    return;
+  }
+
+  if (Stream* stream = scheduler_.find_stream(request.device, request.offset)) {
+    ++stats_.sequential_requests;
+    scheduler_.enqueue(*stream, std::move(request));
+    return;
+  }
+
+  const auto detected =
+      classifier_.record(request.device, request.offset, request.length, sim_.now());
+  if (detected.has_value()) {
+    // Read-ahead starts exactly where the triggering request ends: the
+    // classifier's block-rounded end may overshoot it, and a stream whose
+    // cursor starts past the client's next read would strand that request.
+    const ByteOffset next_read = request.offset + request.length;
+    Stream& stream =
+        scheduler_.create_stream(detected->device, detected->start, next_read);
+    // The triggering request itself lies below the new stream's read-ahead
+    // start; enqueue() routes it to the device directly while the stream
+    // begins prefetching from the detection end.
+    ++stats_.sequential_requests;
+    scheduler_.enqueue(stream, std::move(request));
+    return;
+  }
+
+  ++stats_.direct_reads;
+  direct(std::move(request));
+}
+
+void StorageServer::direct(ClientRequest request) {
+  blockdev::BlockRequest io;
+  io.offset = request.offset;
+  io.length = request.length;
+  io.op = request.op;
+  io.id = request.id;
+  io.data = request.data;
+  io.on_complete = std::move(request.on_complete);
+  devices_[request.device]->submit(std::move(io));
+}
+
+}  // namespace sst::core

@@ -1,0 +1,53 @@
+// Storage-server front end (paper Fig. 9): every client request enters
+// here. Requests belonging to a known sequential stream are handed to the
+// stream scheduler; unclaimed reads are recorded by the classifier (which
+// may detect a new stream); everything else — writes and non-sequential
+// reads — is issued directly to the device.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "common/types.hpp"
+#include "core/classifier.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::core {
+
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t sequential_requests = 0;  ///< routed to a stream
+  std::uint64_t direct_reads = 0;
+  std::uint64_t direct_writes = 0;
+};
+
+class StorageServer {
+ public:
+  /// Devices must outlive the server; they are indexed by position in
+  /// `devices` (ClientRequest::device).
+  StorageServer(sim::Simulator& simulator, std::vector<blockdev::BlockDevice*> devices,
+                SchedulerParams params);
+
+  /// Entry point for client requests. The request must fit the device.
+  void submit(ClientRequest request);
+
+  [[nodiscard]] StreamScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const StreamScheduler& scheduler() const { return scheduler_; }
+  [[nodiscard]] Classifier& classifier() { return classifier_; }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+
+ private:
+  void direct(ClientRequest request);
+
+  sim::Simulator& sim_;
+  std::vector<blockdev::BlockDevice*> devices_;
+  Classifier classifier_;
+  StreamScheduler scheduler_;
+  ServerStats stats_;
+};
+
+}  // namespace sst::core

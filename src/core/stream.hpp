@@ -1,0 +1,99 @@
+// A detected sequential stream and the client requests travelling through
+// it. Owned by the StreamScheduler; this header only defines the data
+// carried per stream so tests can inspect scheduler state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/buffer_pool.hpp"
+
+namespace sst::core {
+
+/// A request as received from a client by the storage server.
+struct ClientRequest {
+  RequestId id = kInvalidRequest;
+  std::uint32_t device = 0;
+  ByteOffset offset = 0;
+  Bytes length = 0;
+  IoOp op = IoOp::kRead;
+  /// Optional destination buffer (filled when the scheduler materializes).
+  std::byte* data = nullptr;
+  std::function<void(SimTime)> on_complete;
+  SimTime arrival = 0;
+};
+
+enum class StreamState : std::uint8_t {
+  kIdle,        ///< detected, nothing staged, not scheduled
+  kCandidate,   ///< waiting for a dispatch-set slot
+  kDispatched,  ///< issuing read-ahead requests to its disk
+  kBuffered,    ///< rotated out; staged data lives in the buffered set
+};
+
+[[nodiscard]] constexpr const char* to_string(StreamState s) {
+  switch (s) {
+    case StreamState::kIdle: return "idle";
+    case StreamState::kCandidate: return "candidate";
+    case StreamState::kDispatched: return "dispatched";
+    case StreamState::kBuffered: return "buffered";
+  }
+  return "?";
+}
+
+struct StreamStats {
+  std::uint64_t client_requests = 0;
+  std::uint64_t buffer_hits = 0;     ///< served from staged data on arrival
+  std::uint64_t disk_reads = 0;      ///< read-ahead requests issued
+  Bytes bytes_served = 0;
+  Bytes bytes_prefetched = 0;
+  std::uint64_t residencies = 0;     ///< times the stream entered the dispatch set
+};
+
+struct Stream {
+  StreamId id = kInvalidStream;
+  std::uint32_t device = 0;
+  StreamState state = StreamState::kIdle;
+
+  ByteOffset range_start = 0;   ///< where the detected run began
+  ByteOffset prefetch_pos = 0;  ///< next device offset to read ahead
+  ByteOffset served_upto = 0;   ///< high-water mark of completed client data
+
+  /// Client requests waiting for data, kept sorted by offset (closed-loop
+  /// clients are nearly in order; insertion sort is O(outstanding)).
+  std::deque<ClientRequest> pending;
+  /// Staged and in-flight read-ahead buffers, ordered by offset.
+  std::vector<std::unique_ptr<IoBuffer>> buffers;
+
+  std::uint32_t issued_in_residency = 0;
+  std::uint32_t inflight = 0;  ///< disk requests outstanding
+  bool at_device_end = false;  ///< prefetch reached the end of the device
+  SimTime last_activity = 0;
+
+  /// Rewind detection: a client that wraps to the start of its region keeps
+  /// matching this stream but lands behind the prefetch cursor. A short run
+  /// of consecutive behind-the-cursor sequential reads re-aims the cursor.
+  std::uint32_t fallback_streak = 0;
+  ByteOffset last_fallback_end = 0;
+
+  StreamStats stats;
+
+  /// Requests at or beyond this offset are not this stream's (they would
+  /// restart detection). Two full read-aheads of slack tolerates clients
+  /// running ahead with multiple outstanding requests.
+  [[nodiscard]] ByteOffset match_end(Bytes read_ahead) const {
+    return prefetch_pos + 2 * read_ahead;
+  }
+
+  [[nodiscard]] Bytes staged_bytes() const {
+    Bytes total = 0;
+    for (const auto& b : buffers) total += b->valid();
+    return total;
+  }
+};
+
+}  // namespace sst::core

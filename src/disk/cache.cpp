@@ -1,0 +1,148 @@
+#include "disk/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sst::disk {
+
+SegmentCache::SegmentCache(const CacheParams& params) : read_ahead_(params.read_ahead) {
+  segment_capacity_ = bytes_to_sectors(params.segment_bytes());
+  if (params.size == 0 || params.num_segments == 0) segment_capacity_ = 0;
+  if (segment_capacity_ > 0) segments_.resize(params.num_segments);
+}
+
+std::uint32_t SegmentCache::num_segments() const {
+  return static_cast<std::uint32_t>(segments_.size());
+}
+
+bool SegmentCache::lookup(Lba lba, Lba sectors, SimTime now) {
+  if (!enabled()) {
+    ++stats_.misses;
+    return false;
+  }
+  for (auto& seg : segments_) {
+    if (!seg.valid) continue;
+    if (lba >= seg.start && lba + sectors <= seg.start + seg.length) {
+      seg.last_access = now;
+      seg.consumed = std::max(seg.consumed, lba + sectors - seg.start);
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+bool SegmentCache::contains(Lba lba, Lba sectors) const {
+  if (!enabled() || sectors == 0) return sectors == 0;
+  Lba cursor = lba;
+  const Lba end = lba + sectors;
+  // Walk forward through covering segments; the population is tiny, so the
+  // quadratic scan is cheaper than maintaining an ordered index.
+  bool advanced = true;
+  while (cursor < end && advanced) {
+    advanced = false;
+    for (const auto& seg : segments_) {
+      if (!seg.valid) continue;
+      if (cursor >= seg.start && cursor < seg.start + seg.length) {
+        cursor = seg.start + seg.length;
+        advanced = true;
+        break;
+      }
+    }
+  }
+  return cursor >= end;
+}
+
+Lba SegmentCache::fill_sectors(Lba request_sectors) const {
+  if (!enabled()) return request_sectors;
+  if (read_ahead_ == CacheParams::kFillSegment) {
+    return std::max(request_sectors, segment_capacity_);
+  }
+  const Lba ra = bytes_to_sectors(read_ahead_);
+  const Lba want = request_sectors + ra;
+  return std::max(request_sectors, std::min(want, segment_capacity_));
+}
+
+void SegmentCache::evict(Segment& seg) {
+  if (seg.valid) {
+    ++stats_.evictions;
+    if (seg.length > seg.consumed) {
+      stats_.wasted_prefetch_sectors += seg.length - seg.consumed;
+    }
+  }
+  seg = Segment{};
+}
+
+void SegmentCache::install(Lba lba, Lba sectors, Lba request_sectors, SimTime now) {
+  if (!enabled()) return;
+  // Prefer a segment this extent overwrites (stale overlapping data). Mere
+  // adjacency must NOT steal the segment: the neighbour may still hold
+  // unconsumed prefetched data the stream is about to read.
+  Segment* victim = nullptr;
+  for (auto& seg : segments_) {
+    if (seg.valid && lba >= seg.start && lba < seg.start + seg.length) {
+      victim = &seg;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    for (auto& seg : segments_) {
+      if (!seg.valid) {
+        victim = &seg;
+        break;
+      }
+    }
+  }
+  if (victim == nullptr) {
+    victim = &segments_.front();
+    for (auto& seg : segments_) {
+      if (seg.last_access < victim->last_access) victim = &seg;
+    }
+  }
+  // A continuation victim's unread prefix was still consumed data; only the
+  // unconsumed tail counts as waste.
+  evict(*victim);
+  victim->valid = true;
+  victim->start = lba;
+  victim->length = std::min(sectors, segment_capacity_);
+  victim->consumed = std::min(request_sectors, victim->length);
+  victim->last_access = now;
+  if (sectors > request_sectors) {
+    stats_.prefetched_sectors += sectors - request_sectors;
+  }
+}
+
+void SegmentCache::extend_from(Lba at, Lba sectors, SimTime now) {
+  if (!enabled() || sectors == 0) return;
+  stats_.prefetched_sectors += sectors;
+  for (auto& seg : segments_) {
+    if (!seg.valid || seg.start + seg.length != at) continue;
+    const Lba room = segment_capacity_ > seg.length ? segment_capacity_ - seg.length : 0;
+    const Lba take = std::min(room, sectors);
+    seg.length += take;
+    seg.last_access = now;
+    at += take;
+    sectors -= take;
+    break;
+  }
+  while (sectors > 0) {
+    const Lba take = std::min(sectors, segment_capacity_);
+    // install() accounts the prefetched sectors again; compensate since we
+    // already counted the whole extension above.
+    stats_.prefetched_sectors -= take;
+    install(at, take, /*request_sectors=*/0, now);
+    at += take;
+    sectors -= take;
+  }
+}
+
+void SegmentCache::invalidate(Lba lba, Lba sectors) {
+  for (auto& seg : segments_) {
+    if (!seg.valid) continue;
+    const bool overlap = lba < seg.start + seg.length && seg.start < lba + sectors;
+    if (overlap) seg = Segment{};
+  }
+}
+
+}  // namespace sst::disk

@@ -1,0 +1,85 @@
+// Segmented disk buffer cache, the structure the paper sweeps in Figures
+// 4-7. The cache is divided into `num_segments` equal segments; each holds
+// one contiguous extent (one sequential stream's locality). On a read miss
+// the firmware fills a segment with the request plus read-ahead; subsequent
+// requests that fall inside a live segment are served from cache at the
+// interface rate. When more streams than segments are active, segments are
+// reclaimed before their prefetched data is consumed — the thrash the paper
+// demonstrates. The cache tracks exactly that waste.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "disk/params.hpp"
+
+namespace sst::disk {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  Lba prefetched_sectors = 0;         ///< sectors read beyond the request
+  Lba wasted_prefetch_sectors = 0;    ///< prefetched sectors evicted unread
+};
+
+class SegmentCache {
+ public:
+  explicit SegmentCache(const CacheParams& params);
+
+  /// True when the cache has capacity (size > 0 and at least one segment).
+  [[nodiscard]] bool enabled() const { return segment_capacity_ > 0; }
+  [[nodiscard]] Lba segment_capacity_sectors() const { return segment_capacity_; }
+  [[nodiscard]] std::uint32_t num_segments() const;
+
+  /// Full-containment lookup. A hit refreshes the segment's LRU stamp and
+  /// advances its consumed watermark.
+  [[nodiscard]] bool lookup(Lba lba, Lba sectors, SimTime now);
+
+  /// Pure containment test over the union of segments — no stats, no LRU
+  /// update. Used by the service path to detect cached prefixes.
+  [[nodiscard]] bool contains(Lba lba, Lba sectors) const;
+
+  /// Sectors the firmware will read on a miss for a request of this size:
+  /// request + read-ahead, clamped to the segment capacity (and never less
+  /// than the request itself, even if it exceeds one segment).
+  [[nodiscard]] Lba fill_sectors(Lba request_sectors) const;
+
+  /// Install a freshly read extent. `request_sectors` is the demanded
+  /// prefix (counted as consumed); the rest is speculative prefetch. The
+  /// victim is a segment already covering/adjacent to the extent when one
+  /// exists, otherwise the least recently used.
+  void install(Lba lba, Lba sectors, Lba request_sectors, SimTime now);
+
+  /// Drop any cached data overlapping [lba, lba+sectors) — used on writes.
+  void invalidate(Lba lba, Lba sectors);
+
+  /// Grow the segment whose data ends exactly at `at` by `sectors` read by
+  /// the background (idle-time) prefetcher; overflow beyond the segment
+  /// capacity spills into a freshly allocated segment. All of it counts as
+  /// prefetch (no demanded prefix).
+  void extend_from(Lba at, Lba sectors, SimTime now);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Segment {
+    bool valid = false;
+    Lba start = 0;
+    Lba length = 0;     ///< valid sectors from start
+    Lba consumed = 0;   ///< high-water mark of sectors served to the host
+    SimTime last_access = 0;
+  };
+
+  /// Account eviction waste and clear the segment.
+  void evict(Segment& seg);
+
+  std::vector<Segment> segments_;
+  Lba segment_capacity_ = 0;  ///< sectors per segment
+  Bytes read_ahead_ = 0;      ///< CacheParams::kFillSegment means fill-all
+  CacheStats stats_;
+};
+
+}  // namespace sst::disk

@@ -1,0 +1,96 @@
+// The disk device model. One Disk owns a geometry, a seek model, a
+// segmented cache and a command queue, and services one command at a time
+// on the simulator:
+//
+//   submit -> queue -> [overhead | cache hit: interface transfer
+//                                | miss: seek + rotational wait + media
+//                                  read of request+read-ahead fill]
+//
+// On a miss the *request* completes when its last sector comes off the
+// platter; the remaining read-ahead keeps the mechanism busy afterwards
+// (firmware prefetch is not preempted), which is exactly what makes
+// oversized read-ahead hurt when segments thrash (paper Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "disk/cache.hpp"
+#include "disk/geometry.hpp"
+#include "disk/params.hpp"
+#include "disk/scheduler.hpp"
+#include "disk/seek_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::disk {
+
+struct DiskStats {
+  std::uint64_t commands = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  Bytes bytes_requested = 0;   ///< as asked by the host
+  Bytes bytes_from_media = 0;  ///< including read-ahead fill
+  SimTime busy_time = 0;
+  SimTime seek_time = 0;
+  SimTime rotation_time = 0;
+  SimTime media_time = 0;
+  std::size_t max_queue_depth = 0;
+
+  [[nodiscard]] double utilization(SimTime elapsed) const {
+    return elapsed ? static_cast<double>(busy_time) / static_cast<double>(elapsed) : 0.0;
+  }
+};
+
+class Disk {
+ public:
+  Disk(sim::Simulator& simulator, DiskParams params, DiskId id);
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Enqueue a command; its completion callback fires when serviced. The
+  /// extent must lie within the disk (asserted).
+  void submit(DiskCommand cmd);
+
+  [[nodiscard]] DiskId id() const { return id_; }
+  [[nodiscard]] const Geometry& geometry() const { return geometry_; }
+  [[nodiscard]] const SeekModel& seek_model() const { return seek_; }
+  [[nodiscard]] const DiskParams& params() const { return params_; }
+  [[nodiscard]] const DiskStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheStats& cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_->size() + (busy_ ? 1 : 0); }
+  [[nodiscard]] bool idle() const { return !busy_ && queue_->empty(); }
+
+  void reset_stats();
+
+ private:
+  void try_service();
+  void service(QueuedCommand qc);
+  /// Credit the idle-time background read-ahead accumulated since the disk
+  /// went idle (called when new work arrives). Real firmware keeps the head
+  /// streaming into cache segments while the drive has nothing else to do;
+  /// this is what lets a single sequential stream run at media rate.
+  void materialize_background();
+
+  struct BackgroundPrefetch {
+    bool active = false;
+    Lba next_lba = 0;
+    SimTime since = 0;
+    Lba budget_sectors = 0;
+  };
+
+  sim::Simulator& sim_;
+  DiskParams params_;
+  DiskId id_;
+  Geometry geometry_;
+  SeekModel seek_;
+  SegmentCache cache_;
+  std::unique_ptr<CommandScheduler> queue_;
+  bool busy_ = false;
+  std::uint32_t head_cylinder_ = 0;
+  Lba head_lba_ = 0;
+  BackgroundPrefetch background_;
+  DiskStats stats_;
+};
+
+}  // namespace sst::disk

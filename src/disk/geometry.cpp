@@ -1,0 +1,150 @@
+#include "disk/geometry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sst::disk {
+
+Geometry::Geometry(const GeometryParams& params) {
+  assert(params.num_zones >= 1);
+  assert(params.heads >= 1);
+  assert(params.outer_spt >= params.inner_spt && params.inner_spt > 0);
+  heads_ = params.heads;
+  rotation_period_ = static_cast<SimTime>(60.0e9 / params.rpm + 0.5);
+
+  const Lba capacity_sectors = params.capacity / kSectorSize;
+
+  // Interpolate sectors-per-track linearly from the outer to the inner zone
+  // and give every zone the same cylinder count (the last zone absorbs the
+  // rounding remainder).
+  std::vector<std::uint32_t> spt(params.num_zones);
+  std::uint64_t spt_sum = 0;
+  for (std::uint32_t z = 0; z < params.num_zones; ++z) {
+    const double frac =
+        params.num_zones == 1 ? 0.0 : static_cast<double>(z) / (params.num_zones - 1);
+    spt[z] = static_cast<std::uint32_t>(
+        params.outer_spt - frac * (params.outer_spt - params.inner_spt) + 0.5);
+    spt_sum += spt[z];
+  }
+  const std::uint64_t sectors_per_cyl_sum = spt_sum * heads_;
+  const std::uint32_t cyl_per_zone = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, capacity_sectors / sectors_per_cyl_sum));
+
+  Lba next_lba = 0;
+  std::uint32_t next_cyl = 0;
+  zones_.reserve(params.num_zones);
+  for (std::uint32_t z = 0; z < params.num_zones; ++z) {
+    Zone zone;
+    zone.first_lba = next_lba;
+    zone.first_cyl = next_cyl;
+    zone.spt = spt[z];
+    const std::uint64_t sectors_per_cyl = static_cast<std::uint64_t>(zone.spt) * heads_;
+    if (z + 1 < params.num_zones) {
+      zone.cylinders = cyl_per_zone;
+      zone.sectors = sectors_per_cyl * zone.cylinders;
+    } else {
+      // Last zone: absorb whatever is left to reach the exact capacity.
+      const Lba remaining = capacity_sectors > next_lba ? capacity_sectors - next_lba : 0;
+      zone.sectors = std::max<Lba>(remaining, sectors_per_cyl);
+      zone.cylinders = static_cast<std::uint32_t>(
+          (zone.sectors + sectors_per_cyl - 1) / sectors_per_cyl);
+    }
+    next_lba += zone.sectors;
+    next_cyl += zone.cylinders;
+    zones_.push_back(zone);
+  }
+  total_sectors_ = next_lba;
+  total_cylinders_ = next_cyl;
+
+  if (params.track_skew_sectors > 0) {
+    skew_sectors_ = params.track_skew_sectors;
+  } else {
+    // Derive the skew from the track-switch time against the fastest zone:
+    // the skew must hide the switch even where sectors pass quickest.
+    const double outer_sector_time =
+        static_cast<double>(rotation_period_) / params.outer_spt;
+    skew_sectors_ = static_cast<std::uint32_t>(
+                        std::ceil(static_cast<double>(params.track_switch) / outer_sector_time)) +
+                    1;
+  }
+}
+
+const Zone& Geometry::zone_of(Lba lba) const {
+  assert(lba < total_sectors_);
+  // Zones are few (<= tens); linear scan with early exit beats binary search
+  // at this size and keeps the code obvious.
+  for (const auto& z : zones_) {
+    if (lba < z.first_lba + z.sectors) return z;
+  }
+  return zones_.back();
+}
+
+Chs Geometry::locate(Lba lba) const {
+  const Zone& z = zone_of(lba);
+  const Lba offset = lba - z.first_lba;
+  const std::uint64_t track = offset / z.spt;
+  Chs chs;
+  chs.zone = static_cast<std::uint32_t>(&z - zones_.data());
+  chs.cylinder = z.first_cyl + static_cast<std::uint32_t>(track / heads_);
+  chs.head = static_cast<std::uint32_t>(track % heads_);
+  chs.sector = static_cast<std::uint32_t>(offset % z.spt);
+  return chs;
+}
+
+SimTime Geometry::sector_time(Lba lba) const {
+  const Zone& z = zone_of(lba);
+  return static_cast<SimTime>(static_cast<double>(rotation_period_) / z.spt + 0.5);
+}
+
+double Geometry::media_rate_bps(Lba lba) const {
+  const Zone& z = zone_of(lba);
+  return static_cast<double>(z.spt) * kSectorSize / to_seconds(rotation_period_);
+}
+
+std::uint64_t Geometry::angular_slot(Lba lba, const Zone& z, const Chs& /*chs*/) const {
+  const Lba offset = lba - z.first_lba;
+  const std::uint64_t track_in_zone = offset / z.spt;
+  const std::uint64_t sector = offset % z.spt;
+  return (sector + track_in_zone * skew_sectors_) % z.spt;
+}
+
+SimTime Geometry::rotational_wait(Lba lba, SimTime now) const {
+  const Zone& z = zone_of(lba);
+  const Chs chs = locate(lba);
+  const std::uint64_t slot = angular_slot(lba, z, chs);
+  const double target = static_cast<double>(slot) / z.spt;  // [0,1)
+  const double current =
+      static_cast<double>(now % rotation_period_) / static_cast<double>(rotation_period_);
+  double wait = target - current;
+  if (wait < 0) wait += 1.0;
+  return static_cast<SimTime>(wait * static_cast<double>(rotation_period_) + 0.5);
+}
+
+SimTime Geometry::media_time(Lba lba, Lba sectors) const {
+  double total_ns = 0.0;
+  Lba cursor = lba;
+  Lba remaining = sectors;
+  while (remaining > 0 && cursor < total_sectors_) {
+    const Zone& z = zone_of(cursor);
+    const Lba in_zone = std::min<Lba>(remaining, z.first_lba + z.sectors - cursor);
+    const double sector_ns = static_cast<double>(rotation_period_) / z.spt;
+    total_ns += static_cast<double>(in_zone) * sector_ns;
+    // Track boundary crossings stall for the skew gap.
+    const Lba offset = cursor - z.first_lba;
+    const std::uint64_t start_sector = offset % z.spt;
+    const std::uint64_t crossings = (start_sector + in_zone) / z.spt;
+    total_ns += static_cast<double>(crossings) * skew_sectors_ * sector_ns;
+    cursor += in_zone;
+    remaining -= in_zone;
+  }
+  return static_cast<SimTime>(total_ns + 0.5);
+}
+
+double Geometry::sequential_rate_bps(Lba lba) const {
+  const Zone& z = zone_of(lba);
+  const double raw = media_rate_bps(lba);
+  return raw * static_cast<double>(z.spt) / static_cast<double>(z.spt + skew_sectors_);
+}
+
+}  // namespace sst::disk

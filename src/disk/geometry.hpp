@@ -1,0 +1,81 @@
+// Zoned disk geometry: maps logical block addresses to physical position
+// (zone, cylinder, track, sector) and answers the two questions the service
+// model needs: "how long does the platter take to move n sectors under the
+// head" (media time) and "what is the angular position of sector X at time
+// T" (rotational latency). Track skew is modelled so that sequential reads
+// keep streaming across track boundaries, as real firmware arranges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "disk/params.hpp"
+
+namespace sst::disk {
+
+struct Zone {
+  Lba first_lba = 0;          ///< first LBA mapped into this zone
+  Lba sectors = 0;            ///< total sectors in the zone
+  std::uint32_t first_cyl = 0;
+  std::uint32_t cylinders = 0;
+  std::uint32_t spt = 0;      ///< sectors per track
+};
+
+/// Physical coordinates of an LBA.
+struct Chs {
+  std::uint32_t zone = 0;
+  std::uint32_t cylinder = 0;  ///< global cylinder index
+  std::uint32_t head = 0;
+  std::uint32_t sector = 0;    ///< sector index within the track
+};
+
+class Geometry {
+ public:
+  explicit Geometry(const GeometryParams& params);
+
+  [[nodiscard]] Lba total_sectors() const { return total_sectors_; }
+  [[nodiscard]] Bytes capacity_bytes() const { return sectors_to_bytes(total_sectors_); }
+  [[nodiscard]] std::uint32_t total_cylinders() const { return total_cylinders_; }
+  [[nodiscard]] SimTime rotation_period() const { return rotation_period_; }
+  [[nodiscard]] const std::vector<Zone>& zones() const { return zones_; }
+  [[nodiscard]] std::uint32_t track_skew_sectors() const { return skew_sectors_; }
+
+  [[nodiscard]] Chs locate(Lba lba) const;
+  [[nodiscard]] const Zone& zone_of(Lba lba) const;
+
+  /// Time for one sector to pass under the head in the zone containing lba.
+  [[nodiscard]] SimTime sector_time(Lba lba) const;
+
+  /// Raw media transfer rate (bytes/sec) at the zone containing lba.
+  [[nodiscard]] double media_rate_bps(Lba lba) const;
+
+  /// Time to stream `sectors` contiguous sectors starting at `lba`, with the
+  /// head already positioned on the first one. Includes skew stalls at each
+  /// track boundary (the model charges skew time instead of switch time;
+  /// skew >= switch by construction, so the platter never outruns the head).
+  [[nodiscard]] SimTime media_time(Lba lba, Lba sectors) const;
+
+  /// Rotational wait from time `now` until sector `lba` arrives under the
+  /// head, assuming seek/settle already finished. Deterministic: the platter
+  /// angle is a pure function of absolute simulated time.
+  [[nodiscard]] SimTime rotational_wait(Lba lba, SimTime now) const;
+
+  /// Effective sustained sequential rate at lba (media rate minus skew
+  /// overhead) — what an application sees on a single sequential stream.
+  [[nodiscard]] double sequential_rate_bps(Lba lba) const;
+
+ private:
+  /// Angular slot of an LBA in [0, spt): physical sector position on the
+  /// platter including accumulated per-track skew.
+  [[nodiscard]] std::uint64_t angular_slot(Lba lba, const Zone& z, const Chs& chs) const;
+
+  std::vector<Zone> zones_;
+  Lba total_sectors_ = 0;
+  std::uint32_t total_cylinders_ = 0;
+  std::uint32_t heads_ = 1;
+  std::uint32_t skew_sectors_ = 0;
+  SimTime rotation_period_ = 0;
+};
+
+}  // namespace sst::disk

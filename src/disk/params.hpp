@@ -1,0 +1,78 @@
+// Disk model parameters. Defaults describe a Western Digital Caviar SE
+// WD800JD-class drive — the disk used in the paper's real testbed: 80 GB,
+// 7200 RPM, ~8.9 ms average seek, 8 MB segmented cache, SATA-150 interface,
+// ~55-60 MB/s application-level sequential throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace sst::disk {
+
+enum class SchedulerKind : std::uint8_t {
+  kFcfs,      ///< service in arrival order (commodity default)
+  kElevator,  ///< LOOK: sweep across LBAs, reversing at the edges
+  kSstf,      ///< shortest-seek-time-first (by LBA distance)
+};
+
+[[nodiscard]] constexpr const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kFcfs: return "fcfs";
+    case SchedulerKind::kElevator: return "elevator";
+    case SchedulerKind::kSstf: return "sstf";
+  }
+  return "?";
+}
+
+struct GeometryParams {
+  Bytes capacity = 80 * GiB;
+  std::uint32_t rpm = 7200;
+  std::uint32_t heads = 2;       ///< recording surfaces
+  std::uint32_t num_zones = 16;  ///< zoned bit recording bands
+  std::uint32_t outer_spt = 1008;  ///< sectors per track, outermost zone
+  std::uint32_t inner_spt = 620;   ///< sectors per track, innermost zone
+  /// Angular skew (in sectors) applied per track boundary so that a
+  /// sequential transfer keeps streaming after a head/cylinder switch.
+  /// Chosen >= track-switch time by validate_and_derive().
+  std::uint32_t track_skew_sectors = 0;  ///< 0 = derive from track_switch
+  SimTime track_switch = usec(800);      ///< head settle on track change
+};
+
+struct SeekParams {
+  SimTime single_cylinder = usec(800);  ///< track-to-track
+  SimTime average = usec(8900);         ///< over uniform random pairs
+  SimTime full_stroke = usec(21000);
+};
+
+struct CacheParams {
+  Bytes size = 8 * MiB;
+  std::uint32_t num_segments = 32;
+  /// Extra sectors read beyond the request on a miss, expressed in bytes.
+  /// The fill is clamped to the segment capacity (size / num_segments).
+  /// kFillSegment means "always fill the whole segment" (firmware default).
+  Bytes read_ahead = kFillSegment;
+  static constexpr Bytes kFillSegment = ~Bytes{0};
+
+  [[nodiscard]] Bytes segment_bytes() const {
+    return num_segments ? size / num_segments : 0;
+  }
+};
+
+struct DiskParams {
+  std::string model = "WD800JD";
+  GeometryParams geometry;
+  SeekParams seek;
+  CacheParams cache;
+  /// Host-interface (SATA) transfer rate; cache hits stream at this rate.
+  double interface_rate_bps = 150e6;
+  /// Fixed per-command firmware/processing overhead.
+  SimTime command_overhead = usec(30);
+  SchedulerKind scheduler = SchedulerKind::kFcfs;
+
+  /// The paper's drive. 80 GB, 8 MB cache in 32 segments.
+  [[nodiscard]] static DiskParams wd800jd() { return DiskParams{}; }
+};
+
+}  // namespace sst::disk

@@ -1,0 +1,77 @@
+#include "disk/scheduler.hpp"
+
+#include <cassert>
+
+namespace sst::disk {
+
+void FcfsScheduler::push(QueuedCommand qc) { queue_.push_back(std::move(qc)); }
+
+std::optional<QueuedCommand> FcfsScheduler::pop_next(Lba /*head_lba*/) {
+  if (queue_.empty()) return std::nullopt;
+  QueuedCommand qc = std::move(queue_.front());
+  queue_.pop_front();
+  return qc;
+}
+
+void ElevatorScheduler::push(QueuedCommand qc) {
+  const Lba key = qc.cmd.lba;
+  queue_.emplace(key, std::move(qc));
+}
+
+std::optional<QueuedCommand> ElevatorScheduler::pop_next(Lba head_lba) {
+  if (queue_.empty()) return std::nullopt;
+  if (ascending_) {
+    auto it = queue_.lower_bound(head_lba);
+    if (it == queue_.end()) {
+      ascending_ = false;
+      it = std::prev(queue_.end());
+    }
+    QueuedCommand qc = std::move(it->second);
+    queue_.erase(it);
+    return qc;
+  }
+  auto it = queue_.upper_bound(head_lba);
+  if (it == queue_.begin()) {
+    ascending_ = true;
+    it = queue_.begin();
+  } else {
+    it = std::prev(it);
+  }
+  QueuedCommand qc = std::move(it->second);
+  queue_.erase(it);
+  return qc;
+}
+
+void SstfScheduler::push(QueuedCommand qc) {
+  const Lba key = qc.cmd.lba;
+  queue_.emplace(key, std::move(qc));
+}
+
+std::optional<QueuedCommand> SstfScheduler::pop_next(Lba head_lba) {
+  if (queue_.empty()) return std::nullopt;
+  auto above = queue_.lower_bound(head_lba);
+  auto chosen = queue_.end();
+  if (above != queue_.end()) chosen = above;
+  if (above != queue_.begin()) {
+    auto below = std::prev(above);
+    if (chosen == queue_.end() ||
+        head_lba - below->first < chosen->first - head_lba) {
+      chosen = below;
+    }
+  }
+  assert(chosen != queue_.end());
+  QueuedCommand qc = std::move(chosen->second);
+  queue_.erase(chosen);
+  return qc;
+}
+
+std::unique_ptr<CommandScheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs: return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::kElevator: return std::make_unique<ElevatorScheduler>();
+    case SchedulerKind::kSstf: return std::make_unique<SstfScheduler>();
+  }
+  return std::make_unique<FcfsScheduler>();
+}
+
+}  // namespace sst::disk

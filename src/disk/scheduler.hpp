@@ -1,0 +1,83 @@
+// On-disk command queue scheduling policies. Commodity drives of the
+// paper's era service mostly in arrival order (FCFS); LOOK and SSTF are
+// provided for the ablation benches and the oskernel baselines reuse the
+// same ordering logic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "disk/params.hpp"
+
+namespace sst::disk {
+
+/// A command as submitted to a disk: sector extent + operation. The
+/// completion callback receives the simulated finish time.
+struct DiskCommand {
+  Lba lba = 0;
+  Lba sectors = 0;
+  IoOp op = IoOp::kRead;
+  RequestId id = kInvalidRequest;
+  std::function<void(SimTime)> on_complete;
+};
+
+struct QueuedCommand {
+  DiskCommand cmd;
+  SimTime enqueued = 0;
+};
+
+/// Strategy interface for picking the next command to service.
+class CommandScheduler {
+ public:
+  virtual ~CommandScheduler() = default;
+  virtual void push(QueuedCommand qc) = 0;
+  /// Remove and return the next command given the current head position.
+  virtual std::optional<QueuedCommand> pop_next(Lba head_lba) = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+};
+
+/// First-come first-served.
+class FcfsScheduler final : public CommandScheduler {
+ public:
+  void push(QueuedCommand qc) override;
+  std::optional<QueuedCommand> pop_next(Lba head_lba) override;
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+ private:
+  std::deque<QueuedCommand> queue_;
+};
+
+/// LOOK elevator: sweeps upward through LBAs, reverses when nothing lies
+/// ahead in the sweep direction.
+class ElevatorScheduler final : public CommandScheduler {
+ public:
+  void push(QueuedCommand qc) override;
+  std::optional<QueuedCommand> pop_next(Lba head_lba) override;
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+ private:
+  std::multimap<Lba, QueuedCommand> queue_;
+  bool ascending_ = true;
+};
+
+/// Shortest seek (LBA distance) first. Starvation-prone; included for the
+/// ablation study, not as a recommended default.
+class SstfScheduler final : public CommandScheduler {
+ public:
+  void push(QueuedCommand qc) override;
+  std::optional<QueuedCommand> pop_next(Lba head_lba) override;
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+ private:
+  std::multimap<Lba, QueuedCommand> queue_;
+};
+
+[[nodiscard]] std::unique_ptr<CommandScheduler> make_scheduler(SchedulerKind kind);
+
+}  // namespace sst::disk

@@ -1,0 +1,38 @@
+#include "disk/seek_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sst::disk {
+
+SeekModel::SeekModel(const SeekParams& params, std::uint32_t total_cylinders)
+    : total_cylinders_(std::max<std::uint32_t>(total_cylinders, 2)) {
+  assert(params.single_cylinder <= params.average && params.average <= params.full_stroke);
+
+  // Calibration: the mean absolute distance between two uniform random
+  // cylinders is C/3, so we pin the sqrt curve to pass through
+  // (1, single_cylinder) and (C/3, average), then run a straight line from
+  // the knee to (C, full_stroke).
+  knee_ = std::max<std::uint32_t>(1, total_cylinders_ / 3);
+  a_ns_ = static_cast<double>(params.single_cylinder);
+  const double avg = static_cast<double>(params.average);
+  b_ns_ = (avg - a_ns_) / std::sqrt(static_cast<double>(knee_));
+  if (b_ns_ < 0) b_ns_ = 0;
+
+  c_ns_ = avg;
+  const double full = static_cast<double>(params.full_stroke);
+  const double span = static_cast<double>(total_cylinders_ - knee_);
+  slope_ns_ = span > 0 ? (full - avg) / span : 0.0;
+  if (slope_ns_ < 0) slope_ns_ = 0;
+}
+
+SimTime SeekModel::seek_time(std::uint32_t distance) const {
+  if (distance == 0) return 0;
+  if (distance <= knee_) {
+    return static_cast<SimTime>(a_ns_ + b_ns_ * std::sqrt(static_cast<double>(distance)) + 0.5);
+  }
+  return static_cast<SimTime>(c_ns_ + slope_ns_ * static_cast<double>(distance - knee_) + 0.5);
+}
+
+}  // namespace sst::disk

@@ -1,0 +1,38 @@
+// Seek time model calibrated from three datasheet numbers: track-to-track,
+// average (uniform random pairs), and full-stroke. Short seeks follow the
+// classic a + b*sqrt(d) acceleration-limited curve; long seeks are linear
+// (coast phase), continuous at the knee. See Ruemmler & Wilkes, "An
+// Introduction to Disk Drive Modeling" (IEEE Computer, 1994).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "disk/params.hpp"
+
+namespace sst::disk {
+
+class SeekModel {
+ public:
+  SeekModel(const SeekParams& params, std::uint32_t total_cylinders);
+
+  /// Seek time for a cylinder distance. Zero distance costs nothing (head
+  /// settle for same-cylinder head switches is covered by track skew).
+  [[nodiscard]] SimTime seek_time(std::uint32_t distance) const;
+
+  [[nodiscard]] SimTime seek_between(std::uint32_t from_cyl, std::uint32_t to_cyl) const {
+    return seek_time(from_cyl >= to_cyl ? from_cyl - to_cyl : to_cyl - from_cyl);
+  }
+
+  [[nodiscard]] std::uint32_t knee_cylinders() const { return knee_; }
+
+ private:
+  std::uint32_t total_cylinders_;
+  std::uint32_t knee_;     ///< distance where sqrt law hands over to linear
+  double a_ns_;            ///< sqrt-law intercept
+  double b_ns_;            ///< sqrt-law coefficient
+  double c_ns_;            ///< linear intercept
+  double slope_ns_;        ///< linear slope per cylinder
+};
+
+}  // namespace sst::disk

@@ -1,0 +1,86 @@
+#include "experiment/runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::experiment {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  sim::Simulator simulator;
+  node::StorageNode node(simulator, config.node);
+
+  std::unique_ptr<core::StorageServer> server;
+  if (config.scheduler.has_value()) {
+    server = node.make_server(*config.scheduler);
+  }
+
+  workload::RequestSink sink;
+  if (server) {
+    sink = [srv = server.get()](core::ClientRequest req) { srv->submit(std::move(req)); };
+  } else {
+    auto devices = node.devices();
+    sink = [devices](core::ClientRequest req) {
+      blockdev::BlockRequest io;
+      io.offset = req.offset;
+      io.length = req.length;
+      io.op = req.op;
+      io.id = req.id;
+      io.data = req.data;
+      io.on_complete = std::move(req.on_complete);
+      devices.at(req.device)->submit(std::move(io));
+    };
+  }
+
+  std::unique_ptr<net::RemoteSink> remote;
+  if (config.network.has_value()) {
+    remote = std::make_unique<net::RemoteSink>(simulator, std::move(sink), *config.network);
+    sink = remote->sink();
+  }
+
+  std::vector<std::unique_ptr<workload::StreamClient>> clients;
+  clients.reserve(config.streams.size());
+  for (const auto& spec : config.streams) {
+    assert(spec.device < node.device_count());
+    clients.push_back(std::make_unique<workload::StreamClient>(
+        simulator, sink, spec, node.device(spec.device).capacity()));
+  }
+  for (auto& client : clients) client->start();
+
+  simulator.run_until(config.warmup);
+  for (auto& client : clients) client->begin_measurement();
+  const SimTime t0 = simulator.now();
+  const SimTime t1 = t0 + config.measure;
+  simulator.run_until(t1);
+
+  ExperimentResult result;
+  double min_mbps = 1e18;
+  double max_mbps = 0.0;
+  result.stream_mbps.reserve(clients.size());
+  for (const auto& client : clients) {
+    const auto& cs = client->stats();
+    const double mbps = cs.throughput.mbps(t0, t1);
+    result.stream_mbps.push_back(mbps);
+    result.total_mbps += mbps;
+    min_mbps = std::min(min_mbps, mbps);
+    max_mbps = std::max(max_mbps, mbps);
+    result.requests_completed += cs.completed;
+    result.latency.merge(cs.latency);
+  }
+  result.min_stream_mbps = clients.empty() ? 0.0 : min_mbps;
+  result.max_stream_mbps = max_mbps;
+  result.disk_totals = node.disk_totals();
+  if (server) {
+    result.scheduler_stats = server->scheduler().stats();
+    result.server_stats = server->stats();
+    result.host_cpu_utilization =
+        server->scheduler().cpu().stats().utilization(t1);
+    result.peak_buffer_memory = server->scheduler().pool().stats().peak_committed;
+  }
+  return result;
+}
+
+}  // namespace sst::experiment

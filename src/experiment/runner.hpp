@@ -1,0 +1,59 @@
+// Shared experiment harness: builds a simulated storage node, optionally
+// fronts it with the stream-scheduler server, attaches closed-loop stream
+// clients, runs warm-up + measurement windows on the event simulator, and
+// aggregates the numbers every paper figure needs (aggregate and per-disk
+// MB/s, response-time distribution, cache/scheduler counters).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "net/network.hpp"
+#include "core/scheduler.hpp"
+#include "core/server.hpp"
+#include "node/storage_node.hpp"
+#include "stats/histogram.hpp"
+#include "workload/generator.hpp"
+
+namespace sst::experiment {
+
+struct ExperimentConfig {
+  node::NodeConfig node;
+  /// Present = route requests through the StorageServer (the paper's
+  /// system); absent = clients hit the block devices directly (baseline).
+  std::optional<core::SchedulerParams> scheduler;
+  /// Present = clients reach the node over a simulated network link (the
+  /// paper's GigE testbed; response-time measurements then include the
+  /// network hops, as in §5.5). Absent = clients are local.
+  std::optional<net::LinkParams> network;
+  std::vector<workload::StreamSpec> streams;
+  SimTime warmup = sec(4);
+  SimTime measure = sec(20);
+};
+
+struct ExperimentResult {
+  double total_mbps = 0.0;
+  double min_stream_mbps = 0.0;
+  double max_stream_mbps = 0.0;
+  /// Per-stream throughput, in the order of ExperimentConfig::streams.
+  std::vector<double> stream_mbps;
+  std::uint64_t requests_completed = 0;
+  stats::LatencyHistogram latency;  ///< merged over all streams
+  node::NodeDiskTotals disk_totals;
+  core::SchedulerStats scheduler_stats;  ///< zeros when no scheduler
+  core::ServerStats server_stats;        ///< zeros when no scheduler
+  double host_cpu_utilization = 0.0;
+  Bytes peak_buffer_memory = 0;
+
+  [[nodiscard]] double per_disk_mbps(std::uint32_t disks) const {
+    return disks ? total_mbps / disks : 0.0;
+  }
+};
+
+/// Run one configuration to completion. Deterministic: same config, same
+/// result.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace sst::experiment

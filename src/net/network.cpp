@@ -1,0 +1,52 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace sst::net {
+
+void Channel::send(Bytes payload_bytes, std::function<void()> deliver) {
+  const Bytes wire_bytes = payload_bytes + params_.header_bytes;
+  const auto serialize = static_cast<SimTime>(
+      static_cast<double>(wire_bytes) / params_.bandwidth_bps * 1e9 + 0.5);
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  const SimTime sent = start + params_.per_message_overhead + serialize;
+  busy_until_ = sent;
+  ++stats_.messages;
+  stats_.bytes_transferred += wire_bytes;
+  stats_.busy_time += sent - start;
+  // Arrival = serialization done + propagation + receive-side processing.
+  const SimTime arrival = sent + params_.latency + params_.per_message_overhead;
+  sim_.schedule_at(arrival, std::move(deliver));
+}
+
+RemoteSink::RemoteSink(sim::Simulator& simulator, workload::RequestSink server,
+                       LinkParams params)
+    : sim_(simulator),
+      server_(std::move(server)),
+      params_(params),
+      uplink_(simulator, params),
+      downlink_(simulator, params) {}
+
+workload::RequestSink RemoteSink::sink() {
+  return [this](core::ClientRequest req) {
+    // Request descriptors are small; write payloads travel uplink.
+    const Bytes up_payload = req.op == IoOp::kWrite ? req.length : 0;
+    const Bytes down_payload =
+        (req.op == IoOp::kRead && params_.responses_carry_data) ? req.length : 0;
+
+    // Splice the downlink hop into the completion path.
+    req.on_complete = [this, down_payload,
+                       cb = std::move(req.on_complete)](SimTime) mutable {
+      downlink_.send(down_payload, [cb = std::move(cb), this]() {
+        if (cb) cb(sim_.now());
+      });
+    };
+
+    // Carry the whole request across the uplink, then hand to the server.
+    auto boxed = std::make_shared<core::ClientRequest>(std::move(req));
+    uplink_.send(up_payload, [this, boxed]() { server_(std::move(*boxed)); });
+  };
+}
+
+}  // namespace sst::net

@@ -1,0 +1,85 @@
+// Client-to-storage-node network model. The paper's testbed connects
+// client machines to the storage node over 1 Gbit/s Ethernet with TCP/IP,
+// and §5 notes that "responses to and from storage nodes do not include
+// the data of read/write requests" so the network never bottlenecks the
+// experiment. This model reproduces that setup: a full-duplex link with a
+// propagation delay, a per-message processing overhead, and per-direction
+// serialization at the configured bandwidth; response payloads are
+// optional exactly like the paper's.
+//
+// RemoteSink wraps any RequestSink (typically StorageServer::submit) so
+// that generators experience client-side response times: request message
+// uplink -> server processing -> response downlink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace sst::net {
+
+struct LinkParams {
+  /// One-way propagation + switching latency.
+  SimTime latency = usec(50);
+  /// Link bandwidth per direction (1 GbE minus framing ~ 117 MB/s).
+  double bandwidth_bps = 117e6;
+  /// Per-message host processing (TCP/IP stack, interrupt) on each side.
+  SimTime per_message_overhead = usec(20);
+  /// Bytes of protocol header per message (request descriptors, acks).
+  Bytes header_bytes = 128;
+  /// When true, read responses carry their payload across the link; the
+  /// paper's evaluation disables this so the network is not a bottleneck.
+  bool responses_carry_data = false;
+};
+
+struct LinkStats {
+  std::uint64_t messages = 0;
+  Bytes bytes_transferred = 0;
+  SimTime busy_time = 0;  ///< aggregate over both directions
+};
+
+/// One direction of a full-duplex link: serializes message transmissions.
+class Channel {
+ public:
+  Channel(sim::Simulator& simulator, const LinkParams& params)
+      : sim_(simulator), params_(params) {}
+
+  /// Deliver `payload_bytes` (+ header) to the far side; `deliver` fires at
+  /// arrival time.
+  void send(Bytes payload_bytes, std::function<void()> deliver);
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  LinkParams params_;
+  SimTime busy_until_ = 0;
+  LinkStats stats_;
+};
+
+/// Wraps a server-side RequestSink behind a simulated network link. All
+/// clients sharing a RemoteSink share its two channels (one per direction),
+/// like client machines behind one NIC.
+class RemoteSink {
+ public:
+  RemoteSink(sim::Simulator& simulator, workload::RequestSink server, LinkParams params);
+
+  /// The sink to hand to generators (issues travel uplink; completions
+  /// return downlink).
+  [[nodiscard]] workload::RequestSink sink();
+
+  [[nodiscard]] const LinkStats& uplink_stats() const { return uplink_.stats(); }
+  [[nodiscard]] const LinkStats& downlink_stats() const { return downlink_.stats(); }
+
+ private:
+  sim::Simulator& sim_;
+  workload::RequestSink server_;
+  LinkParams params_;
+  Channel uplink_;
+  Channel downlink_;
+};
+
+}  // namespace sst::net

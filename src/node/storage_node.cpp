@@ -1,0 +1,66 @@
+#include "node/storage_node.hpp"
+
+#include <cassert>
+
+namespace sst::node {
+
+StorageNode::StorageNode(sim::Simulator& simulator, NodeConfig config)
+    : sim_(simulator), config_(config) {
+  assert(config_.num_controllers >= 1);
+  assert(config_.disks_per_controller >= 1);
+  controllers_.reserve(config_.num_controllers);
+  devices_.reserve(config_.total_disks());
+  for (std::uint32_t c = 0; c < config_.num_controllers; ++c) {
+    auto controller = std::make_unique<ctrl::Controller>(sim_, config_.controller, c);
+    for (std::uint32_t d = 0; d < config_.disks_per_controller; ++d) {
+      const std::uint32_t channel = controller->attach_disk(config_.disk);
+      const std::uint64_t dev_seed =
+          config_.seed + static_cast<std::uint64_t>(c) * config_.disks_per_controller + d;
+      devices_.push_back(
+          std::make_unique<blockdev::SimBlockDevice>(*controller, channel, dev_seed));
+    }
+    controllers_.push_back(std::move(controller));
+  }
+}
+
+std::vector<blockdev::BlockDevice*> StorageNode::devices() {
+  std::vector<blockdev::BlockDevice*> out;
+  out.reserve(devices_.size());
+  for (auto& d : devices_) out.push_back(d.get());
+  return out;
+}
+
+disk::Disk& StorageNode::disk_of(std::size_t index) {
+  assert(index < devices_.size());
+  const std::size_t c = index / config_.disks_per_controller;
+  const std::size_t d = index % config_.disks_per_controller;
+  return controllers_.at(c)->disk(static_cast<std::uint32_t>(d));
+}
+
+std::unique_ptr<core::StorageServer> StorageNode::make_server(core::SchedulerParams params) {
+  return std::make_unique<core::StorageServer>(sim_, devices(), params);
+}
+
+NodeDiskTotals StorageNode::disk_totals() const {
+  NodeDiskTotals totals;
+  for (const auto& controller : controllers_) {
+    for (std::uint32_t d = 0; d < controller->disk_count(); ++d) {
+      const disk::Disk& disk = controller->disk(d);
+      totals.bytes_requested += disk.stats().bytes_requested;
+      totals.bytes_from_media += disk.stats().bytes_from_media;
+      totals.commands += disk.stats().commands;
+      totals.cache_hits += disk.cache_stats().hits;
+      totals.cache_misses += disk.cache_stats().misses;
+      totals.wasted_prefetch_sectors += disk.cache_stats().wasted_prefetch_sectors;
+      totals.seek_time += disk.stats().seek_time;
+      totals.busy_time += disk.stats().busy_time;
+    }
+  }
+  return totals;
+}
+
+void StorageNode::reset_stats() {
+  for (auto& controller : controllers_) controller->reset_stats();
+}
+
+}  // namespace sst::node

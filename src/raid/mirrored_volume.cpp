@@ -1,0 +1,69 @@
+#include "raid/mirrored_volume.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace sst::raid {
+
+namespace {
+constexpr Bytes kAffinityRegion = 64 * MiB;
+}
+
+MirroredVolume::MirroredVolume(std::vector<blockdev::BlockDevice*> members, ReadPolicy policy)
+    : members_(std::move(members)), policy_(policy) {
+  assert(!members_.empty());
+  capacity_ = members_.front()->capacity();
+  for (const auto* m : members_) capacity_ = std::min(capacity_, m->capacity());
+}
+
+std::string MirroredVolume::name() const {
+  return "raid1[" + std::to_string(members_.size()) + "]";
+}
+
+std::size_t MirroredVolume::route_read(ByteOffset offset) {
+  if (policy_ == ReadPolicy::kRoundRobin) {
+    const std::size_t pick = next_;
+    next_ = (next_ + 1) % members_.size();
+    return pick;
+  }
+  // Region-affine: stable mapping keeps one stream's reads on one replica.
+  const std::uint64_t region = offset / kAffinityRegion;
+  // SplitMix-style scramble so neighbouring regions spread across replicas.
+  std::uint64_t x = region * 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 29;
+  return static_cast<std::size_t>(x % members_.size());
+}
+
+void MirroredVolume::submit(blockdev::BlockRequest request) {
+  assert(request.length > 0);
+  assert(request.offset + request.length <= capacity_);
+  if (request.op == IoOp::kRead) {
+    members_[route_read(request.offset)]->submit(std::move(request));
+    return;
+  }
+  // Write: replicate; complete at the slowest replica.
+  struct Join {
+    std::size_t remaining = 0;
+    SimTime last = 0;
+    std::function<void(SimTime)> cb;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = members_.size();
+  join->cb = std::move(request.on_complete);
+  for (auto* member : members_) {
+    blockdev::BlockRequest copy;
+    copy.offset = request.offset;
+    copy.length = request.length;
+    copy.op = IoOp::kWrite;
+    copy.id = request.id;
+    copy.data = request.data;
+    copy.on_complete = [join](SimTime t) {
+      join->last = std::max(join->last, t);
+      if (--join->remaining == 0 && join->cb) join->cb(join->last);
+    };
+    member->submit(std::move(copy));
+  }
+}
+
+}  // namespace sst::raid

@@ -1,0 +1,44 @@
+// RAID-1 mirrored volume over N block devices. Reads are routed to one
+// replica chosen by a read policy; writes fan out to every replica and
+// complete when the slowest lands. For multi-stream sequential workloads
+// the interesting read policy is stream-affine routing (stable per-region
+// assignment), which preserves per-disk sequentiality — round-robin
+// routing destroys it, exactly like a too-small disk-cache segment count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+
+namespace sst::raid {
+
+enum class ReadPolicy : std::uint8_t {
+  kRoundRobin,     ///< rotate replicas per request
+  kRegionAffine,   ///< replica = hash of the request's 64 MB region
+};
+
+class MirroredVolume final : public blockdev::BlockDevice {
+ public:
+  /// Devices must outlive the volume; capacity is the smallest member's.
+  MirroredVolume(std::vector<blockdev::BlockDevice*> members, ReadPolicy policy);
+
+  void submit(blockdev::BlockRequest request) override;
+
+  [[nodiscard]] Bytes capacity() const override { return capacity_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+
+  /// Which replica a read at `offset` goes to (exposed for tests).
+  [[nodiscard]] std::size_t route_read(ByteOffset offset);
+
+ private:
+  std::vector<blockdev::BlockDevice*> members_;
+  ReadPolicy policy_;
+  Bytes capacity_ = 0;
+  std::size_t next_ = 0;
+};
+
+}  // namespace sst::raid

@@ -1,0 +1,82 @@
+#include "raid/striped_volume.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace sst::raid {
+
+StripedVolume::StripedVolume(std::vector<blockdev::BlockDevice*> members, Bytes stripe_unit)
+    : members_(std::move(members)), stripe_unit_(stripe_unit) {
+  assert(!members_.empty());
+  assert(stripe_unit_ > 0 && stripe_unit_ % kSectorSize == 0);
+  Bytes min_member = members_.front()->capacity();
+  for (const auto* m : members_) min_member = std::min(min_member, m->capacity());
+  // Whole stripes only.
+  const Bytes member_stripes = min_member / stripe_unit_;
+  capacity_ = member_stripes * stripe_unit_ * members_.size();
+}
+
+std::string StripedVolume::name() const {
+  return "raid0[" + std::to_string(members_.size()) + "x" +
+         std::to_string(stripe_unit_ / KiB) + "K]";
+}
+
+std::pair<std::size_t, ByteOffset> StripedVolume::locate(ByteOffset offset) const {
+  const std::uint64_t stripe = offset / stripe_unit_;
+  const Bytes within = offset % stripe_unit_;
+  const std::size_t member = stripe % members_.size();
+  const std::uint64_t member_stripe = stripe / members_.size();
+  return {member, member_stripe * stripe_unit_ + within};
+}
+
+void StripedVolume::submit(blockdev::BlockRequest request) {
+  assert(request.length > 0);
+  assert(request.offset % kSectorSize == 0 && request.length % kSectorSize == 0);
+  assert(request.offset + request.length <= capacity_);
+
+  // Split into per-stripe-unit fragments; the client completion fires when
+  // the last fragment lands.
+  struct Join {
+    std::size_t remaining = 0;
+    SimTime last = 0;
+    std::function<void(SimTime)> cb;
+  };
+  auto join = std::make_shared<Join>();
+  join->cb = std::move(request.on_complete);
+
+  ByteOffset cursor = request.offset;
+  Bytes remaining = request.length;
+  std::vector<blockdev::BlockRequest> fragments;
+  while (remaining > 0) {
+    const auto [member, member_off] = locate(cursor);
+    const Bytes in_unit = stripe_unit_ - (cursor % stripe_unit_);
+    const Bytes len = std::min<Bytes>(remaining, in_unit);
+    blockdev::BlockRequest frag;
+    frag.offset = member_off;
+    frag.length = len;
+    frag.op = request.op;
+    frag.id = request.id;
+    frag.data = request.data == nullptr ? nullptr : request.data + (cursor - request.offset);
+    frag.on_complete = [join](SimTime t) {
+      join->last = std::max(join->last, t);
+      if (--join->remaining == 0 && join->cb) join->cb(join->last);
+    };
+    fragments.push_back(std::move(frag));
+    // Record the member alongside via parallel index computation below.
+    cursor += len;
+    remaining -= len;
+  }
+  join->remaining = fragments.size();
+  // Re-walk to dispatch (locate() is cheap); done in a second pass so that
+  // join->remaining is final before any completion can fire.
+  cursor = request.offset;
+  for (auto& frag : fragments) {
+    const auto [member, member_off] = locate(cursor);
+    (void)member_off;
+    cursor += frag.length;
+    members_[member]->submit(std::move(frag));
+  }
+}
+
+}  // namespace sst::raid

@@ -1,0 +1,54 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace sst::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto state = std::make_shared<detail::EventState>();
+  state->live_count = live_count_;
+  ++*live_count_;
+  queue_.push(Event{when, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+void Simulator::drop_dead_events() {
+  while (!queue_.empty() && !queue_.top().state->alive) {
+    queue_.pop();
+  }
+}
+
+bool Simulator::step() {
+  drop_dead_events();
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.when >= now_);
+  now_ = ev.when;
+  ev.state->alive = false;
+  --*live_count_;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t ran = 0;
+  for (;;) {
+    drop_dead_events();
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    step();
+    ++ran;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t ran = 0;
+  while (step()) ++ran;
+  return ran;
+}
+
+}  // namespace sst::sim

@@ -1,0 +1,109 @@
+// Discrete-event simulation core.
+//
+// The whole I/O hierarchy (disks, controllers, the host scheduler, workload
+// generators) is simulated as callbacks scheduled on one Simulator. Events
+// at equal timestamps fire in scheduling order (a monotone sequence number
+// breaks ties), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sst::sim {
+
+namespace detail {
+/// State shared between the queue entry and any outstanding handle. The
+/// live-event counter lives here too so cancellation from a handle keeps
+/// Simulator::pending_events() exact even though the entry is popped lazily.
+struct EventState {
+  bool alive = true;
+  std::shared_ptr<std::size_t> live_count;
+};
+}  // namespace detail
+
+/// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+/// stays in the queue but its callback is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True while the event has neither fired nor been cancelled.
+  [[nodiscard]] bool pending() const { return state_ && state_->alive; }
+
+  void cancel() {
+    if (state_ && state_->alive) {
+      state_->alive = false;
+      --*state_->live_count;
+    }
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<detail::EventState> state) : state_(std::move(state)) {}
+  std::shared_ptr<detail::EventState> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() : live_count_(std::make_shared<std::size_t>(0)) {}
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` nanoseconds from now.
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the event queue drains or `deadline` is reached, whichever
+  /// comes first. Events scheduled exactly at the deadline still run.
+  /// Returns the number of events executed. The clock ends at `deadline`
+  /// even if the queue drains earlier, so consecutive run_until calls see
+  /// contiguous time.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Run until the event queue drains completely.
+  std::uint64_t run();
+
+  /// Execute exactly one event if any is pending. Returns false when empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return *live_count_ == 0; }
+  /// Scheduled-and-not-cancelled events still waiting to fire.
+  [[nodiscard]] std::size_t pending_events() const { return *live_count_; }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<detail::EventState> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops cancelled events off the top so step()/run_until see live ones.
+  void drop_dead_events();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::shared_ptr<std::size_t> live_count_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sst::sim

@@ -1,0 +1,88 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sst::stats {
+
+namespace {
+// Bucket boundaries: bucket i covers [kBase * kGrowth^i, kBase * kGrowth^(i+1)).
+constexpr double kBaseNs = 1'000.0;  // 1us
+constexpr double kGrowth = 1.12;
+const double kLogGrowth = std::log(kGrowth);
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_for(SimTime latency) {
+  if (latency < static_cast<SimTime>(kBaseNs)) return 0;
+  const double ratio = static_cast<double>(latency) / kBaseNs;
+  const auto idx = static_cast<std::size_t>(std::log(ratio) / kLogGrowth) + 1;
+  return std::min(idx, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_lower_ns(std::size_t index) {
+  if (index == 0) return 0.0;
+  return kBaseNs * std::pow(kGrowth, static_cast<double>(index - 1));
+}
+
+double LatencyHistogram::bucket_upper_ns(std::size_t index) {
+  return kBaseNs * std::pow(kGrowth, static_cast<double>(index));
+}
+
+void LatencyHistogram::add(SimTime latency) {
+  ++buckets_[bucket_for(latency)];
+  ++count_;
+  sum_ns_ += static_cast<double>(latency);
+  max_ns_ = std::max(max_ns_, latency);
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ns_ = 0.0;
+  max_ns_ = 0;
+}
+
+double LatencyHistogram::mean_ms() const {
+  return count_ ? sum_ns_ / static_cast<double>(count_) / 1e6 : 0.0;
+}
+
+double LatencyHistogram::max_ms() const { return static_cast<double>(max_ns_) / 1e6; }
+
+double LatencyHistogram::quantile_ms(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= target) {
+      const double frac = in_bucket > 0 ? (target - seen) / in_bucket : 0.0;
+      const double lo = bucket_lower_ns(i);
+      const double hi = std::min(bucket_upper_ns(i), static_cast<double>(max_ns_));
+      return (lo + std::clamp(frac, 0.0, 1.0) * (std::max(hi, lo) - lo)) / 1e6;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_ns_) / 1e6;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  max_ns_ = std::max(max_ns_, other.max_ns_);
+}
+
+std::string LatencyHistogram::debug_string() const {
+  std::ostringstream os;
+  os << "LatencyHistogram{n=" << count_ << ", mean=" << mean_ms() << "ms"
+     << ", p50=" << p50_ms() << "ms, p95=" << p95_ms() << "ms, p99=" << p99_ms()
+     << "ms, max=" << max_ms() << "ms}";
+  return os.str();
+}
+
+}  // namespace sst::stats

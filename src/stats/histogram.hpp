@@ -1,0 +1,49 @@
+// Log-bucketed latency histogram with quantile estimation. Buckets grow
+// geometrically from 1us so that microsecond cache hits and multi-second
+// queueing delays coexist with bounded relative error (~8% per bucket).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sst::stats {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void add(SimTime latency);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean_ms() const;
+  /// Quantile in milliseconds, q in [0,1]; linear interpolation inside the
+  /// winning bucket. Returns 0 when empty.
+  [[nodiscard]] double quantile_ms(double q) const;
+  [[nodiscard]] double p50_ms() const { return quantile_ms(0.50); }
+  [[nodiscard]] double p95_ms() const { return quantile_ms(0.95); }
+  [[nodiscard]] double p99_ms() const { return quantile_ms(0.99); }
+  [[nodiscard]] double max_ms() const;
+
+  /// Merge another histogram into this one (same fixed bucketing).
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::string debug_string() const;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_for(SimTime latency);
+  [[nodiscard]] static double bucket_lower_ns(std::size_t index);
+  [[nodiscard]] static double bucket_upper_ns(std::size_t index);
+
+  // ~12% geometric growth from 1us to >1000s needs < 256 buckets.
+  static constexpr std::size_t kBuckets = 256;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ns_ = 0.0;
+  SimTime max_ns_ = 0;
+};
+
+}  // namespace sst::stats

@@ -1,0 +1,74 @@
+// Lightweight online statistics used throughout the simulator: counters,
+// throughput meters (bytes over a measurement window) and mean/min/max
+// accumulators. Latency distributions live in histogram.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace sst::stats {
+
+/// Accumulates bytes transferred; throughput is computed against an
+/// explicit [start, end] window so warm-up can be excluded.
+class ThroughputMeter {
+ public:
+  void add(Bytes bytes) { total_bytes_ += bytes; }
+
+  void reset() { total_bytes_ = 0; }
+
+  [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
+
+  /// Decimal MB/s over [start, end], the unit used by every paper figure.
+  [[nodiscard]] double mbps(SimTime start, SimTime end) const {
+    return end > start ? mb_per_sec(total_bytes_, end - start) : 0.0;
+  }
+
+ private:
+  Bytes total_bytes_ = 0;
+};
+
+/// Streaming mean/min/max (Welford variance) for arbitrary samples.
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void reset() { *this = Summary{}; }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Simple monotonically increasing event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  void reset() { value_ = 0; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace sst::stats

@@ -1,0 +1,43 @@
+// Result tables: the experiment harness and every bench binary print their
+// figures through this formatter so output is uniform and easy to diff
+// against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sst::stats {
+
+/// A cell is a string, an integer, or a double (printed with 2 decimals).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  Table& set_note(std::string note);
+  Table& set_columns(std::vector<std::string> names);
+  Table& add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<Cell>& row(std::size_t i) const { return rows_[i]; }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+  /// Render as CSV (header + rows), for plotting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::string note_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+[[nodiscard]] std::string cell_to_string(const Cell& cell);
+
+}  // namespace sst::stats

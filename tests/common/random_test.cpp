@@ -1,0 +1,84 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sst {
+namespace {
+
+TEST(SplitMix, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowZeroIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoverage) {
+  // Every residue class of a small modulus should be hit over many draws.
+  Rng rng(2024);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(31337);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(5.0);
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.next_exponential(1.0), 0.0);
+}
+
+TEST(Rng, BoolProbabilityRoughlyCorrect) {
+  Rng rng(77);
+  int heads = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) heads += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / kN, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,64 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sst {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return make_error("not positive");
+  return v;
+}
+
+TEST(Result, ValueAccess) {
+  auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, ErrorAccess) {
+  auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "not positive");
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(parse_positive(3).value_or(-7), 3);
+  EXPECT_EQ(parse_positive(0).value_or(-7), -7);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(Result, StringValueNotConfusedWithError) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "hello");
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = make_error("boom");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "boom");
+}
+
+TEST(Status, BoolConversion) {
+  EXPECT_TRUE(static_cast<bool>(Status::success()));
+  EXPECT_FALSE(static_cast<bool>(Status(make_error("x"))));
+}
+
+}  // namespace
+}  // namespace sst

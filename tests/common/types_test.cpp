@@ -1,0 +1,59 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst {
+namespace {
+
+TEST(Time, UnitHelpers) {
+  EXPECT_EQ(nsec(5), 5u);
+  EXPECT_EQ(usec(5), 5000u);
+  EXPECT_EQ(msec(5), 5'000'000u);
+  EXPECT_EQ(sec(5), 5'000'000'000u);
+}
+
+TEST(Time, FromSecondsRounds) {
+  EXPECT_EQ(from_seconds(1.0), sec(1));
+  EXPECT_EQ(from_seconds(0.5), msec(500));
+  EXPECT_EQ(from_seconds(1e-9), 1u);
+}
+
+TEST(Time, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(msec(7)), 7.0);
+}
+
+TEST(Sizes, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+TEST(Sizes, BytesToSectorsRoundsUp) {
+  EXPECT_EQ(bytes_to_sectors(0), 0u);
+  EXPECT_EQ(bytes_to_sectors(1), 1u);
+  EXPECT_EQ(bytes_to_sectors(512), 1u);
+  EXPECT_EQ(bytes_to_sectors(513), 2u);
+  EXPECT_EQ(bytes_to_sectors(64 * KiB), 128u);
+}
+
+TEST(Sizes, SectorsToBytes) {
+  EXPECT_EQ(sectors_to_bytes(128), 64 * KiB);
+}
+
+TEST(Throughput, MbPerSec) {
+  // 100 MB in 2 seconds = 50 MB/s (decimal megabytes).
+  EXPECT_DOUBLE_EQ(mb_per_sec(100'000'000, sec(2)), 50.0);
+}
+
+TEST(Throughput, ZeroElapsedIsZero) {
+  EXPECT_DOUBLE_EQ(mb_per_sec(12345, 0), 0.0);
+}
+
+TEST(IoOpNames, ToString) {
+  EXPECT_STREQ(to_string(IoOp::kRead), "read");
+  EXPECT_STREQ(to_string(IoOp::kWrite), "write");
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,192 @@
+#include "configio/loaders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace sst::configio {
+namespace {
+
+Config make(std::initializer_list<std::pair<const char*, const char*>> kv) {
+  Config cfg;
+  for (const auto& [k, v] : kv) cfg.set(k, v);
+  return cfg;
+}
+
+TEST(DiskLoader, DefaultsAreWd800jd) {
+  const auto p = load_disk_params(Config{});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().geometry.capacity, 80 * GiB);
+  EXPECT_EQ(p.value().cache.size, 8 * MiB);
+  EXPECT_EQ(p.value().cache.num_segments, 32u);
+}
+
+TEST(DiskLoader, OverridesApply) {
+  const auto p = load_disk_params(make({{"disk.capacity", "160G"},
+                                        {"disk.cache.size", "16M"},
+                                        {"disk.cache.segments", "64"},
+                                        {"disk.scheduler", "elevator"},
+                                        {"disk.seek_avg", "12ms"}}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().geometry.capacity, 160 * GiB);
+  EXPECT_EQ(p.value().cache.size, 16 * MiB);
+  EXPECT_EQ(p.value().cache.num_segments, 64u);
+  EXPECT_EQ(p.value().scheduler, disk::SchedulerKind::kElevator);
+  EXPECT_EQ(p.value().seek.average, msec(12));
+}
+
+TEST(DiskLoader, ReadAheadKeywordAndSize) {
+  auto fill = load_disk_params(make({{"disk.cache.read_ahead", "segment"}}));
+  ASSERT_TRUE(fill.ok());
+  EXPECT_EQ(fill.value().cache.read_ahead, disk::CacheParams::kFillSegment);
+  auto sized = load_disk_params(make({{"disk.cache.read_ahead", "128K"}}));
+  ASSERT_TRUE(sized.ok());
+  EXPECT_EQ(sized.value().cache.read_ahead, 128 * KiB);
+  auto none = load_disk_params(make({{"disk.cache.read_ahead", "0"}}));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().cache.read_ahead, 0u);
+}
+
+TEST(DiskLoader, RejectsBadScheduler) {
+  EXPECT_FALSE(load_disk_params(make({{"disk.scheduler", "cfq"}})).ok());
+}
+
+TEST(DiskLoader, RejectsInvertedSeekCurve) {
+  EXPECT_FALSE(
+      load_disk_params(make({{"disk.seek_single", "20ms"}, {"disk.seek_avg", "5ms"}})).ok());
+}
+
+TEST(DiskLoader, RejectsInvertedZones) {
+  EXPECT_FALSE(
+      load_disk_params(make({{"disk.outer_spt", "100"}, {"disk.inner_spt", "200"}})).ok());
+}
+
+TEST(CtrlLoader, Defaults) {
+  const auto p = load_controller_params(Config{});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value().transfer_rate_bps, 450e6);
+}
+
+TEST(CtrlLoader, Overrides) {
+  const auto p = load_controller_params(
+      make({{"ctrl.cache", "128M"}, {"ctrl.prefetch", "1M"}, {"ctrl.rate_mbps", "300"}}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().cache_size, 128 * MiB);
+  EXPECT_EQ(p.value().prefetch, 1 * MiB);
+  EXPECT_DOUBLE_EQ(p.value().transfer_rate_bps, 300e6);
+}
+
+TEST(SchedLoader, PaperParameterization) {
+  const auto p = load_scheduler_params(make({{"sched.dispatch", "100"},
+                                             {"sched.read_ahead", "8M"},
+                                             {"sched.residency", "1"},
+                                             {"sched.memory", "800M"}}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dispatch_set_size, 100u);
+  EXPECT_EQ(p.value().read_ahead, 8 * MiB);
+  EXPECT_EQ(p.value().memory_budget, 800 * MiB);
+}
+
+TEST(SchedLoader, RejectsMemoryBelowDRN) {
+  EXPECT_FALSE(load_scheduler_params(make({{"sched.dispatch", "100"},
+                                           {"sched.read_ahead", "8M"},
+                                           {"sched.memory", "100M"}}))
+                   .ok());
+}
+
+TEST(SchedLoader, PolicyNames) {
+  auto rr = load_scheduler_params(make({{"sched.policy", "round-robin"}}));
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(rr.value().policy, core::ReplacementPolicyKind::kRoundRobin);
+  auto near = load_scheduler_params(make({{"sched.policy", "nearest-offset"}}));
+  ASSERT_TRUE(near.ok());
+  EXPECT_EQ(near.value().policy, core::ReplacementPolicyKind::kNearestOffset);
+  EXPECT_FALSE(load_scheduler_params(make({{"sched.policy", "lifo"}})).ok());
+}
+
+TEST(NodeLoader, TopologyAndNestedParams) {
+  const auto n = load_node_config(make({{"node.controllers", "2"},
+                                        {"node.disks_per_controller", "4"},
+                                        {"disk.cache.size", "4M"}}));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value().total_disks(), 8u);
+  EXPECT_EQ(n.value().disk.cache.size, 4 * MiB);
+}
+
+TEST(NodeLoader, RejectsEmptyTopology) {
+  EXPECT_FALSE(load_node_config(make({{"node.controllers", "0"}})).ok());
+}
+
+TEST(ExperimentLoader, RawWhenNoSchedKeys) {
+  const auto e = load_experiment(make({{"workload.streams", "4"}}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e.value().scheduler.has_value());
+  EXPECT_EQ(e.value().streams.size(), 4u);
+}
+
+TEST(ExperimentLoader, SchedulerImpliedBySchedKeys) {
+  const auto e = load_experiment(make({{"sched.read_ahead", "1M"}}));
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e.value().scheduler.has_value());
+  EXPECT_EQ(e.value().scheduler->read_ahead, 1 * MiB);
+}
+
+TEST(ExperimentLoader, SchedulerDisabledExplicitly) {
+  const auto e =
+      load_experiment(make({{"sched.read_ahead", "1M"}, {"sched.enable", "false"}}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e.value().scheduler.has_value());
+}
+
+TEST(ExperimentLoader, WorkloadShapeApplied) {
+  const auto e = load_experiment(make({{"workload.streams", "6"},
+                                       {"workload.request", "128K"},
+                                       {"workload.outstanding", "4"},
+                                       {"workload.think", "2ms"},
+                                       {"run.measure", "5s"}}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().streams.size(), 6u);
+  for (const auto& s : e.value().streams) {
+    EXPECT_EQ(s.request_size, 128 * KiB);
+    EXPECT_EQ(s.outstanding, 4u);
+    EXPECT_EQ(s.think_time, msec(2));
+  }
+  EXPECT_EQ(e.value().measure, sec(5));
+}
+
+TEST(ExperimentLoader, RejectsBadWorkload) {
+  EXPECT_FALSE(load_experiment(make({{"workload.streams", "0"}})).ok());
+  EXPECT_FALSE(load_experiment(make({{"workload.request", "1000"}})).ok());  // unaligned
+}
+
+TEST(ExperimentLoader, EndToEndRuns) {
+  const auto e = load_experiment(make({{"workload.streams", "2"},
+                                       {"disk.capacity", "4G"},
+                                       {"sched.read_ahead", "1M"},
+                                       {"sched.memory", "16M"},
+                                       {"run.warmup", "1s"},
+                                       {"run.measure", "2s"}}));
+  ASSERT_TRUE(e.ok());
+  const auto result = experiment::run_experiment(e.value());
+  EXPECT_GT(result.total_mbps, 0.0);
+}
+
+TEST(ShippedConfigs, EveryExampleConfigLoads) {
+  // The sample configuration files under examples/configs must stay valid.
+  for (const char* name :
+       {"fig10_point.conf", "raw_baseline.conf", "eight_disk_tuned.conf"}) {
+    const std::string path = std::string(SST_SOURCE_DIR) + "/examples/configs/" + name;
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good()) << path;
+    std::ostringstream text;
+    text << file.rdbuf();
+    auto cfg = Config::from_text(text.str());
+    ASSERT_TRUE(cfg.ok()) << name << ": " << cfg.error().message;
+    auto experiment = load_experiment(cfg.value());
+    EXPECT_TRUE(experiment.ok()) << name << ": " << experiment.error().message;
+  }
+}
+
+}  // namespace
+}  // namespace sst::configio

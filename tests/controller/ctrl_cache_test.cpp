@@ -1,0 +1,151 @@
+#include "controller/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst::ctrl {
+namespace {
+
+TEST(ExtentCache, DisabledAtZeroCapacity) {
+  ExtentCache c(0);
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(c.lookup(0, 0, 8, 0));
+}
+
+TEST(ExtentCache, MissThenHit) {
+  ExtentCache c(1 * MiB);
+  EXPECT_FALSE(c.lookup(0, 100, 8, usec(1)));
+  c.install(0, 100, 512, 8, usec(2));
+  EXPECT_TRUE(c.lookup(0, 100, 8, usec(3)));
+  EXPECT_TRUE(c.lookup(0, 356, 256, usec(4)));  // tail of the extent
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(ExtentCache, DiskIdDisambiguates) {
+  ExtentCache c(1 * MiB);
+  c.install(0, 100, 512, 8, usec(1));
+  EXPECT_FALSE(c.lookup(1, 100, 8, usec(2)));
+}
+
+TEST(ExtentCache, UsedBytesTracked) {
+  ExtentCache c(1 * MiB);
+  c.install(0, 0, 512, 8, usec(1));  // 256 KB
+  EXPECT_EQ(c.used_bytes(), 256 * KiB);
+  c.install(0, 10000, 512, 8, usec(2));
+  EXPECT_EQ(c.used_bytes(), 512 * KiB);
+}
+
+TEST(ExtentCache, LruEvictionWhenFull) {
+  ExtentCache c(512 * KiB);  // room for two 256 KB extents
+  c.install(0, 0, 512, 8, usec(1));
+  c.install(0, 10000, 512, 8, usec(2));
+  EXPECT_TRUE(c.lookup(0, 0, 8, usec(3)));  // refresh extent A
+  c.install(0, 20000, 512, 8, usec(4));     // evicts extent B (LRU)
+  EXPECT_TRUE(c.lookup(0, 0, 8, usec(5)));
+  EXPECT_FALSE(c.lookup(0, 10000, 8, usec(6)));
+  EXPECT_TRUE(c.lookup(0, 20000, 8, usec(7)));
+}
+
+TEST(ExtentCache, WasteAccountedOnEviction) {
+  ExtentCache c(256 * KiB);
+  c.install(0, 0, 512, 8, usec(1));       // 8 demanded, 504 speculative
+  c.install(0, 10000, 512, 8, usec(2));   // evicts the first
+  EXPECT_EQ(c.stats().wasted_prefetch_bytes, sectors_to_bytes(504));
+}
+
+TEST(ExtentCache, OversizedExtentTruncatedToCapacity) {
+  ExtentCache c(256 * KiB);  // 512 sectors
+  c.install(0, 0, 2048, 2048, usec(1));
+  EXPECT_TRUE(c.lookup(0, 0, 512, usec(2)));
+  EXPECT_FALSE(c.lookup(0, 512, 8, usec(3)));
+  EXPECT_LE(c.used_bytes(), c.capacity());
+}
+
+TEST(ExtentCache, OverlappingInstallReplaces) {
+  ExtentCache c(1 * MiB);
+  c.install(0, 0, 512, 8, usec(1));
+  c.install(0, 256, 512, 8, usec(2));  // overlaps the first extent
+  EXPECT_TRUE(c.lookup(0, 256, 8, usec(3)));
+  EXPECT_FALSE(c.lookup(0, 0, 8, usec(4)));
+  EXPECT_EQ(c.extent_count(), 1u);
+}
+
+TEST(ExtentCache, InvalidateDropsOverlapOnly) {
+  ExtentCache c(1 * MiB);
+  c.install(0, 0, 512, 512, usec(1));
+  c.install(0, 10000, 512, 512, usec(2));
+  c.invalidate(0, 100, 8);
+  EXPECT_FALSE(c.lookup(0, 0, 8, usec(3)));
+  EXPECT_TRUE(c.lookup(0, 10000, 8, usec(4)));
+}
+
+TEST(ExtentCache, ConsumedTrackingPreventsPhantomWaste) {
+  ExtentCache c(256 * KiB);
+  c.install(0, 0, 512, 8, usec(1));
+  // Consume the whole extent through hits.
+  for (Lba off = 0; off + 64 <= 512; off += 64) {
+    EXPECT_TRUE(c.lookup(0, off, 64, usec(2)));
+  }
+  c.install(0, 10000, 512, 8, usec(3));  // evicts fully consumed extent
+  EXPECT_EQ(c.stats().wasted_prefetch_bytes, 0u);
+}
+
+TEST(ExtentCache, PrefetchedBytesCounted) {
+  ExtentCache c(1 * MiB);
+  c.install(0, 0, 512, 128, usec(1));
+  EXPECT_EQ(c.stats().prefetched_bytes, sectors_to_bytes(384));
+}
+
+TEST(ExtentCache, ReserveIsNotVisibleUntilFilled) {
+  ExtentCache c(1 * MiB);
+  const auto id = c.reserve(0, 0, 512, 8, usec(1));
+  ASSERT_NE(id, 0u);
+  EXPECT_FALSE(c.lookup(0, 0, 8, usec(2)));  // in flight: no hit
+  EXPECT_TRUE(c.mark_filled(id, usec(3)));
+  EXPECT_TRUE(c.lookup(0, 0, 8, usec(4)));
+}
+
+TEST(ExtentCache, ReservationEvictedInFlight) {
+  ExtentCache c(256 * KiB);  // room for exactly one 512-sector extent
+  const auto first = c.reserve(0, 0, 512, 8, usec(1));
+  const auto second = c.reserve(0, 100000, 512, 8, usec(2));  // evicts first
+  ASSERT_NE(second, 0u);
+  EXPECT_FALSE(c.mark_filled(first, usec(3)));  // nowhere to put the data
+  EXPECT_TRUE(c.mark_filled(second, usec(4)));
+  EXPECT_EQ(c.stats().inflight_evictions, 1u);
+}
+
+TEST(ExtentCache, ReserveAccountsCapacityImmediately) {
+  ExtentCache c(1 * MiB);
+  (void)c.reserve(0, 0, 512, 8, usec(1));
+  EXPECT_EQ(c.used_bytes(), 256 * KiB);  // committed before the data lands
+}
+
+TEST(ExtentCache, ReserveDisabledCacheReturnsZero) {
+  ExtentCache c(0);
+  EXPECT_EQ(c.reserve(0, 0, 512, 8, usec(1)), 0u);
+  EXPECT_FALSE(c.mark_filled(0, usec(2)));
+}
+
+TEST(ExtentCache, ThrashWastesInflightReservations) {
+  // streams x prefetch > cache: every reservation evicts a predecessor
+  // before its data is consumed (the Fig. 8 collapse mechanism).
+  ExtentCache c(1 * MiB);
+  for (int i = 0; i < 32; ++i) {
+    const auto id =
+        c.reserve(0, static_cast<Lba>(i) * 100000, 512, 8, usec(10 + i));
+    (void)c.mark_filled(id, usec(10 + i));
+  }
+  EXPECT_GT(c.stats().evictions, 20u);
+  EXPECT_GT(c.stats().wasted_prefetch_bytes, 20u * sectors_to_bytes(504));
+}
+
+TEST(ExtentCache, ResetStats) {
+  ExtentCache c(1 * MiB);
+  (void)c.lookup(0, 0, 8, 0);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace sst::ctrl

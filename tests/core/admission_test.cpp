@@ -1,0 +1,135 @@
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/runner.hpp"
+#include "workload/generator.hpp"
+
+namespace sst::core {
+namespace {
+
+TEST(EffectiveThroughput, MatchesClosedForm) {
+  // 50 MB/s media, 10 ms positioning, 1 MB transfers: xfer ~ 21 ms,
+  // efficiency ~ 21/31.
+  const double t = effective_throughput_bps(50e6, msec(10), 1 * MiB);
+  const double xfer_s = static_cast<double>(1 * MiB) / 50e6;
+  EXPECT_NEAR(t, 50e6 * xfer_s / (0.010 + xfer_s), 1.0);
+}
+
+TEST(EffectiveThroughput, MonotoneInReadAhead) {
+  double prev = 0.0;
+  for (Bytes r = 128 * KiB; r <= 16 * MiB; r *= 2) {
+    const double t = effective_throughput_bps(50e6, msec(10), r);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_LT(prev, 50e6);  // never exceeds the media rate
+}
+
+TEST(EffectiveThroughput, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(effective_throughput_bps(50e6, msec(10), 0), 0.0);
+  EXPECT_DOUBLE_EQ(effective_throughput_bps(0.0, msec(10), 1 * MiB), 0.0);
+}
+
+TEST(AdmissionPlan, DiskBoundScenario) {
+  AdmissionRequest req;
+  req.node.num_disks = 8;
+  req.node.host_memory = 4 * GiB;  // plenty: disk-bound
+  req.stream_rate_bps = 500e3;     // 4 Mb/s video
+  req.read_ahead = 1 * MiB;
+  const auto plan = plan_admission(req);
+  EXPECT_EQ(plan.admissible_streams, plan.streams_disk_bound);
+  EXPECT_GT(plan.streams_per_disk, 30u);   // ~37 MB/s effective / 0.5 MB/s
+  EXPECT_LT(plan.streams_per_disk, 120u);
+  EXPECT_FALSE(plan.rationale.empty());
+}
+
+TEST(AdmissionPlan, MemoryBoundScenario) {
+  AdmissionRequest req;
+  req.node.num_disks = 8;
+  req.node.host_memory = 64 * MiB;  // starved: memory-bound
+  req.stream_rate_bps = 500e3;
+  req.read_ahead = 1 * MiB;
+  const auto plan = plan_admission(req);
+  EXPECT_EQ(plan.streams_memory_bound, 64u);
+  EXPECT_EQ(plan.admissible_streams, 64u);
+  EXPECT_LT(plan.admissible_streams, plan.streams_disk_bound);
+}
+
+TEST(AdmissionPlan, PlannerPicksReadAheadWhenUnset) {
+  AdmissionRequest req;
+  req.read_ahead = 0;
+  const auto plan = plan_admission(req);
+  EXPECT_GT(plan.read_ahead, 0u);
+  EXPECT_TRUE(plan.scheduler.validate().ok());
+}
+
+TEST(AdmissionPlan, SchedulerConfigValid) {
+  AdmissionRequest req;
+  req.node.num_disks = 4;
+  const auto plan = plan_admission(req);
+  EXPECT_TRUE(plan.scheduler.validate().ok());
+  EXPECT_EQ(plan.scheduler.dispatch_set_size, 4u);
+}
+
+TEST(AdmissionPlan, ModelValidatesAgainstSimulator) {
+  // The analytic T_eff must predict the simulator's aggregate throughput
+  // for a saturating stream population within 25%.
+  AdmissionRequest req;
+  req.node.num_disks = 1;
+  req.node.disk_seq_rate_bps = 47e6;        // mid-zone rate of the model disk
+  req.node.avg_position_time = msec(13);
+  req.node.host_memory = 256 * MiB;
+  req.read_ahead = 2 * MiB;
+  const auto plan = plan_admission(req);
+
+  experiment::ExperimentConfig ec;
+  ec.node = node::NodeConfig::base();
+  ec.warmup = sec(2);
+  ec.measure = sec(10);
+  core::SchedulerParams params;
+  params.read_ahead = 2 * MiB;
+  params.memory_budget = 256 * MiB;
+  ec.scheduler = params;
+  ec.streams = workload::make_uniform_streams(40, 1, ec.node.disk.geometry.capacity,
+                                              64 * KiB);
+  const auto result = experiment::run_experiment(ec);
+  EXPECT_NEAR(result.total_mbps, plan.effective_disk_bps / 1e6,
+              0.25 * plan.effective_disk_bps / 1e6);
+}
+
+TEST(AdmissionPlan, AdmittedLoadActuallySustains) {
+  // Run the planner's own configuration with the admitted CBR population:
+  // at least 90% of streams must meet 95% of their bitrate.
+  AdmissionRequest req;
+  req.node.num_disks = 1;
+  req.node.disk_seq_rate_bps = 47e6;
+  req.node.avg_position_time = msec(13);
+  req.node.host_memory = 512 * MiB;
+  req.stream_rate_bps = 1e6;  // 1 MB/s streams
+  req.read_ahead = 1 * MiB;
+  const auto plan = plan_admission(req);
+  ASSERT_GT(plan.admissible_streams, 10u);
+
+  experiment::ExperimentConfig ec;
+  ec.node = node::NodeConfig::base();
+  ec.warmup = sec(3);
+  ec.measure = sec(10);
+  ec.scheduler = plan.scheduler;
+  ec.streams = workload::make_uniform_streams(plan.admissible_streams, 1,
+                                              ec.node.disk.geometry.capacity, 64 * KiB);
+  const SimTime period = from_seconds(static_cast<double>(64 * KiB) / req.stream_rate_bps);
+  for (auto& s : ec.streams) {
+    s.issue_period = period;
+    s.outstanding = 8;
+  }
+  const auto result = experiment::run_experiment(ec);
+  std::uint32_t ok = 0;
+  for (const double mbps : result.stream_mbps) {
+    if (mbps >= 0.95) ++ok;
+  }
+  EXPECT_GE(ok, plan.admissible_streams * 9 / 10);
+}
+
+}  // namespace
+}  // namespace sst::core

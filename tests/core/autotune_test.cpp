@@ -1,0 +1,82 @@
+#include "core/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst::core {
+namespace {
+
+TEST(Autotune, DefaultsProduceValidParams) {
+  const auto t = autotune(NodeDescription{});
+  EXPECT_TRUE(t.params.validate().ok());
+  EXPECT_FALSE(t.rationale.empty());
+}
+
+TEST(Autotune, ReadAheadGrowsWithTargetEfficiency) {
+  NodeDescription node;
+  const auto lo = autotune(node, 0.70);
+  const auto hi = autotune(node, 0.95);
+  EXPECT_GT(hi.params.read_ahead, lo.params.read_ahead);
+}
+
+TEST(Autotune, OneDispatchSlotPerDisk) {
+  NodeDescription node;
+  node.num_disks = 8;
+  node.host_memory = 2 * GiB;
+  const auto t = autotune(node);
+  EXPECT_EQ(t.params.dispatch_set_size, 8u);
+}
+
+TEST(Autotune, MemoryStarvedNodeShrinksReadAhead) {
+  NodeDescription rich;
+  rich.host_memory = 1 * GiB;
+  NodeDescription poor = rich;
+  poor.host_memory = 8 * MiB;
+  const auto t_rich = autotune(rich);
+  const auto t_poor = autotune(poor);
+  EXPECT_LE(t_poor.params.read_ahead, t_rich.params.read_ahead);
+  EXPECT_TRUE(t_poor.params.validate().ok());
+}
+
+TEST(Autotune, PredictedEfficiencyNearTarget) {
+  const auto t = autotune(NodeDescription{}, 0.85);
+  // Power-of-two rounding overshoots but never undershoots badly.
+  EXPECT_GE(t.predicted_efficiency, 0.80);
+  EXPECT_LE(t.predicted_efficiency, 0.99);
+}
+
+TEST(Autotune, MemoryBudgetCoversDRN) {
+  NodeDescription node;
+  node.num_disks = 4;
+  const auto t = autotune(node);
+  const Bytes need = static_cast<Bytes>(t.params.dispatch_set_size) *
+                     t.params.read_ahead * t.params.requests_per_residency;
+  EXPECT_GE(t.params.memory_budget, need);
+}
+
+TEST(Autotune, SlowerDisksNeedLessReadAhead) {
+  NodeDescription fast;
+  fast.disk_seq_rate_bps = 100e6;
+  NodeDescription slow = fast;
+  slow.disk_seq_rate_bps = 20e6;
+  EXPECT_LE(autotune(slow).params.read_ahead, autotune(fast).params.read_ahead);
+}
+
+TEST(Autotune, ResidencyBoundedAt128) {
+  NodeDescription node;
+  node.num_disks = 1;
+  node.host_memory = 8 * GiB;
+  const auto t = autotune(node);
+  EXPECT_LE(t.params.requests_per_residency, 128u);
+  EXPECT_GE(t.params.requests_per_residency, 1u);
+}
+
+TEST(Autotune, ExtremeTargetsClamped) {
+  // Must not divide by zero or produce absurd values.
+  const auto t = autotune(NodeDescription{}, 1.5);
+  EXPECT_TRUE(t.params.validate().ok());
+  const auto t2 = autotune(NodeDescription{}, 0.0);
+  EXPECT_TRUE(t2.params.validate().ok());
+}
+
+}  // namespace
+}  // namespace sst::core

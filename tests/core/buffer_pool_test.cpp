@@ -1,0 +1,122 @@
+#include "core/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst::core {
+namespace {
+
+TEST(BufferPool, AllocateWithinBudget) {
+  BufferPool pool(1 * MiB, false);
+  auto buf = pool.allocate(0, 0, 512 * KiB, 0);
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(pool.committed(), 512 * KiB);
+  EXPECT_EQ(pool.available(), 512 * KiB);
+  EXPECT_EQ(pool.live_buffers(), 1u);
+}
+
+TEST(BufferPool, AllocationFailsOverBudget) {
+  BufferPool pool(1 * MiB, false);
+  auto a = pool.allocate(0, 0, 768 * KiB, 0);
+  ASSERT_NE(a, nullptr);
+  auto b = pool.allocate(0, 0, 512 * KiB, 0);
+  EXPECT_EQ(b, nullptr);
+  EXPECT_EQ(pool.stats().allocation_failures, 1u);
+}
+
+TEST(BufferPool, ReleaseReturnsBudget) {
+  BufferPool pool(1 * MiB, false);
+  {
+    auto buf = pool.allocate(0, 0, 1 * MiB, 0);
+    ASSERT_NE(buf, nullptr);
+    EXPECT_EQ(pool.available(), 0u);
+  }
+  EXPECT_EQ(pool.committed(), 0u);
+  EXPECT_EQ(pool.live_buffers(), 0u);
+  EXPECT_NE(pool.allocate(0, 0, 1 * MiB, 0), nullptr);
+}
+
+TEST(BufferPool, PeakCommittedTracked) {
+  BufferPool pool(2 * MiB, false);
+  auto a = pool.allocate(0, 0, 1 * MiB, 0);
+  auto b = pool.allocate(0, 0, 1 * MiB, 0);
+  a.reset();
+  b.reset();
+  EXPECT_EQ(pool.stats().peak_committed, 2 * MiB);
+}
+
+TEST(BufferPool, MaterializedBufferHasMemory) {
+  BufferPool pool(1 * MiB, true);
+  auto buf = pool.allocate(0, 4096, 64 * KiB, 0);
+  ASSERT_NE(buf, nullptr);
+  EXPECT_NE(buf->data(), nullptr);
+}
+
+TEST(BufferPool, UnmaterializedBufferHasNoMemory) {
+  BufferPool pool(1 * MiB, false);
+  auto buf = pool.allocate(0, 4096, 64 * KiB, 0);
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(buf->data(), nullptr);
+}
+
+TEST(IoBuffer, IdentityFields) {
+  BufferPool pool(1 * MiB, false);
+  auto buf = pool.allocate(3, 8192, 64 * KiB, usec(5));
+  EXPECT_EQ(buf->device(), 3u);
+  EXPECT_EQ(buf->offset(), 8192u);
+  EXPECT_EQ(buf->capacity(), 64 * KiB);
+  EXPECT_FALSE(buf->filled());
+}
+
+TEST(IoBuffer, FillAndContains) {
+  BufferPool pool(1 * MiB, false);
+  auto buf = pool.allocate(0, 1000 * KiB, 64 * KiB, 0);
+  EXPECT_FALSE(buf->contains(1000 * KiB, 1));  // not filled yet
+  buf->mark_filled(64 * KiB, usec(9));
+  EXPECT_TRUE(buf->filled());
+  EXPECT_EQ(buf->end(), 1064 * KiB);
+  EXPECT_TRUE(buf->contains(1000 * KiB, 64 * KiB));
+  EXPECT_TRUE(buf->contains(1032 * KiB, 32 * KiB));
+  EXPECT_FALSE(buf->contains(1032 * KiB, 64 * KiB));
+  EXPECT_FALSE(buf->contains(999 * KiB, KiB));
+}
+
+TEST(IoBuffer, ConsumeHighWaterMark) {
+  BufferPool pool(1 * MiB, false);
+  auto buf = pool.allocate(0, 0, 64 * KiB, 0);
+  buf->mark_filled(64 * KiB, 0);
+  buf->consume(0, 16 * KiB, usec(1));
+  EXPECT_FALSE(buf->fully_consumed());
+  EXPECT_EQ(buf->consumed_upto(), 16 * KiB);
+  // Out-of-order consume of a later range raises the mark.
+  buf->consume(48 * KiB, 16 * KiB, usec(2));
+  EXPECT_TRUE(buf->fully_consumed());
+}
+
+TEST(IoBuffer, LastTouchUpdatedByConsume) {
+  BufferPool pool(1 * MiB, false);
+  auto buf = pool.allocate(0, 0, 64 * KiB, usec(1));
+  buf->mark_filled(64 * KiB, usec(2));
+  buf->consume(0, KiB, usec(7));
+  EXPECT_EQ(buf->last_touch(), usec(7));
+}
+
+TEST(IoBuffer, PartialFillContainsOnlyValidRange) {
+  BufferPool pool(1 * MiB, false);
+  auto buf = pool.allocate(0, 0, 64 * KiB, 0);
+  buf->mark_filled(32 * KiB, 0);
+  EXPECT_TRUE(buf->contains(0, 32 * KiB));
+  EXPECT_FALSE(buf->contains(0, 33 * KiB));
+}
+
+TEST(BufferPool, AllocationStatsCount) {
+  BufferPool pool(10 * MiB, false);
+  for (int i = 0; i < 5; ++i) {
+    auto b = pool.allocate(0, 0, 1 * MiB, 0);
+    ASSERT_NE(b, nullptr);
+  }
+  EXPECT_EQ(pool.stats().allocations, 5u);
+  EXPECT_EQ(pool.stats().releases, 5u);
+}
+
+}  // namespace
+}  // namespace sst::core

@@ -1,0 +1,173 @@
+#include "core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst::core {
+namespace {
+
+ClassifierParams test_params() {
+  ClassifierParams p;
+  p.block_bytes = 64 * KiB;
+  p.offset_blocks = 32;
+  p.detect_threshold = 3;
+  p.region_timeout = sec(10);
+  return p;
+}
+
+TEST(Classifier, NoDetectionBelowThreshold) {
+  Classifier c(test_params());
+  EXPECT_FALSE(c.record(0, 0, 64 * KiB, usec(1)).has_value());
+  EXPECT_FALSE(c.record(0, 64 * KiB, 64 * KiB, usec(2)).has_value());
+  EXPECT_EQ(c.stats().streams_detected, 0u);
+}
+
+TEST(Classifier, DetectsSequentialRun) {
+  Classifier c(test_params());
+  (void)c.record(0, 0, 64 * KiB, usec(1));
+  (void)c.record(0, 64 * KiB, 64 * KiB, usec(2));
+  const auto d = c.record(0, 128 * KiB, 64 * KiB, usec(3));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->device, 0u);
+  EXPECT_EQ(d->start, 0u);
+  EXPECT_EQ(d->end, 192 * KiB);
+  EXPECT_EQ(c.stats().streams_detected, 1u);
+}
+
+TEST(Classifier, RegionRetiredAfterDetection) {
+  Classifier c(test_params());
+  (void)c.record(0, 0, 64 * KiB, 1);
+  (void)c.record(0, 64 * KiB, 64 * KiB, 2);
+  (void)c.record(0, 128 * KiB, 64 * KiB, 3);
+  EXPECT_EQ(c.region_count(), 0u);
+}
+
+TEST(Classifier, OutOfOrderWithinRegionStillDetects) {
+  // The paper: "ignores out of order requests ... only takes into account
+  // proximity in time".
+  Classifier c(test_params());
+  (void)c.record(0, 128 * KiB, 64 * KiB, 1);
+  (void)c.record(0, 0, 64 * KiB, 2);
+  const auto d = c.record(0, 64 * KiB, 64 * KiB, 3);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->start, 0u);
+  EXPECT_EQ(d->end, 192 * KiB);
+}
+
+TEST(Classifier, DuplicateBlockDoesNotCountTwice) {
+  Classifier c(test_params());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(c.record(0, 0, 64 * KiB, static_cast<SimTime>(i)).has_value());
+  }
+}
+
+TEST(Classifier, LargeRequestSetsMultipleBits) {
+  Classifier c(test_params());
+  // One request spanning 3 blocks trips a threshold of 3 immediately.
+  const auto d = c.record(0, 0, 192 * KiB, 1);
+  ASSERT_TRUE(d.has_value());
+}
+
+TEST(Classifier, DistinctDevicesIndependent) {
+  Classifier c(test_params());
+  (void)c.record(0, 0, 64 * KiB, 1);
+  (void)c.record(1, 0, 64 * KiB, 2);
+  (void)c.record(0, 64 * KiB, 64 * KiB, 3);
+  (void)c.record(1, 64 * KiB, 64 * KiB, 4);
+  EXPECT_FALSE(c.record(9, 128 * KiB, 64 * KiB, 5).has_value());
+  EXPECT_TRUE(c.record(0, 128 * KiB, 64 * KiB, 6).has_value());
+  EXPECT_TRUE(c.record(1, 128 * KiB, 64 * KiB, 7).has_value());
+}
+
+TEST(Classifier, FarApartAccessesUseSeparateRegions) {
+  Classifier c(test_params());
+  (void)c.record(0, 0, 64 * KiB, 1);
+  (void)c.record(0, 1 * GiB, 64 * KiB, 2);
+  EXPECT_EQ(c.region_count(), 2u);
+  EXPECT_EQ(c.stats().regions_allocated, 2u);
+}
+
+TEST(Classifier, RegionCoversBackwardNeighbourhood) {
+  // A region allocated at block B covers [B-offset, B+offset]: an access
+  // slightly before the first one lands in the same region.
+  Classifier c(test_params());
+  (void)c.record(0, 10 * 64 * KiB, 64 * KiB, 1);
+  (void)c.record(0, 9 * 64 * KiB, 64 * KiB, 2);
+  EXPECT_EQ(c.region_count(), 1u);
+  const auto d = c.record(0, 11 * 64 * KiB, 64 * KiB, 3);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->start, 9 * 64 * KiB);
+}
+
+TEST(Classifier, HigherThresholdNeedsMoreRequests) {
+  ClassifierParams p = test_params();
+  p.detect_threshold = 5;
+  Classifier c(p);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(
+        c.record(0, static_cast<ByteOffset>(i) * 64 * KiB, 64 * KiB, i).has_value());
+  }
+  EXPECT_TRUE(c.record(0, 4ULL * 64 * KiB, 64 * KiB, 5).has_value());
+}
+
+TEST(Classifier, GarbageCollectsIdleRegions) {
+  Classifier c(test_params());
+  (void)c.record(0, 0, 64 * KiB, sec(1));
+  (void)c.record(0, 1 * GiB, 64 * KiB, sec(1));
+  EXPECT_EQ(c.region_count(), 2u);
+  // Touch one region so it survives.
+  (void)c.record(0, 64 * KiB, 64 * KiB, sec(12));
+  EXPECT_EQ(c.collect_garbage(sec(13)), 1u);
+  EXPECT_EQ(c.region_count(), 1u);
+}
+
+TEST(Classifier, GcAtTimeZeroKeepsEverything) {
+  Classifier c(test_params());
+  (void)c.record(0, 0, 64 * KiB, 0);
+  EXPECT_EQ(c.collect_garbage(sec(5)), 0u);
+}
+
+TEST(Classifier, BitmapMemoryAccounted) {
+  Classifier c(test_params());
+  (void)c.record(0, 0, 64 * KiB, 1);
+  EXPECT_GT(c.stats().bitmap_bytes, 0u);
+  (void)c.record(0, 64 * KiB, 64 * KiB, 2);
+  (void)c.record(0, 128 * KiB, 64 * KiB, 3);  // detection retires region
+  EXPECT_EQ(c.stats().bitmap_bytes, 0u);
+}
+
+TEST(Classifier, RequestTailBeyondBitmapIgnored) {
+  // A request that extends past the region's edge sets only covered bits.
+  ClassifierParams p = test_params();
+  p.offset_blocks = 2;  // tiny region: 5 blocks
+  p.detect_threshold = 4;
+  Classifier c(p);
+  // First access at block 10 -> region [8, 12]. A 64-block request sets
+  // bits 10..12 only (3 < 4: no detection).
+  EXPECT_FALSE(c.record(0, 10ULL * 64 * KiB, 64ULL * 64 * KiB, 1).has_value());
+}
+
+TEST(Classifier, RequestsSeenCounted) {
+  Classifier c(test_params());
+  (void)c.record(0, 0, 64 * KiB, 1);
+  (void)c.record(0, 64 * KiB, 64 * KiB, 2);
+  EXPECT_EQ(c.stats().requests_seen, 2u);
+}
+
+/// Property: for any block granularity, three sequential touches of
+/// distinct blocks always detect.
+class ClassifierBlockSize : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(ClassifierBlockSize, ThreeDistinctBlocksDetect) {
+  ClassifierParams p = test_params();
+  p.block_bytes = GetParam();
+  Classifier c(p);
+  (void)c.record(0, 0, p.block_bytes, 1);
+  (void)c.record(0, p.block_bytes, p.block_bytes, 2);
+  EXPECT_TRUE(c.record(0, 2 * p.block_bytes, p.block_bytes, 3).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, ClassifierBlockSize,
+                         ::testing::Values(4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB));
+
+}  // namespace
+}  // namespace sst::core

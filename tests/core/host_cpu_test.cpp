@@ -1,0 +1,70 @@
+#include "core/host_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace sst::core {
+namespace {
+
+TEST(HostCpu, CostsScaleWithBuffers) {
+  sim::Simulator sim;
+  HostOverheadParams p;
+  p.issue_base = usec(15);
+  p.complete_base = usec(10);
+  p.per_buffer = nsec(200);
+  HostCpu cpu(sim, p);
+  EXPECT_EQ(cpu.issue_cost(0), usec(15));
+  EXPECT_EQ(cpu.issue_cost(100), usec(15) + nsec(20000));
+  EXPECT_EQ(cpu.complete_cost(50), usec(10) + nsec(10000));
+}
+
+TEST(HostCpu, WorkSerializesFifo) {
+  sim::Simulator sim;
+  HostCpu cpu(sim, HostOverheadParams{});
+  std::vector<std::pair<int, SimTime>> done;
+  cpu.execute(usec(100), [&] { done.emplace_back(1, sim.now()); });
+  cpu.execute(usec(100), [&] { done.emplace_back(2, sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, 1);
+  EXPECT_EQ(done[0].second, usec(100));
+  EXPECT_EQ(done[1].first, 2);
+  EXPECT_EQ(done[1].second, usec(200));
+}
+
+TEST(HostCpu, IdleGapsDoNotAccumulate) {
+  sim::Simulator sim;
+  HostCpu cpu(sim, HostOverheadParams{});
+  SimTime t1 = 0;
+  cpu.execute(usec(10), [&] { t1 = sim.now(); });
+  sim.run();
+  sim.run_until(msec(5));
+  SimTime t2 = 0;
+  cpu.execute(usec(10), [&] { t2 = sim.now(); });
+  sim.run();
+  EXPECT_EQ(t1, usec(10));
+  EXPECT_EQ(t2, msec(5) + usec(10));
+}
+
+TEST(HostCpu, BusyTimeAndUtilization) {
+  sim::Simulator sim;
+  HostCpu cpu(sim, HostOverheadParams{});
+  cpu.execute(msec(2), [] {});
+  cpu.execute(msec(3), [] {});
+  sim.run();
+  EXPECT_EQ(cpu.stats().operations, 2u);
+  EXPECT_EQ(cpu.stats().busy_time, msec(5));
+  EXPECT_DOUBLE_EQ(cpu.stats().utilization(msec(10)), 0.5);
+}
+
+TEST(HostCpu, UtilizationZeroElapsed) {
+  sim::Simulator sim;
+  HostCpu cpu(sim, HostOverheadParams{});
+  EXPECT_DOUBLE_EQ(cpu.stats().utilization(0), 0.0);
+}
+
+}  // namespace
+}  // namespace sst::core

@@ -1,0 +1,172 @@
+#include "disk/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst::disk {
+namespace {
+
+CacheParams params_4x256k() {
+  CacheParams p;
+  p.size = 1 * MiB;
+  p.num_segments = 4;  // 256 KB = 512 sectors per segment
+  return p;
+}
+
+constexpr Lba kSeg = 512;  // sectors per segment in params_4x256k
+
+TEST(SegmentCache, DisabledWhenNoCapacity) {
+  CacheParams p;
+  p.size = 0;
+  SegmentCache c(p);
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(c.lookup(0, 8, 0));
+  EXPECT_EQ(c.fill_sectors(8), 8u);
+}
+
+TEST(SegmentCache, MissOnEmpty) {
+  SegmentCache c(params_4x256k());
+  EXPECT_FALSE(c.lookup(100, 8, 0));
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(SegmentCache, HitAfterInstall) {
+  SegmentCache c(params_4x256k());
+  c.install(100, kSeg, 8, usec(1));
+  EXPECT_TRUE(c.lookup(100, 8, usec(2)));
+  EXPECT_TRUE(c.lookup(100 + kSeg - 8, 8, usec(3)));  // tail of segment
+  EXPECT_EQ(c.stats().hits, 2u);
+}
+
+TEST(SegmentCache, NoPartialHit) {
+  SegmentCache c(params_4x256k());
+  c.install(100, kSeg, 8, usec(1));
+  EXPECT_FALSE(c.lookup(100 + kSeg - 4, 8, usec(2)));  // straddles the end
+  EXPECT_FALSE(c.lookup(96, 8, usec(3)));              // starts before
+}
+
+TEST(SegmentCache, FillSegmentModeFillsWholeSegment) {
+  SegmentCache c(params_4x256k());  // read_ahead = kFillSegment
+  EXPECT_EQ(c.fill_sectors(8), kSeg);
+  EXPECT_EQ(c.fill_sectors(kSeg + 100), kSeg + 100u);  // never below request
+}
+
+TEST(SegmentCache, ExplicitReadAheadClampsToSegment) {
+  CacheParams p = params_4x256k();
+  p.read_ahead = 64 * KiB;  // 128 sectors
+  SegmentCache c(p);
+  EXPECT_EQ(c.fill_sectors(8), 8u + 128u);
+  EXPECT_EQ(c.fill_sectors(kSeg), kSeg);  // request already fills a segment
+}
+
+TEST(SegmentCache, ZeroReadAheadReadsExactlyRequest) {
+  CacheParams p = params_4x256k();
+  p.read_ahead = 0;
+  SegmentCache c(p);
+  EXPECT_EQ(c.fill_sectors(8), 8u);
+}
+
+TEST(SegmentCache, LruEviction) {
+  SegmentCache c(params_4x256k());
+  for (Lba i = 0; i < 4; ++i) c.install(i * 10000, kSeg, kSeg, usec(i + 1));
+  // Touch segment 0 so segment 1 becomes LRU.
+  EXPECT_TRUE(c.lookup(0, 8, usec(10)));
+  c.install(90000, kSeg, kSeg, usec(11));  // must evict segment at 10000
+  EXPECT_TRUE(c.lookup(0, 8, usec(12)));
+  EXPECT_FALSE(c.lookup(10000, 8, usec(13)));
+  EXPECT_TRUE(c.lookup(90000, 8, usec(14)));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(SegmentCache, WastedPrefetchAccounting) {
+  SegmentCache c(params_4x256k());
+  // Fill all 4 segments; only 8 sectors of each were demanded.
+  for (Lba i = 0; i < 4; ++i) c.install(i * 10000, kSeg, 8, usec(i + 1));
+  // Install a 5th: evicts the LRU with (kSeg - 8) unread prefetched sectors.
+  c.install(90000, kSeg, 8, usec(10));
+  EXPECT_EQ(c.stats().wasted_prefetch_sectors, kSeg - 8);
+}
+
+TEST(SegmentCache, ConsumedSectorsNotCountedAsWaste) {
+  SegmentCache c(params_4x256k());
+  c.install(0, kSeg, 8, usec(1));
+  // Consume the whole segment via hits.
+  for (Lba off = 8; off + 8 <= kSeg; off += 8) {
+    EXPECT_TRUE(c.lookup(off, 8, usec(2)));
+  }
+  for (Lba i = 1; i <= 4; ++i) c.install(i * 10000, kSeg, kSeg, usec(i + 2));
+  EXPECT_EQ(c.stats().wasted_prefetch_sectors, 0u);
+}
+
+TEST(SegmentCache, OverlappingInstallReplacesStale) {
+  SegmentCache c(params_4x256k());
+  c.install(1000, kSeg, kSeg, usec(1));
+  c.install(1100, kSeg, kSeg, usec(2));  // overlaps [1100, 1512)
+  EXPECT_TRUE(c.lookup(1100, 8, usec(3)));
+  // The old segment was the victim: its range is gone.
+  EXPECT_FALSE(c.lookup(1000, 8, usec(4)));
+}
+
+TEST(SegmentCache, AdjacentInstallDoesNotStealNeighbour) {
+  SegmentCache c(params_4x256k());
+  c.install(1000, kSeg, 8, usec(1));
+  c.install(1000 + kSeg, kSeg, 8, usec(2));  // exactly adjacent
+  EXPECT_TRUE(c.lookup(1000, 8, usec(3)));
+  EXPECT_TRUE(c.lookup(1000 + kSeg, 8, usec(4)));
+}
+
+TEST(SegmentCache, InstallLargerThanSegmentKeepsPrefix) {
+  SegmentCache c(params_4x256k());
+  c.install(0, 4 * kSeg, 4 * kSeg, usec(1));
+  EXPECT_TRUE(c.lookup(0, kSeg, usec(2)));
+  EXPECT_FALSE(c.lookup(kSeg, 8, usec(3)));
+}
+
+TEST(SegmentCache, InvalidateDropsOverlaps) {
+  SegmentCache c(params_4x256k());
+  c.install(1000, kSeg, kSeg, usec(1));
+  c.install(50000, kSeg, kSeg, usec(2));
+  c.invalidate(1200, 16);
+  EXPECT_FALSE(c.lookup(1000, 8, usec(3)));
+  EXPECT_TRUE(c.lookup(50000, 8, usec(4)));
+}
+
+TEST(SegmentCache, ExtendFromGrowsSegmentInPlace) {
+  SegmentCache c(params_4x256k());
+  c.install(1000, 100, 100, usec(1));
+  c.extend_from(1100, 200, usec(2));
+  EXPECT_TRUE(c.lookup(1000, 300, usec(3)));
+}
+
+TEST(SegmentCache, ExtendFromSpillsIntoNewSegment) {
+  SegmentCache c(params_4x256k());
+  c.install(0, kSeg, kSeg, usec(1));  // full segment
+  c.extend_from(kSeg, 100, usec(2));  // no room: new segment
+  EXPECT_TRUE(c.lookup(kSeg, 100, usec(3)));
+  EXPECT_TRUE(c.lookup(0, 8, usec(4)));  // original intact
+}
+
+TEST(SegmentCache, ExtendFromWithoutAnchorInstallsFresh) {
+  SegmentCache c(params_4x256k());
+  c.extend_from(5000, 64, usec(1));
+  EXPECT_TRUE(c.lookup(5000, 64, usec(2)));
+}
+
+TEST(SegmentCache, ContainsWalksAcrossSegments) {
+  SegmentCache c(params_4x256k());
+  c.install(0, kSeg, kSeg, usec(1));
+  c.install(kSeg, kSeg, kSeg, usec(2));
+  EXPECT_TRUE(c.contains(0, 2 * kSeg));
+  EXPECT_TRUE(c.contains(kSeg - 8, 16));  // spans the boundary
+  EXPECT_FALSE(c.contains(0, 2 * kSeg + 1));
+  EXPECT_TRUE(c.contains(123, 0));  // empty range trivially contained
+}
+
+TEST(SegmentCache, ResetStats) {
+  SegmentCache c(params_4x256k());
+  (void)c.lookup(0, 8, 0);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace sst::disk

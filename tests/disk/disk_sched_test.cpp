@@ -1,0 +1,106 @@
+#include "disk/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sst::disk {
+namespace {
+
+QueuedCommand make(Lba lba, SimTime t = 0) {
+  QueuedCommand qc;
+  qc.cmd.lba = lba;
+  qc.cmd.sectors = 8;
+  qc.enqueued = t;
+  return qc;
+}
+
+std::vector<Lba> drain(CommandScheduler& s, Lba head) {
+  std::vector<Lba> order;
+  while (auto qc = s.pop_next(head)) {
+    order.push_back(qc->cmd.lba);
+    head = qc->cmd.lba + qc->cmd.sectors;
+  }
+  return order;
+}
+
+TEST(Fcfs, ArrivalOrder) {
+  FcfsScheduler s;
+  for (Lba l : {Lba{300}, Lba{100}, Lba{200}}) s.push(make(l));
+  EXPECT_EQ(drain(s, 0), (std::vector<Lba>{300, 100, 200}));
+}
+
+TEST(Fcfs, EmptyReturnsNullopt) {
+  FcfsScheduler s;
+  EXPECT_FALSE(s.pop_next(0).has_value());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Elevator, AscendingSweepFromHead) {
+  ElevatorScheduler s;
+  for (Lba l : {Lba{300}, Lba{100}, Lba{200}, Lba{50}}) s.push(make(l));
+  // Head at 150: sweep up 200, 300, then reverse down 100, 50.
+  EXPECT_EQ(drain(s, 150), (std::vector<Lba>{200, 300, 100, 50}));
+}
+
+TEST(Elevator, ServesEqualsHeadPosition) {
+  ElevatorScheduler s;
+  s.push(make(100));
+  auto qc = s.pop_next(100);
+  ASSERT_TRUE(qc.has_value());
+  EXPECT_EQ(qc->cmd.lba, 100u);
+}
+
+TEST(Elevator, ReversesAtTop) {
+  ElevatorScheduler s;
+  for (Lba l : {Lba{10}, Lba{20}}) s.push(make(l));
+  EXPECT_EQ(drain(s, 1000), (std::vector<Lba>{20, 10}));
+}
+
+TEST(Elevator, DuplicateLbasBothServed) {
+  ElevatorScheduler s;
+  s.push(make(100));
+  s.push(make(100));
+  EXPECT_EQ(drain(s, 0).size(), 2u);
+}
+
+TEST(Sstf, PicksNearest) {
+  SstfScheduler s;
+  for (Lba l : {Lba{1000}, Lba{90}, Lba{500}}) s.push(make(l));
+  auto qc = s.pop_next(480);
+  ASSERT_TRUE(qc.has_value());
+  EXPECT_EQ(qc->cmd.lba, 500u);
+}
+
+TEST(Sstf, PicksNearestBelow) {
+  SstfScheduler s;
+  for (Lba l : {Lba{1000}, Lba{90}}) s.push(make(l));
+  auto qc = s.pop_next(100);
+  ASSERT_TRUE(qc.has_value());
+  EXPECT_EQ(qc->cmd.lba, 90u);
+}
+
+TEST(Sstf, DrainsEverything) {
+  SstfScheduler s;
+  for (Lba l : {Lba{5}, Lba{900}, Lba{20}, Lba{450}}) s.push(make(l));
+  auto order = drain(s, 0);
+  EXPECT_EQ(order.size(), 4u);
+  // Starting at 0 SSTF should begin with the lowest LBA.
+  EXPECT_EQ(order.front(), 5u);
+}
+
+TEST(Factory, CreatesRequestedKind) {
+  EXPECT_NE(dynamic_cast<FcfsScheduler*>(make_scheduler(SchedulerKind::kFcfs).get()), nullptr);
+  EXPECT_NE(dynamic_cast<ElevatorScheduler*>(make_scheduler(SchedulerKind::kElevator).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<SstfScheduler*>(make_scheduler(SchedulerKind::kSstf).get()), nullptr);
+}
+
+TEST(Factory, SchedulerKindNames) {
+  EXPECT_STREQ(to_string(SchedulerKind::kFcfs), "fcfs");
+  EXPECT_STREQ(to_string(SchedulerKind::kElevator), "elevator");
+  EXPECT_STREQ(to_string(SchedulerKind::kSstf), "sstf");
+}
+
+}  // namespace
+}  // namespace sst::disk

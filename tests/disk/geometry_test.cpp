@@ -1,0 +1,230 @@
+#include "disk/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst::disk {
+namespace {
+
+GeometryParams small_params() {
+  GeometryParams p;
+  p.capacity = 1 * GiB;
+  p.num_zones = 4;
+  p.outer_spt = 800;
+  p.inner_spt = 400;
+  p.heads = 2;
+  return p;
+}
+
+TEST(Geometry, CapacityAtLeastRequested) {
+  Geometry g(small_params());
+  EXPECT_GE(g.capacity_bytes(), 1 * GiB);
+  // And not wildly larger (within one cylinder of slack).
+  EXPECT_LT(g.capacity_bytes(), 1 * GiB + 10 * MiB);
+}
+
+TEST(Geometry, ZoneCountMatches) {
+  Geometry g(small_params());
+  EXPECT_EQ(g.zones().size(), 4u);
+}
+
+TEST(Geometry, ZonesAreContiguous) {
+  Geometry g(small_params());
+  Lba next = 0;
+  std::uint32_t next_cyl = 0;
+  for (const auto& z : g.zones()) {
+    EXPECT_EQ(z.first_lba, next);
+    EXPECT_EQ(z.first_cyl, next_cyl);
+    next += z.sectors;
+    next_cyl += z.cylinders;
+  }
+  EXPECT_EQ(next, g.total_sectors());
+  EXPECT_EQ(next_cyl, g.total_cylinders());
+}
+
+TEST(Geometry, SptDecreasesInward) {
+  Geometry g(small_params());
+  for (std::size_t i = 1; i < g.zones().size(); ++i) {
+    EXPECT_LE(g.zones()[i].spt, g.zones()[i - 1].spt);
+  }
+  EXPECT_EQ(g.zones().front().spt, 800u);
+  EXPECT_EQ(g.zones().back().spt, 400u);
+}
+
+TEST(Geometry, MediaRateScalesWithSpt) {
+  Geometry g(small_params());
+  const double outer = g.media_rate_bps(0);
+  const double inner = g.media_rate_bps(g.total_sectors() - 1);
+  EXPECT_NEAR(outer / inner, 2.0, 0.05);  // 800 vs 400 spt
+}
+
+TEST(Geometry, RotationPeriod7200Rpm) {
+  GeometryParams p = small_params();
+  p.rpm = 7200;
+  Geometry g(p);
+  EXPECT_NEAR(to_millis(g.rotation_period()), 8.333, 0.01);
+}
+
+TEST(Geometry, LocateFirstSector) {
+  Geometry g(small_params());
+  const Chs chs = g.locate(0);
+  EXPECT_EQ(chs.zone, 0u);
+  EXPECT_EQ(chs.cylinder, 0u);
+  EXPECT_EQ(chs.head, 0u);
+  EXPECT_EQ(chs.sector, 0u);
+}
+
+TEST(Geometry, LocateTrackAndHeadProgression) {
+  Geometry g(small_params());
+  const std::uint32_t spt = g.zones()[0].spt;
+  // Sector `spt` is the first sector of the second track: head 1, cyl 0.
+  const Chs chs = g.locate(spt);
+  EXPECT_EQ(chs.cylinder, 0u);
+  EXPECT_EQ(chs.head, 1u);
+  EXPECT_EQ(chs.sector, 0u);
+  // Sector 2*spt starts cylinder 1 (2 heads).
+  const Chs chs2 = g.locate(2ULL * spt);
+  EXPECT_EQ(chs2.cylinder, 1u);
+  EXPECT_EQ(chs2.head, 0u);
+}
+
+TEST(Geometry, CylindersMonotoneWithLba) {
+  Geometry g(small_params());
+  std::uint32_t prev = 0;
+  for (Lba lba = 0; lba < g.total_sectors(); lba += g.total_sectors() / 64) {
+    const Chs chs = g.locate(lba);
+    EXPECT_GE(chs.cylinder, prev);
+    prev = chs.cylinder;
+  }
+}
+
+TEST(Geometry, MediaTimeProportionalToSectors) {
+  Geometry g(small_params());
+  const SimTime t1 = g.media_time(0, 100);
+  const SimTime t2 = g.media_time(0, 200);
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 2.0, 0.1);
+}
+
+TEST(Geometry, MediaTimeMatchesRateForOneTrack) {
+  Geometry g(small_params());
+  const std::uint32_t spt = g.zones()[0].spt;
+  // Reading exactly one track without crossing = one rotation.
+  const SimTime t = g.media_time(0, spt);
+  EXPECT_NEAR(static_cast<double>(t), static_cast<double>(g.rotation_period()),
+              static_cast<double>(g.rotation_period()) * 0.25);  // skew at crossing
+}
+
+TEST(Geometry, TrackCrossingAddsSkew) {
+  Geometry g(small_params());
+  const std::uint32_t spt = g.zones()[0].spt;
+  const SimTime within = g.media_time(0, spt - 1);
+  const SimTime crossing = g.media_time(0, spt + 1);
+  const double sector_ns = static_cast<double>(g.rotation_period()) / spt;
+  const double expected_extra = (2 + g.track_skew_sectors()) * sector_ns;
+  EXPECT_NEAR(static_cast<double>(crossing - within), expected_extra, sector_ns * 2);
+}
+
+TEST(Geometry, RotationalWaitBounded) {
+  Geometry g(small_params());
+  for (Lba lba : {Lba{0}, Lba{12345}, g.total_sectors() / 2}) {
+    for (SimTime now : {SimTime{0}, usec(500), msec(3), msec(97)}) {
+      EXPECT_LE(g.rotational_wait(lba, now), g.rotation_period());
+    }
+  }
+}
+
+TEST(Geometry, RotationalWaitZeroWhenAligned) {
+  Geometry g(small_params());
+  // Sector 0 at time 0 is by definition at angle 0 under the head.
+  EXPECT_EQ(g.rotational_wait(0, 0), 0u);
+  // One full period later it is aligned again.
+  EXPECT_LE(g.rotational_wait(0, g.rotation_period()), 1u);
+}
+
+TEST(Geometry, SequentialRateBelowMediaRate) {
+  Geometry g(small_params());
+  EXPECT_LT(g.sequential_rate_bps(0), g.media_rate_bps(0));
+  EXPECT_GT(g.sequential_rate_bps(0), 0.5 * g.media_rate_bps(0));
+}
+
+TEST(Geometry, ExplicitSkewRespected) {
+  GeometryParams p = small_params();
+  p.track_skew_sectors = 17;
+  Geometry g(p);
+  EXPECT_EQ(g.track_skew_sectors(), 17u);
+}
+
+TEST(Geometry, SingleZoneWorks) {
+  GeometryParams p = small_params();
+  p.num_zones = 1;
+  p.inner_spt = p.outer_spt;
+  Geometry g(p);
+  EXPECT_EQ(g.zones().size(), 1u);
+  EXPECT_GE(g.capacity_bytes(), p.capacity);
+}
+
+TEST(GeometryWd800jd, DefaultDriveCalibration) {
+  // The stock WD800JD-class drive must land on the paper's testbed numbers.
+  Geometry g(GeometryParams{});
+  EXPECT_GE(g.capacity_bytes(), 80 * GiB);
+  EXPECT_NEAR(g.media_rate_bps(0) / 1e6, 62.0, 1.0);
+  EXPECT_NEAR(g.media_rate_bps(g.total_sectors() - 1) / 1e6, 38.0, 1.0);
+  // Application-visible sequential rate: 55-60 MB/s at the outer zone.
+  EXPECT_GT(g.sequential_rate_bps(0) / 1e6, 54.0);
+  EXPECT_LT(g.sequential_rate_bps(0) / 1e6, 60.0);
+  EXPECT_GT(g.total_cylinders(), 50'000u);
+}
+
+TEST(GeometryWd800jd, RotationalWaitIsPeriodic) {
+  Geometry g(GeometryParams{});
+  const Lba lba = 123456;
+  const SimTime t0 = usec(777);
+  const SimTime w0 = g.rotational_wait(lba, t0);
+  // One full rotation later the platter is in the same position.
+  const SimTime w1 = g.rotational_wait(lba, t0 + g.rotation_period());
+  EXPECT_LE(w1 > w0 ? w1 - w0 : w0 - w1, 2u);  // rounding only
+}
+
+TEST(GeometryWd800jd, RotationalWaitIsDeterministic) {
+  Geometry a(GeometryParams{});
+  Geometry b(GeometryParams{});
+  for (Lba lba : {Lba{0}, Lba{999'999}, Lba{50'000'000}}) {
+    for (SimTime t : {usec(1), msec(5), sec(1)}) {
+      EXPECT_EQ(a.rotational_wait(lba, t), b.rotational_wait(lba, t));
+    }
+  }
+}
+
+TEST(GeometryWd800jd, MediaTimeAdditive) {
+  Geometry g(GeometryParams{});
+  const Lba lba = 1'000'000;
+  const SimTime whole = g.media_time(lba, 4096);
+  const SimTime split = g.media_time(lba, 2048) + g.media_time(lba + 2048, 2048);
+  const auto diff = whole > split ? whole - split : split - whole;
+  EXPECT_LE(diff, usec(20));  // boundary rounding only
+}
+
+/// Property sweep: locate() must be consistent with zone tables for many
+/// LBAs in every zone.
+class GeometryZoneProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeometryZoneProperty, LocateConsistentWithZoneTable) {
+  Geometry g(small_params());
+  const auto& zones = g.zones();
+  const auto zi = static_cast<std::size_t>(GetParam());
+  ASSERT_LT(zi, zones.size());
+  const Zone& z = zones[zi];
+  for (Lba off : {Lba{0}, Lba{z.spt - 1}, Lba{z.spt}, z.sectors / 2, z.sectors - 1}) {
+    const Lba lba = z.first_lba + off;
+    if (lba >= g.total_sectors()) continue;
+    const Chs chs = g.locate(lba);
+    EXPECT_EQ(chs.zone, zi);
+    EXPECT_GE(chs.cylinder, z.first_cyl);
+    EXPECT_LT(chs.cylinder, z.first_cyl + z.cylinders);
+    EXPECT_LT(chs.sector, z.spt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZones, GeometryZoneProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace sst::disk

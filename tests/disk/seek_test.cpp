@@ -1,0 +1,71 @@
+#include "disk/seek_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst::disk {
+namespace {
+
+constexpr std::uint32_t kCylinders = 90'000;
+
+SeekModel wd_model() { return SeekModel(SeekParams{}, kCylinders); }
+
+TEST(Seek, ZeroDistanceIsFree) {
+  EXPECT_EQ(wd_model().seek_time(0), 0u);
+}
+
+TEST(Seek, SingleCylinderMatchesDatasheet) {
+  const auto m = wd_model();
+  EXPECT_NEAR(to_millis(m.seek_time(1)), to_millis(SeekParams{}.single_cylinder), 0.1);
+}
+
+TEST(Seek, AverageDistanceMatchesDatasheet) {
+  const auto m = wd_model();
+  EXPECT_NEAR(to_millis(m.seek_time(kCylinders / 3)), to_millis(SeekParams{}.average), 0.05);
+}
+
+TEST(Seek, FullStrokeMatchesDatasheet) {
+  const auto m = wd_model();
+  EXPECT_NEAR(to_millis(m.seek_time(kCylinders - 1)), to_millis(SeekParams{}.full_stroke),
+              0.05);
+}
+
+TEST(Seek, MonotoneNonDecreasing) {
+  const auto m = wd_model();
+  SimTime prev = 0;
+  for (std::uint32_t d = 0; d < kCylinders; d += 997) {
+    const SimTime t = m.seek_time(d);
+    EXPECT_GE(t, prev) << "distance " << d;
+    prev = t;
+  }
+}
+
+TEST(Seek, ContinuousAtKnee) {
+  const auto m = wd_model();
+  const std::uint32_t knee = m.knee_cylinders();
+  const SimTime below = m.seek_time(knee);
+  const SimTime above = m.seek_time(knee + 1);
+  EXPECT_LT(above - below, usec(50));
+}
+
+TEST(Seek, SymmetricBetween) {
+  const auto m = wd_model();
+  EXPECT_EQ(m.seek_between(1000, 5000), m.seek_between(5000, 1000));
+  EXPECT_EQ(m.seek_between(777, 777), 0u);
+}
+
+TEST(Seek, ShortSeeksFollowSqrtShape) {
+  const auto m = wd_model();
+  // For the sqrt law, seek(4d) - a == 2 * (seek(d) - a).
+  const double a = static_cast<double>(m.seek_time(1));
+  const double d1 = static_cast<double>(m.seek_time(100)) - a;
+  const double d4 = static_cast<double>(m.seek_time(400)) - a;
+  EXPECT_NEAR(d4 / d1, 2.0, 0.15);
+}
+
+TEST(Seek, DegenerateTinyDisk) {
+  SeekModel m(SeekParams{}, 2);
+  EXPECT_GT(m.seek_time(1), 0u);
+}
+
+}  // namespace
+}  // namespace sst::disk

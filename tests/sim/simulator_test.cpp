@@ -1,0 +1,166 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sst::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(usec(30), [&] { order.push_back(3); });
+  s.schedule_at(usec(10), [&] { order.push_back(1); });
+  s.schedule_at(usec(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(usec(10), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator s;
+  SimTime seen = 0;
+  s.schedule_at(msec(5), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, msec(5));
+  EXPECT_EQ(s.now(), msec(5));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator s;
+  SimTime seen = 0;
+  s.schedule_at(msec(1), [&] {
+    s.schedule_after(msec(2), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, msec(3));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(msec(1), [&] { ++fired; });
+  s.schedule_at(msec(10), [&] { ++fired; });
+  s.run_until(msec(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), msec(5));
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(msec(5), [&] { ++fired; });
+  s.run_until(msec(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWhenQueueDrains) {
+  Simulator s;
+  s.run_until(sec(1));
+  EXPECT_EQ(s.now(), sec(1));
+}
+
+TEST(Simulator, ConsecutiveRunUntilSeeContiguousTime) {
+  Simulator s;
+  s.run_until(msec(10));
+  s.schedule_after(msec(5), [] {});
+  std::uint64_t ran = s.run_until(msec(20));
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(s.now(), msec(20));
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1, [&] { ++fired; });
+  s.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_at(msec(1), [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelUpdatesPendingCount) {
+  Simulator s;
+  auto h1 = s.schedule_at(1, [] {});
+  auto h2 = s.schedule_at(2, [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  h1.cancel();
+  EXPECT_EQ(s.pending_events(), 1u);
+  EXPECT_FALSE(s.empty());
+  h2.cancel();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator s;
+  auto h = s.schedule_at(1, [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, HandleNotPendingAfterFire) {
+  Simulator s;
+  auto h = s.schedule_at(1, [] {});
+  s.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // harmless after firing
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 10) s.schedule_after(usec(1), chain);
+  };
+  s.schedule_at(0, chain);
+  s.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.executed_events(), 10u);
+}
+
+TEST(Simulator, ExecutedEventsCounter) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator s;
+  for (int i = 0; i < 4; ++i) s.schedule_at(i, [] {});
+  EXPECT_EQ(s.run(), 4u);
+}
+
+}  // namespace
+}  // namespace sst::sim

@@ -1,0 +1,111 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 0.0);
+}
+
+TEST(Histogram, SingleSample) {
+  LatencyHistogram h;
+  h.add(msec(10));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 10.0);
+  // Quantiles land inside the bucket containing 10ms (~12% wide).
+  EXPECT_NEAR(h.p50_ms(), 10.0, 1.5);
+}
+
+TEST(Histogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.add(msec(1));
+  h.add(msec(3));
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 2.0);
+}
+
+TEST(Histogram, QuantileOrderingHolds) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(usec(static_cast<std::uint64_t>(i) * 100));
+  EXPECT_LE(h.p50_ms(), h.p95_ms());
+  EXPECT_LE(h.p95_ms(), h.p99_ms());
+  EXPECT_LE(h.p99_ms(), h.max_ms());
+}
+
+TEST(Histogram, QuantileAccuracyWithinBucketError) {
+  LatencyHistogram h;
+  // Uniform 0.1ms..100ms in 0.1ms steps: p50 ~ 50ms.
+  for (int i = 1; i <= 1000; ++i) h.add(usec(static_cast<std::uint64_t>(i) * 100));
+  EXPECT_NEAR(h.p50_ms(), 50.0, 7.0);   // ~12% bucket error
+  EXPECT_NEAR(h.p95_ms(), 95.0, 13.0);
+}
+
+TEST(Histogram, SubMicrosecondSamplesGoToFirstBucket) {
+  LatencyHistogram h;
+  h.add(nsec(10));
+  h.add(nsec(500));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LT(h.p99_ms(), 0.001);  // below 1us
+}
+
+TEST(Histogram, VeryLargeSampleClampsToLastBucket) {
+  LatencyHistogram h;
+  h.add(sec(100000));  // beyond the bucket range
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.max_ms(), 0.0);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.add(msec(5));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 0.0);
+}
+
+TEST(Histogram, MergeCombinesCountsAndMax) {
+  LatencyHistogram a, b;
+  a.add(msec(1));
+  b.add(msec(9));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean_ms(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_ms(), 9.0);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram a, empty;
+  a.add(msec(2));
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean_ms(), 2.0);
+}
+
+TEST(Histogram, DebugStringMentionsStats) {
+  LatencyHistogram h;
+  h.add(msec(3));
+  const auto s = h.debug_string();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+}
+
+TEST(Histogram, MonotoneQuantileFunction) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(msec(static_cast<std::uint64_t>(1 + i % 20)));
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile_ms(q);
+    EXPECT_GE(v, prev - 1e-9) << "q=" << q;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace sst::stats

@@ -1,0 +1,76 @@
+#include "stats/meters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sst::stats {
+namespace {
+
+TEST(ThroughputMeter, AccumulatesBytes) {
+  ThroughputMeter m;
+  m.add(1000);
+  m.add(2000);
+  EXPECT_EQ(m.total_bytes(), 3000u);
+}
+
+TEST(ThroughputMeter, MbpsOverWindow) {
+  ThroughputMeter m;
+  m.add(50'000'000);  // 50 MB
+  EXPECT_DOUBLE_EQ(m.mbps(sec(0), sec(1)), 50.0);
+  EXPECT_DOUBLE_EQ(m.mbps(sec(0), sec(2)), 25.0);
+}
+
+TEST(ThroughputMeter, DegenerateWindowIsZero) {
+  ThroughputMeter m;
+  m.add(1000);
+  EXPECT_DOUBLE_EQ(m.mbps(sec(1), sec(1)), 0.0);
+  EXPECT_DOUBLE_EQ(m.mbps(sec(2), sec(1)), 0.0);
+}
+
+TEST(ThroughputMeter, ResetClears) {
+  ThroughputMeter m;
+  m.add(123);
+  m.reset();
+  EXPECT_EQ(m.total_bytes(), 0u);
+}
+
+TEST(Summary, EmptyDefaults) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, MeanMinMax) {
+  Summary s;
+  for (double v : {4.0, 2.0, 6.0}) s.add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Summary, VarianceMatchesKnownValue) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(Summary, SingleSampleVarianceZero) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+}  // namespace
+}  // namespace sst::stats

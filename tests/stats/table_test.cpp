@@ -1,0 +1,70 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sst::stats {
+namespace {
+
+TEST(Cell, StringRendering) {
+  EXPECT_EQ(cell_to_string(Cell{std::string("abc")}), "abc");
+}
+
+TEST(Cell, IntRendering) {
+  EXPECT_EQ(cell_to_string(Cell{std::int64_t{42}}), "42");
+}
+
+TEST(Cell, DoubleRenderingTwoDecimals) {
+  EXPECT_EQ(cell_to_string(Cell{3.14159}), "3.14");
+  EXPECT_EQ(cell_to_string(Cell{2.0}), "2.00");
+}
+
+TEST(Table, PrintContainsTitleColumnsAndRows) {
+  Table t("Fig X");
+  t.set_columns({"streams", "MBps"});
+  t.add_row({std::int64_t{10}, 42.5});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("streams"), std::string::npos);
+  EXPECT_NE(out.find("42.50"), std::string::npos);
+}
+
+TEST(Table, NoteIsPrinted) {
+  Table t("T");
+  t.set_note("hello note").set_columns({"a"}).add_row({std::int64_t{1}});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("hello note"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t("T");
+  t.set_columns({"a", "b"});
+  t.add_row({std::int64_t{1}, std::string("x")});
+  t.add_row({std::int64_t{2}, std::string("y")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(Table, RowAccessors) {
+  Table t("T");
+  t.set_columns({"a"});
+  t.add_row({std::int64_t{7}});
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(t.row(0)[0]), 7);
+  EXPECT_EQ(t.columns().size(), 1u);
+  EXPECT_EQ(t.title(), "T");
+}
+
+TEST(Table, ChainedBuilders) {
+  Table t("T");
+  t.set_columns({"a"}).add_row({1.0}).add_row({2.0});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace sst::stats

@@ -1,0 +1,148 @@
+// Near-sequential streams: access with gaps between requests (the paper
+// flags near-sequential detection as the case where the classifier's
+// region width starts to matter, "beyond the scope of this work" — here it
+// is implemented and tested). The classifier detects strided runs as long
+// as enough distinct blocks land inside one region; the stream scheduler's
+// contiguous read-ahead covers the gaps, and consumption high-water marks
+// treat skipped bytes as consumed.
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.hpp"
+#include "core/server.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace sst {
+namespace {
+
+core::SchedulerParams nearseq_params() {
+  core::SchedulerParams p;
+  p.read_ahead = 512 * KiB;
+  p.memory_budget = 16 * MiB;
+  p.materialize_buffers = true;
+  p.classifier.block_bytes = 16 * KiB;
+  p.classifier.offset_blocks = 32;  // region spans 512 KB either way
+  p.classifier.detect_threshold = 3;
+  return p;
+}
+
+struct Harness {
+  sim::Simulator sim;
+  blockdev::MemBlockDevice dev{sim, 64 * MiB, 3, usec(200), 200e6};
+  core::StorageServer server;
+
+  Harness() : server(sim, {&dev}, nearseq_params()) {}
+
+  workload::RequestSink sink() {
+    return [this](core::ClientRequest req) { server.submit(std::move(req)); };
+  }
+};
+
+TEST(NearSequential, StridedClientAdvancesWithGap) {
+  sim::Simulator sim;
+  std::vector<ByteOffset> offsets;
+  workload::RequestSink sink = [&](core::ClientRequest req) {
+    offsets.push_back(req.offset);
+    sim.schedule_after(usec(10), [cb = std::move(req.on_complete), &sim]() { cb(sim.now()); });
+  };
+  workload::StreamSpec spec;
+  spec.request_size = 16 * KiB;
+  spec.stride_gap = 48 * KiB;
+  spec.num_requests = 4;
+  workload::StreamClient client(sim, std::move(sink), spec, 64 * MiB);
+  client.start();
+  sim.run();
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[1], 64 * KiB);
+  EXPECT_EQ(offsets[2], 128 * KiB);
+}
+
+TEST(NearSequential, ClassifierDetectsSmallGaps) {
+  Harness h;
+  workload::StreamSpec spec;
+  spec.request_size = 16 * KiB;
+  spec.stride_gap = 16 * KiB;  // 50% duty cycle, well inside the region
+  spec.num_requests = 30;
+  workload::StreamClient client(h.sim, h.sink(), spec, h.dev.capacity());
+  client.start();
+  h.sim.run_until(sec(5));
+  EXPECT_EQ(h.server.scheduler().stream_count(), 1u);
+  EXPECT_GT(h.server.stats().sequential_requests, 20u);
+}
+
+TEST(NearSequential, StridedRequestsServedFromReadAhead) {
+  Harness h;
+  workload::StreamSpec spec;
+  spec.request_size = 16 * KiB;
+  spec.stride_gap = 16 * KiB;
+  spec.num_requests = 60;
+  workload::StreamClient client(h.sim, h.sink(), spec, h.dev.capacity());
+  client.start();
+  h.sim.run_until(sec(5));
+  EXPECT_EQ(client.stats().completed, 60u);
+  // Most post-detection requests were staged-buffer hits.
+  EXPECT_GT(h.server.scheduler().stats().buffer_hits, 30u);
+}
+
+TEST(NearSequential, GapsLargerThanRegionStayUnclassified) {
+  Harness h;
+  workload::StreamSpec spec;
+  spec.request_size = 16 * KiB;
+  spec.stride_gap = 4 * MiB;  // each request lands in a fresh region
+  spec.num_requests = 10;
+  workload::StreamClient client(h.sim, h.sink(), spec, h.dev.capacity());
+  client.start();
+  h.sim.run_until(sec(5));
+  EXPECT_EQ(client.stats().completed, 10u);
+  EXPECT_EQ(h.server.scheduler().stream_count(), 0u);
+  EXPECT_EQ(h.server.stats().direct_reads, 10u);
+}
+
+TEST(NearSequential, DataIntegrityWithGaps) {
+  Harness h;
+  // Materialized server: verify strided reads return the right bytes even
+  // though the read-ahead fetches the gaps too.
+  std::vector<std::byte> buf(16 * KiB);
+  int done = 0;
+  for (int i = 0; i < 20; ++i) {
+    const ByteOffset off = static_cast<ByteOffset>(i) * 32 * KiB;
+    std::fill(buf.begin(), buf.end(), std::byte{0});
+    core::ClientRequest req;
+    req.device = 0;
+    req.offset = off;
+    req.length = buf.size();
+    req.data = buf.data();
+    req.on_complete = [&done](SimTime) { ++done; };
+    h.server.submit(std::move(req));
+    h.sim.run_until(h.sim.now() + msec(50));
+    ASSERT_EQ(done, i + 1);
+    EXPECT_TRUE(blockdev::check_pattern(3, off, buf.data(), buf.size())) << i;
+  }
+}
+
+TEST(NearSequential, WiderRegionsDetectWiderStrides) {
+  // With a wider classifier region the same stride is detected; with a
+  // narrow one it is not — the knob the paper hints at.
+  auto run_with = [](std::uint32_t offset_blocks) {
+    core::SchedulerParams p = nearseq_params();
+    p.classifier.offset_blocks = offset_blocks;
+    sim::Simulator sim;
+    blockdev::MemBlockDevice dev(sim, 64 * MiB, 3, usec(200), 200e6);
+    core::StorageServer server(sim, {&dev}, p);
+    workload::StreamSpec spec;
+    spec.request_size = 16 * KiB;
+    spec.stride_gap = 112 * KiB;  // stride 8 blocks of 16 KB
+    spec.num_requests = 20;
+    workload::StreamClient client(
+        sim, [&server](core::ClientRequest r) { server.submit(std::move(r)); }, spec,
+        dev.capacity());
+    client.start();
+    sim.run_until(sec(5));
+    return server.scheduler().stream_count();
+  };
+  EXPECT_EQ(run_with(4), 0u);    // region spans 4 blocks: stride escapes it
+  EXPECT_GE(run_with(64), 1u);   // region spans 64 blocks: detected
+}
+
+}  // namespace
+}  // namespace sst
