@@ -10,26 +10,36 @@ namespace {
 
 using namespace sstbench;
 
+constexpr std::uint32_t kStreams = 60;
+
+SweepCache& classifier_cache() {
+  static SweepCache cache(
+      sweep_grid({{2, 3, 4, 8}, {8, 32, 128}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto threshold = static_cast<std::uint32_t>(key[0]);
+        const auto offset_blocks = static_cast<std::uint32_t>(key[1]);
+
+        node::NodeConfig cfg;
+        core::SchedulerParams params =
+            paper_params(kStreams, 2 * MiB, 1, static_cast<Bytes>(kStreams) * 2 * MiB);
+        params.classifier.detect_threshold = threshold;
+        params.classifier.offset_blocks = offset_blocks;
+        return sched_config(cfg, params, kStreams, 64 * KiB);
+      });
+  return cache;
+}
+
 void AblationClassifier(benchmark::State& state) {
-  const auto threshold = static_cast<std::uint32_t>(state.range(0));
-  const auto offset_blocks = static_cast<std::uint32_t>(state.range(1));
-  constexpr std::uint32_t kStreams = 60;
-
-  node::NodeConfig cfg;
-  core::SchedulerParams params =
-      paper_params(kStreams, 2 * MiB, 1, static_cast<Bytes>(kStreams) * 2 * MiB);
-  params.classifier.detect_threshold = threshold;
-  params.classifier.offset_blocks = offset_blocks;
-
-  experiment::ExperimentResult result;
-  for (auto _ : state) result = run_sched(cfg, params, kStreams, 64 * KiB);
-
-  state.counters["MBps"] = result.total_mbps;
-  const double total = static_cast<double>(result.server_stats.requests);
+  const experiment::ExperimentResult* result = nullptr;
+  for (auto _ : state) {
+    result = classifier_cache().result({state.range(0), state.range(1)});
+  }
+  state.counters["MBps"] = result->total_mbps;
+  const double total = static_cast<double>(result->server_stats.requests);
   state.counters["direct_frac"] =
-      total > 0 ? static_cast<double>(result.server_stats.direct_reads) / total : 0.0;
+      total > 0 ? static_cast<double>(result->server_stats.direct_reads) / total : 0.0;
   state.counters["streams_detected"] =
-      static_cast<double>(result.scheduler_stats.streams_created);
+      static_cast<double>(result->scheduler_stats.streams_created);
 }
 
 }  // namespace

@@ -9,23 +9,37 @@ namespace {
 
 using namespace sstbench;
 
+SweepCache& disk_sched_cache() {
+  static SweepCache cache(
+      sweep_grid({{static_cast<std::int64_t>(disk::SchedulerKind::kFcfs),
+                   static_cast<std::int64_t>(disk::SchedulerKind::kElevator),
+                   static_cast<std::int64_t>(disk::SchedulerKind::kSstf)},
+                  {30, 100},
+                  {0, 1}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto kind = static_cast<disk::SchedulerKind>(key[0]);
+        const auto streams = static_cast<std::uint32_t>(key[1]);
+        const bool with_host_sched = key[2] != 0;
+
+        node::NodeConfig cfg;
+        cfg.disk.scheduler = kind;
+        if (!with_host_sched) return raw_config(cfg, streams, 64 * KiB);
+        const core::SchedulerParams params =
+            paper_params(streams, 2 * MiB, 1, static_cast<Bytes>(streams) * 2 * MiB);
+        return sched_config(cfg, params, streams, 64 * KiB);
+      });
+  return cache;
+}
+
 void AblationDiskSched(benchmark::State& state) {
   const auto kind = static_cast<disk::SchedulerKind>(state.range(0));
-  const auto streams = static_cast<std::uint32_t>(state.range(1));
   const bool with_host_sched = state.range(2) != 0;
 
-  node::NodeConfig cfg;
-  cfg.disk.scheduler = kind;
-
-  experiment::ExperimentResult result;
-  if (with_host_sched) {
-    const core::SchedulerParams params =
-        paper_params(streams, 2 * MiB, 1, static_cast<Bytes>(streams) * 2 * MiB);
-    for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB);
-  } else {
-    for (auto _ : state) result = run_raw(cfg, streams, 64 * KiB);
+  const experiment::ExperimentResult* result = nullptr;
+  for (auto _ : state) {
+    result = disk_sched_cache().result({state.range(0), state.range(1), state.range(2)});
   }
-  state.counters["MBps"] = result.total_mbps;
+  state.counters["MBps"] = result->total_mbps;
   state.SetLabel(std::string(disk::to_string(kind)) +
                  (with_host_sched ? "+host" : "+raw"));
 }

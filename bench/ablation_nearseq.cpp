@@ -10,31 +10,46 @@ namespace {
 
 using namespace sstbench;
 
+constexpr std::uint32_t kStreams = 30;
+constexpr Bytes kRequest = 64 * KiB;
+
+SweepCache& nearseq_cache() {
+  static SweepCache cache(
+      sweep_grid({{0, 64, 256, 1024}, {0, 1}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const Bytes gap = static_cast<Bytes>(key[0]) * KiB;
+        const bool with_sched = key[1] != 0;
+
+        node::NodeConfig cfg;  // 1 disk
+        experiment::ExperimentConfig ec;
+        ec.node = cfg;
+        ec.warmup = sec(2);
+        ec.measure = sec(10);
+        ec.streams = workload::make_uniform_streams(kStreams, 1,
+                                                    cfg.disk.geometry.capacity, kRequest);
+        for (auto& spec : ec.streams) spec.stride_gap = gap;
+        if (with_sched) {
+          core::SchedulerParams p;
+          p.read_ahead = 2 * MiB;
+          p.memory_budget = static_cast<Bytes>(kStreams) * 2 * MiB;
+          // Wide regions so large strides remain detectable.
+          p.classifier.offset_blocks = 64;
+          ec.scheduler = p;
+        }
+        return ec;
+      });
+  return cache;
+}
+
 void AblationNearSeq(benchmark::State& state) {
   const Bytes gap = static_cast<Bytes>(state.range(0)) * KiB;
   const bool with_sched = state.range(1) != 0;
-  constexpr std::uint32_t kStreams = 30;
-  constexpr Bytes kRequest = 64 * KiB;
 
-  node::NodeConfig cfg;  // 1 disk
-  experiment::ExperimentConfig ec;
-  ec.node = cfg;
-  ec.warmup = sec(2);
-  ec.measure = sec(10);
-  ec.streams = workload::make_uniform_streams(kStreams, 1, cfg.disk.geometry.capacity,
-                                              kRequest);
-  for (auto& spec : ec.streams) spec.stride_gap = gap;
-  if (with_sched) {
-    core::SchedulerParams p;
-    p.read_ahead = 2 * MiB;
-    p.memory_budget = static_cast<Bytes>(kStreams) * 2 * MiB;
-    // Wide regions so large strides remain detectable.
-    p.classifier.offset_blocks = 64;
-    ec.scheduler = p;
+  const experiment::ExperimentResult* result = nullptr;
+  for (auto _ : state) {
+    result = nearseq_cache().result({state.range(0), state.range(1)});
   }
-  experiment::ExperimentResult result;
-  for (auto _ : state) result = experiment::run_experiment(ec);
-  state.counters["MBps"] = result.total_mbps;
+  state.counters["MBps"] = result->total_mbps;
   state.counters["useful_frac"] =
       static_cast<double>(kRequest) / static_cast<double>(kRequest + gap);
   state.SetLabel(with_sched ? "scheduler" : "raw");

@@ -11,27 +11,42 @@ namespace {
 
 using namespace sstbench;
 
+constexpr std::uint32_t kStreams = 64;
+
+SweepCache& policy_cache() {
+  static SweepCache cache(
+      sweep_grid({{static_cast<std::int64_t>(core::ReplacementPolicyKind::kRoundRobin),
+                   static_cast<std::int64_t>(core::ReplacementPolicyKind::kNearestOffset)},
+                  {128, 512, 2048}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto policy = static_cast<core::ReplacementPolicyKind>(key[0]);
+        const Bytes read_ahead = static_cast<Bytes>(key[1]) * KiB;
+
+        node::NodeConfig cfg;  // 1 disk
+        core::SchedulerParams params;
+        params.dispatch_set_size = 4;
+        params.read_ahead = read_ahead;
+        params.requests_per_residency = 4;
+        params.memory_budget =
+            static_cast<Bytes>(params.dispatch_set_size) * read_ahead *
+                params.requests_per_residency +
+            64 * MiB;
+        params.policy = policy;
+        return sched_config(cfg, params, kStreams, 64 * KiB, sec(4), sec(16));
+      });
+  return cache;
+}
+
 void AblationPolicy(benchmark::State& state) {
   const auto policy = static_cast<core::ReplacementPolicyKind>(state.range(0));
-  const Bytes read_ahead = static_cast<Bytes>(state.range(1)) * KiB;
-  constexpr std::uint32_t kStreams = 64;
 
-  node::NodeConfig cfg;  // 1 disk
-  core::SchedulerParams params;
-  params.dispatch_set_size = 4;
-  params.read_ahead = read_ahead;
-  params.requests_per_residency = 4;
-  params.memory_budget =
-      static_cast<Bytes>(params.dispatch_set_size) * read_ahead *
-          params.requests_per_residency +
-      64 * MiB;
-  params.policy = policy;
-
-  experiment::ExperimentResult result;
-  for (auto _ : state) result = run_sched(cfg, params, kStreams, 64 * KiB, sec(4), sec(16));
-  state.counters["MBps"] = result.total_mbps;
+  const experiment::ExperimentResult* result = nullptr;
+  for (auto _ : state) {
+    result = policy_cache().result({state.range(0), state.range(1)});
+  }
+  state.counters["MBps"] = result->total_mbps;
   state.counters["fairness_min_max"] =
-      result.max_stream_mbps > 0 ? result.min_stream_mbps / result.max_stream_mbps : 0.0;
+      result->max_stream_mbps > 0 ? result->min_stream_mbps / result->max_stream_mbps : 0.0;
   state.SetLabel(core::to_string(policy));
 }
 

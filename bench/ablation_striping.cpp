@@ -5,6 +5,7 @@
 // disk now sees S interleaved near-random fragment streams instead of S/8
 // long sequential ones, multiplying the positioning overhead — unless the
 // stripe unit is large enough to amortize a seek by itself.
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -48,21 +49,44 @@ double run_striped(std::uint32_t streams, Bytes stripe_unit, Bytes request) {
   return total;
 }
 
+// Mixed harness (the striped series bypasses ExperimentConfig), so the
+// whole grid fans out through run_sweep_jobs with the scalar throughput
+// carried in ExperimentResult::total_mbps.
+const std::map<SweepKey, double>& striping_results() {
+  static const std::map<SweepKey, double> results = [] {
+    const std::vector<SweepKey> keys = sweep_grid({{80, 240}, {0, 64, 512, 4096}});
+    std::vector<std::function<experiment::ExperimentResult()>> jobs;
+    jobs.reserve(keys.size());
+    for (const SweepKey& key : keys) {
+      jobs.push_back([key] {
+        const auto streams = static_cast<std::uint32_t>(key[0]);
+        const Bytes stripe_kb = static_cast<Bytes>(key[1]);
+        if (stripe_kb == 0) {
+          // Per-spindle placement (the paper's deployment).
+          return experiment::run_experiment(
+              raw_config(node::NodeConfig::medium(), streams, 64 * KiB));
+        }
+        experiment::ExperimentResult r;
+        r.total_mbps = run_striped(streams, stripe_kb * KiB, 64 * KiB);
+        return r;
+      });
+    }
+    const auto raw = experiment::run_sweep_jobs(jobs);
+    std::map<SweepKey, double> out;
+    for (std::size_t i = 0; i < keys.size(); ++i) out.emplace(keys[i], raw[i].total_mbps);
+    return out;
+  }();
+  return results;
+}
+
 void AblationStriping(benchmark::State& state) {
-  const auto streams = static_cast<std::uint32_t>(state.range(0));
   const Bytes stripe_kb = static_cast<Bytes>(state.range(1));
   double mbps = 0.0;
-  if (stripe_kb == 0) {
-    // Per-spindle placement (the paper's deployment).
-    node::NodeConfig cfg = node::NodeConfig::medium();
-    experiment::ExperimentResult result;
-    for (auto _ : state) result = run_raw(cfg, streams, 64 * KiB);
-    mbps = result.total_mbps;
-    state.SetLabel("per-spindle");
-  } else {
-    for (auto _ : state) mbps = run_striped(streams, stripe_kb * KiB, 64 * KiB);
-    state.SetLabel("raid0/" + std::to_string(stripe_kb) + "K");
+  for (auto _ : state) {
+    mbps = striping_results().at({state.range(0), state.range(1)});
   }
+  state.SetLabel(stripe_kb == 0 ? "per-spindle"
+                                : "raid0/" + std::to_string(stripe_kb) + "K");
   state.counters["MBps"] = mbps;
 }
 

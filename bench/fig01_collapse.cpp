@@ -9,20 +9,34 @@ namespace {
 
 using namespace sstbench;
 
-void Fig01(benchmark::State& state) {
-  const auto streams = static_cast<std::uint32_t>(state.range(0));
-  const Bytes request = static_cast<Bytes>(state.range(1)) * KiB;
-
+node::NodeConfig fig01_node() {
   node::NodeConfig cfg;
   cfg.num_controllers = 15;
   cfg.disks_per_controller = 4;  // 60 disks
+  return cfg;
+}
 
-  experiment::ExperimentResult result;
+SweepCache& fig01_cache() {
+  static SweepCache cache(
+      sweep_grid({{60, 100, 300, 500}, {8, 16, 64, 128, 256}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto streams = static_cast<std::uint32_t>(key[0]);
+        const Bytes request = static_cast<Bytes>(key[1]) * KiB;
+        return raw_config(fig01_node(), streams, request, sec(2), sec(8));
+      });
+  return cache;
+}
+
+void Fig01(benchmark::State& state) {
+  const auto streams = static_cast<std::uint32_t>(state.range(0));
+  const node::NodeConfig cfg = fig01_node();
+
+  const experiment::ExperimentResult* result = nullptr;
   for (auto _ : state) {
-    result = run_raw(cfg, streams, request, sec(2), sec(8));
+    result = fig01_cache().result({state.range(0), state.range(1)});
   }
-  state.counters["MBps"] = result.total_mbps;
-  state.counters["MBps_per_disk"] = result.per_disk_mbps(cfg.total_disks());
+  state.counters["MBps"] = result->total_mbps;
+  state.counters["MBps_per_disk"] = result->per_disk_mbps(cfg.total_disks());
   state.counters["streams_per_disk"] =
       static_cast<double>(streams) / cfg.total_disks();
 }

@@ -9,21 +9,28 @@ namespace {
 
 using namespace sstbench;
 
+SweepCache& fig04_cache() {
+  static SweepCache cache(
+      sweep_grid({{1, 10, 30, 60, 100}, {8, 16, 64, 128, 256}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto streams = static_cast<std::uint32_t>(key[0]);
+        const Bytes request = static_cast<Bytes>(key[1]) * KiB;
+        node::NodeConfig cfg;  // base: 1 controller, 1 disk
+        cfg.disk.cache.size = 8 * MiB;
+        cfg.disk.cache.num_segments = static_cast<std::uint32_t>((8 * MiB) / request);
+        cfg.disk.cache.read_ahead = 0;  // "ensures that no prefetching takes place"
+        return raw_config(cfg, streams, request);
+      });
+  return cache;
+}
+
 void Fig04(benchmark::State& state) {
-  const auto streams = static_cast<std::uint32_t>(state.range(0));
-  const Bytes request = static_cast<Bytes>(state.range(1)) * KiB;
-
-  node::NodeConfig cfg;  // base: 1 controller, 1 disk
-  cfg.disk.cache.size = 8 * MiB;
-  cfg.disk.cache.num_segments = static_cast<std::uint32_t>((8 * MiB) / request);
-  cfg.disk.cache.read_ahead = 0;  // "ensures that no prefetching takes place"
-
-  experiment::ExperimentResult result;
+  const experiment::ExperimentResult* result = nullptr;
   for (auto _ : state) {
-    result = run_raw(cfg, streams, request);
+    result = fig04_cache().result({state.range(0), state.range(1)});
   }
-  state.counters["MBps"] = result.total_mbps;
-  state.counters["disk_cache_hits"] = static_cast<double>(result.disk_totals.cache_hits);
+  state.counters["MBps"] = result->total_mbps;
+  state.counters["disk_cache_hits"] = static_cast<double>(result->disk_totals.cache_hits);
 }
 
 }  // namespace

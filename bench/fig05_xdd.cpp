@@ -10,18 +10,25 @@ namespace {
 
 using namespace sstbench;
 
+SweepCache& fig05_cache() {
+  static SweepCache cache(
+      sweep_grid({{1, 10, 20, 30, 50}, {8, 16, 64, 128, 256}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto streams = static_cast<std::uint32_t>(key[0]);
+        const Bytes request = static_cast<Bytes>(key[1]) * KiB;
+        node::NodeConfig cfg;  // stock WD800JD: 8 MB cache, 32 segments, fill RA
+        return raw_config(cfg, streams, request);
+      });
+  return cache;
+}
+
 void Fig05(benchmark::State& state) {
-  const auto streams = static_cast<std::uint32_t>(state.range(0));
-  const Bytes request = static_cast<Bytes>(state.range(1)) * KiB;
-
-  node::NodeConfig cfg;  // stock WD800JD: 8 MB cache, 32 segments, fill RA
-
-  experiment::ExperimentResult result;
+  const experiment::ExperimentResult* result = nullptr;
   for (auto _ : state) {
-    result = run_raw(cfg, streams, request);
+    result = fig05_cache().result({state.range(0), state.range(1)});
   }
-  state.counters["MBps"] = result.total_mbps;
-  const auto& d = result.disk_totals;
+  state.counters["MBps"] = result->total_mbps;
+  const auto& d = result->disk_totals;
   const double lookups = static_cast<double>(d.cache_hits + d.cache_misses);
   state.counters["hit_rate"] =
       lookups > 0 ? static_cast<double>(d.cache_hits) / lookups : 0.0;

@@ -9,20 +9,30 @@ namespace {
 
 using namespace sstbench;
 
+constexpr std::uint32_t kSegments = 32;
+constexpr std::uint32_t kStreams = 30;
+
+SweepCache& fig06_cache() {
+  static SweepCache cache(
+      sweep_grid({{32, 64, 128, 256, 512, 1024, 2048}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const Bytes segment = static_cast<Bytes>(key[0]) * KiB;
+        node::NodeConfig cfg;
+        cfg.disk.cache.num_segments = kSegments;
+        cfg.disk.cache.size = segment * kSegments;
+        return raw_config(cfg, kStreams, 64 * KiB);
+      });
+  return cache;
+}
+
 void Fig06(benchmark::State& state) {
   const Bytes segment = static_cast<Bytes>(state.range(0)) * KiB;
-  constexpr std::uint32_t kSegments = 32;
-  constexpr std::uint32_t kStreams = 30;
 
-  node::NodeConfig cfg;
-  cfg.disk.cache.num_segments = kSegments;
-  cfg.disk.cache.size = segment * kSegments;
-
-  experiment::ExperimentResult result;
+  const experiment::ExperimentResult* result = nullptr;
   for (auto _ : state) {
-    result = run_raw(cfg, kStreams, 64 * KiB);
+    result = fig06_cache().result({state.range(0)});
   }
-  state.counters["MBps"] = result.total_mbps;
+  state.counters["MBps"] = result->total_mbps;
   state.counters["cache_MB"] = static_cast<double>(segment * kSegments) / (1 << 20);
 }
 

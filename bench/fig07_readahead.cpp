@@ -9,25 +9,39 @@ namespace {
 
 using namespace sstbench;
 
-void Fig07(benchmark::State& state) {
-  const auto num_segments = static_cast<std::uint32_t>(state.range(0));
-  const auto streams = static_cast<std::uint32_t>(state.range(1));
-
+node::NodeConfig fig07_node(std::uint32_t num_segments) {
   node::NodeConfig cfg;
   cfg.disk.cache.size = 8 * MiB;
   cfg.disk.cache.num_segments = num_segments;  // segment = 8M / n
+  return cfg;
+}
 
-  experiment::ExperimentResult result;
+SweepCache& fig07_cache() {
+  static SweepCache cache(
+      sweep_grid({{128, 64, 32, 16, 8}, {1, 10, 30, 50, 100}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto num_segments = static_cast<std::uint32_t>(key[0]);
+        const auto streams = static_cast<std::uint32_t>(key[1]);
+        return raw_config(fig07_node(num_segments), streams, 64 * KiB);
+      });
+  return cache;
+}
+
+void Fig07(benchmark::State& state) {
+  const auto num_segments = static_cast<std::uint32_t>(state.range(0));
+  const node::NodeConfig cfg = fig07_node(num_segments);
+
+  const experiment::ExperimentResult* result = nullptr;
   for (auto _ : state) {
-    result = run_raw(cfg, streams, 64 * KiB);
+    result = fig07_cache().result({state.range(0), state.range(1)});
   }
-  state.counters["MBps"] = result.total_mbps;
+  state.counters["MBps"] = result->total_mbps;
   state.counters["segKB"] =
       static_cast<double>(cfg.disk.cache.segment_bytes()) / 1024.0;
   state.counters["wasted_prefetch_MB"] = static_cast<double>(sectors_to_bytes(
-      result.disk_totals.wasted_prefetch_sectors)) / (1 << 20);
+      result->disk_totals.wasted_prefetch_sectors)) / (1 << 20);
   state.counters["media_MB"] =
-      static_cast<double>(result.disk_totals.bytes_from_media) / (1 << 20);
+      static_cast<double>(result->disk_totals.bytes_from_media) / (1 << 20);
 }
 
 }  // namespace

@@ -10,19 +10,26 @@ namespace {
 
 using namespace sstbench;
 
+SweepCache& fig08_cache() {
+  static SweepCache cache(
+      sweep_grid({{64, 256, 512, 1024, 2048, 4096}, {1, 10, 30, 60, 100}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const Bytes prefetch = static_cast<Bytes>(key[0]) * KiB;
+        const auto streams = static_cast<std::uint32_t>(key[1]);
+        node::NodeConfig cfg;
+        cfg.controller.cache_size = 128 * MiB;
+        cfg.controller.prefetch = prefetch;
+        return raw_config(cfg, streams, 64 * KiB);
+      });
+  return cache;
+}
+
 void Fig08(benchmark::State& state) {
-  const Bytes prefetch = static_cast<Bytes>(state.range(0)) * KiB;
-  const auto streams = static_cast<std::uint32_t>(state.range(1));
-
-  node::NodeConfig cfg;
-  cfg.controller.cache_size = 128 * MiB;
-  cfg.controller.prefetch = prefetch;
-
-  experiment::ExperimentResult result;
+  const experiment::ExperimentResult* result = nullptr;
   for (auto _ : state) {
-    result = run_raw(cfg, streams, 64 * KiB);
+    result = fig08_cache().result({state.range(0), state.range(1)});
   }
-  state.counters["MBps"] = result.total_mbps;
+  state.counters["MBps"] = result->total_mbps;
 }
 
 }  // namespace

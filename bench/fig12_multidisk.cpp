@@ -10,26 +10,32 @@ namespace {
 
 using namespace sstbench;
 
+SweepCache& fig12_cache() {
+  static SweepCache cache(
+      sweep_grid({{0, 512, 1024, 2048}, {10, 30, 60, 100}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const Bytes read_ahead = static_cast<Bytes>(key[0]) * KiB;
+        const auto per_disk = static_cast<std::uint32_t>(key[1]);
+        node::NodeConfig cfg = node::NodeConfig::medium();  // 2 x 4 disks
+        const std::uint32_t streams = per_disk * cfg.total_disks();
+        if (read_ahead == 0) return raw_config(cfg, streams, 64 * KiB);
+        const core::SchedulerParams params =
+            paper_params(streams, read_ahead, 1,
+                         static_cast<Bytes>(streams) * read_ahead);
+        return sched_config(cfg, params, streams, 64 * KiB);
+      });
+  return cache;
+}
+
 void Fig12(benchmark::State& state) {
-  const Bytes read_ahead = static_cast<Bytes>(state.range(0)) * KiB;
-  const auto per_disk = static_cast<std::uint32_t>(state.range(1));
-
-  node::NodeConfig cfg = node::NodeConfig::medium();  // 2 x 4 disks
-  const std::uint32_t streams = per_disk * cfg.total_disks();
-
-  experiment::ExperimentResult result;
-  if (read_ahead == 0) {
-    for (auto _ : state) result = run_raw(cfg, streams, 64 * KiB);
-  } else {
-    const core::SchedulerParams params =
-        paper_params(streams, read_ahead, 1,
-                     static_cast<Bytes>(streams) * read_ahead);
-    for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB);
+  const experiment::ExperimentResult* result = nullptr;
+  for (auto _ : state) {
+    result = fig12_cache().result({state.range(0), state.range(1)});
   }
-  state.counters["MBps"] = result.total_mbps;
-  state.counters["cpu_util"] = result.host_cpu_utilization;
+  state.counters["MBps"] = result->total_mbps;
+  state.counters["cpu_util"] = result->host_cpu_utilization;
   state.counters["buffers_peak_MB"] =
-      static_cast<double>(result.peak_buffer_memory) / (1 << 20);
+      static_cast<double>(result->peak_buffer_memory) / (1 << 20);
 }
 
 }  // namespace

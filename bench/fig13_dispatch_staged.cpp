@@ -13,39 +13,59 @@ using namespace sstbench;
 
 constexpr Bytes kReadAhead = 512 * KiB;
 
+SweepCache& fig13_small_cache() {
+  static SweepCache cache(
+      sweep_grid({{10, 30, 60, 100}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto per_disk = static_cast<std::uint32_t>(key[0]);
+        node::NodeConfig cfg = node::NodeConfig::medium();
+        const std::uint32_t streams = per_disk * cfg.total_disks();
+
+        core::SchedulerParams params;
+        params.dispatch_set_size = cfg.total_disks();  // D = #disks
+        params.read_ahead = kReadAhead;
+        params.requests_per_residency = 128;  // N = 128
+        // M sized to the dispatch working set plus staging slack.
+        params.memory_budget = static_cast<Bytes>(params.dispatch_set_size) * kReadAhead *
+                                   params.requests_per_residency +
+                               256 * MiB;
+        return sched_config(cfg, params, streams, 64 * KiB, sec(4), sec(16));
+      });
+  return cache;
+}
+
+SweepCache& fig13_staged_cache() {
+  static SweepCache cache(
+      sweep_grid({{10, 30, 60, 100}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto per_disk = static_cast<std::uint32_t>(key[0]);
+        node::NodeConfig cfg = node::NodeConfig::medium();
+        const std::uint32_t streams = per_disk * cfg.total_disks();
+        const core::SchedulerParams params = paper_params(
+            streams, kReadAhead, 1, static_cast<Bytes>(streams) * kReadAhead);
+        return sched_config(cfg, params, streams, 64 * KiB, sec(4), sec(16));
+      });
+  return cache;
+}
+
 void Fig13SmallDispatch(benchmark::State& state) {
-  const auto per_disk = static_cast<std::uint32_t>(state.range(0));
-  node::NodeConfig cfg = node::NodeConfig::medium();
-  const std::uint32_t streams = per_disk * cfg.total_disks();
-
-  core::SchedulerParams params;
-  params.dispatch_set_size = cfg.total_disks();  // D = #disks
-  params.read_ahead = kReadAhead;
-  params.requests_per_residency = 128;  // N = 128
-  // M sized to the dispatch working set plus staging slack.
-  params.memory_budget = static_cast<Bytes>(params.dispatch_set_size) * kReadAhead *
-                             params.requests_per_residency +
-                         256 * MiB;
-
-  experiment::ExperimentResult result;
-  for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB, sec(4), sec(16));
-  state.counters["MBps"] = result.total_mbps;
-  state.counters["cpu_util"] = result.host_cpu_utilization;
+  const experiment::ExperimentResult* result = nullptr;
+  for (auto _ : state) {
+    result = fig13_small_cache().result({state.range(0)});
+  }
+  state.counters["MBps"] = result->total_mbps;
+  state.counters["cpu_util"] = result->host_cpu_utilization;
   state.counters["buffers_peak_MB"] =
-      static_cast<double>(result.peak_buffer_memory) / (1 << 20);
+      static_cast<double>(result->peak_buffer_memory) / (1 << 20);
 }
 
 void Fig13DispatchEqualsStaged(benchmark::State& state) {
-  const auto per_disk = static_cast<std::uint32_t>(state.range(0));
-  node::NodeConfig cfg = node::NodeConfig::medium();
-  const std::uint32_t streams = per_disk * cfg.total_disks();
-  const core::SchedulerParams params = paper_params(
-      streams, kReadAhead, 1, static_cast<Bytes>(streams) * kReadAhead);
-
-  experiment::ExperimentResult result;
-  for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB, sec(4), sec(16));
-  state.counters["MBps"] = result.total_mbps;
-  state.counters["cpu_util"] = result.host_cpu_utilization;
+  const experiment::ExperimentResult* result = nullptr;
+  for (auto _ : state) {
+    result = fig13_staged_cache().result({state.range(0)});
+  }
+  state.counters["MBps"] = result->total_mbps;
+  state.counters["cpu_util"] = result->host_cpu_utilization;
 }
 
 }  // namespace

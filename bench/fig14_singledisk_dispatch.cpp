@@ -10,33 +10,53 @@ namespace {
 
 using namespace sstbench;
 
+SweepCache& fig14_small_cache() {
+  static SweepCache cache(
+      sweep_grid({{10, 30, 60, 100}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto streams = static_cast<std::uint32_t>(key[0]);
+        node::NodeConfig cfg;  // 1 disk
+
+        core::SchedulerParams params;
+        params.dispatch_set_size = 1;          // D = 1
+        params.read_ahead = 512 * KiB;         // R = 512K
+        params.requests_per_residency = 128;   // N = 128
+        params.memory_budget = 64 * MiB + 128 * MiB;  // D*R*N + staging slack
+        return sched_config(cfg, params, streams, 64 * KiB, sec(4), sec(16));
+      });
+  return cache;
+}
+
+SweepCache& fig14_all_cache() {
+  static SweepCache cache(
+      sweep_grid({{10, 30, 60, 100}, {2048, 8192}}),
+      [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
+        const auto streams = static_cast<std::uint32_t>(key[0]);
+        const Bytes read_ahead = static_cast<Bytes>(key[1]) * KiB;
+        node::NodeConfig cfg;
+        const core::SchedulerParams params = paper_params(
+            streams, read_ahead, 1, static_cast<Bytes>(streams) * read_ahead);
+        return sched_config(cfg, params, streams, 64 * KiB, sec(4), sec(16));
+      });
+  return cache;
+}
+
 void Fig14SmallDispatch(benchmark::State& state) {
-  const auto streams = static_cast<std::uint32_t>(state.range(0));
-  node::NodeConfig cfg;  // 1 disk
-
-  core::SchedulerParams params;
-  params.dispatch_set_size = 1;          // D = 1
-  params.read_ahead = 512 * KiB;         // R = 512K
-  params.requests_per_residency = 128;   // N = 128
-  params.memory_budget = 64 * MiB + 128 * MiB;  // D*R*N + staging slack
-
-  experiment::ExperimentResult result;
-  for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB, sec(4), sec(16));
-  state.counters["MBps"] = result.total_mbps;
-  state.counters["cpu_util"] = result.host_cpu_utilization;
+  const experiment::ExperimentResult* result = nullptr;
+  for (auto _ : state) {
+    result = fig14_small_cache().result({state.range(0)});
+  }
+  state.counters["MBps"] = result->total_mbps;
+  state.counters["cpu_util"] = result->host_cpu_utilization;
 }
 
 void Fig14AllDispatched(benchmark::State& state) {
-  const auto streams = static_cast<std::uint32_t>(state.range(0));
-  const Bytes read_ahead = static_cast<Bytes>(state.range(1)) * KiB;
-  node::NodeConfig cfg;
-
-  const core::SchedulerParams params = paper_params(
-      streams, read_ahead, 1, static_cast<Bytes>(streams) * read_ahead);
-  experiment::ExperimentResult result;
-  for (auto _ : state) result = run_sched(cfg, params, streams, 64 * KiB, sec(4), sec(16));
-  state.counters["MBps"] = result.total_mbps;
-  state.counters["cpu_util"] = result.host_cpu_utilization;
+  const experiment::ExperimentResult* result = nullptr;
+  for (auto _ : state) {
+    result = fig14_all_cache().result({state.range(0), state.range(1)});
+  }
+  state.counters["MBps"] = result->total_mbps;
+  state.counters["cpu_util"] = result->host_cpu_utilization;
 }
 
 }  // namespace

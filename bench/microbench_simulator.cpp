@@ -1,0 +1,225 @@
+// Microbenchmark for the simulation core's hot paths (plain binary, no
+// google-benchmark): raw event throughput through the pooled event slab,
+// schedule+cancel churn, a fig01-style end-to-end experiment, and the
+// parallel sweep engine's speedup over a serial run. Verifies — via global
+// operator new/delete counters — that schedule/fire and schedule/cancel
+// allocate NOTHING per event once the slab is warm.
+//
+// Usage: microbench_simulator [output.json]   (default BENCH_simcore.json)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "experiment/sweep.hpp"
+#include "node/storage_node.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace sst;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BenchResult {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  std::uint64_t steady_state_allocations = 0;
+};
+
+/// Self-rescheduling event chains: the steady-state firing path.
+/// Every fired event re-schedules itself, so slab slots and queue records
+/// are recycled continuously — the case the pooled slab optimizes for.
+BenchResult bench_event_throughput() {
+  constexpr std::uint32_t kChains = 64;
+  constexpr std::uint64_t kWarmupEvents = 200'000;
+  constexpr std::uint64_t kMeasureEvents = 2'000'000;
+
+  sim::Simulator simulator;
+  struct Chain {
+    sim::Simulator* sim;
+    SimTime period;
+    void fire() { sim->schedule_after(period, [this] { fire(); }); }
+  };
+  std::vector<Chain> chains;
+  chains.reserve(kChains);
+  for (std::uint32_t i = 0; i < kChains; ++i) {
+    chains.push_back(Chain{&simulator, usec(10) + i});
+    chains.back().fire();
+  }
+
+  while (simulator.executed_events() < kWarmupEvents) simulator.step();
+
+  const std::uint64_t allocs_before = g_allocations.load();
+  const std::uint64_t executed_before = simulator.executed_events();
+  const auto start = Clock::now();
+  while (simulator.executed_events() < executed_before + kMeasureEvents) simulator.step();
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = g_allocations.load() - allocs_before;
+
+  return {"event_throughput", static_cast<double>(kMeasureEvents) / elapsed,
+          "events/sec", allocs};
+}
+
+/// Schedule-then-cancel churn: the timeout-maintenance path (buffer and
+/// stream timeouts are scheduled pessimistically and usually cancelled).
+BenchResult bench_schedule_cancel() {
+  constexpr std::uint32_t kBatch = 4096;
+  constexpr std::uint32_t kWarmupRounds = 8;
+  constexpr std::uint32_t kMeasureRounds = 256;
+
+  sim::Simulator simulator;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(kBatch);
+
+  auto round = [&] {
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+      handles.push_back(simulator.schedule_after(sec(1) + i, [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    handles.clear();
+    simulator.run();  // drain the dead queue records
+  };
+
+  for (std::uint32_t r = 0; r < kWarmupRounds; ++r) round();
+
+  const std::uint64_t allocs_before = g_allocations.load();
+  const auto start = Clock::now();
+  for (std::uint32_t r = 0; r < kMeasureRounds; ++r) round();
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = g_allocations.load() - allocs_before;
+
+  const double ops = 2.0 * kBatch * kMeasureRounds;  // schedule + cancel
+  return {"schedule_cancel", ops / elapsed, "ops/sec", allocs};
+}
+
+experiment::ExperimentConfig small_fig01_config(std::uint32_t streams) {
+  node::NodeConfig node;
+  node.num_controllers = 2;
+  node.disks_per_controller = 2;
+  experiment::ExperimentConfig cfg;
+  cfg.node = node;
+  cfg.warmup = sec(1);
+  cfg.measure = sec(4);
+  cfg.streams = workload::make_uniform_streams(streams, node.total_disks(),
+                                               node.disk.geometry.capacity, 64 * KiB);
+  return cfg;
+}
+
+/// End-to-end wall-clock for one fig01-style experiment.
+BenchResult bench_end_to_end() {
+  const auto cfg = small_fig01_config(40);
+  const auto start = Clock::now();
+  const auto result = experiment::run_experiment(cfg);
+  const double elapsed = seconds_since(start);
+  if (result.requests_completed == 0) {
+    std::fprintf(stderr, "end_to_end: experiment completed no requests\n");
+    std::exit(1);
+  }
+  return {"fig01_end_to_end", elapsed, "sec", 0};
+}
+
+/// Serial vs parallel run_sweep over a small grid. On multi-core hosts the
+/// speedup approaches min(workers, grid size); on one core it is ~1.
+void bench_sweep(std::vector<BenchResult>& results) {
+  std::vector<experiment::ExperimentConfig> grid;
+  for (const std::uint32_t streams : {8, 16, 24, 32}) {
+    grid.push_back(small_fig01_config(streams));
+  }
+
+  const auto serial_start = Clock::now();
+  const auto serial = experiment::run_sweep(grid, 1);
+  const double serial_sec = seconds_since(serial_start);
+
+  const unsigned workers = experiment::default_sweep_workers();
+  const auto par_start = Clock::now();
+  const auto parallel = experiment::run_sweep(grid, workers);
+  const double par_sec = seconds_since(par_start);
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (serial[i].total_mbps != parallel[i].total_mbps ||
+        serial[i].requests_completed != parallel[i].requests_completed) {
+      std::fprintf(stderr, "sweep: serial/parallel results diverge at point %zu\n", i);
+      std::exit(1);
+    }
+  }
+
+  results.push_back({"sweep_serial", serial_sec, "sec", 0});
+  results.push_back({"sweep_parallel", par_sec, "sec", 0});
+  results.push_back({"sweep_speedup", par_sec > 0 ? serial_sec / par_sec : 0.0,
+                     "x", 0});
+  results.push_back({"sweep_workers", static_cast<double>(workers), "threads", 0});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_simcore.json";
+
+  std::vector<BenchResult> results;
+  results.push_back(bench_event_throughput());
+  results.push_back(bench_schedule_cancel());
+  results.push_back(bench_end_to_end());
+  bench_sweep(results);
+
+  bool alloc_free = true;
+  for (const auto& r : results) {
+    std::printf("%-20s %14.1f %-10s steady-state allocs: %llu\n", r.name.c_str(),
+                r.value, r.unit.c_str(),
+                static_cast<unsigned long long>(r.steady_state_allocations));
+    if (r.name == "event_throughput" || r.name == "schedule_cancel") {
+      if (r.steady_state_allocations != 0) alloc_free = false;
+    }
+  }
+  if (!alloc_free) {
+    std::fprintf(stderr, "FAIL: steady-state event path performed heap allocations\n");
+    return 1;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"value\": %.3f, \"unit\": \"%s\", "
+                 "\"steady_state_allocations\": %llu}%s\n",
+                 r.name.c_str(), r.value, r.unit.c_str(),
+                 static_cast<unsigned long long>(r.steady_state_allocations),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"steady_state_alloc_free\": true\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -6,6 +6,14 @@
 //       (plus e.g. sched.memory=800M run.measure=20s)
 //   ./build/examples/experiment_cli @fig10.conf sched.read_ahead=2M
 //
+// Any key can be swept by prefixing it with "sweep." and giving a
+// comma-separated value list; the cartesian product of all swept keys runs
+// through the parallel sweep engine (SST_BENCH_THREADS workers) and prints
+// one row per grid point:
+//
+//   ./build/examples/experiment_cli workload.streams=100 \
+//       sweep.sched.read_ahead=512K,2M,8M sweep.workload.streams=10,100
+//
 // Prints a result table plus the scheduler/disk counters. See
 // src/configio/loaders.hpp for the full key reference.
 #include <cstdio>
@@ -13,9 +21,11 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "configio/loaders.hpp"
+#include "experiment/sweep.hpp"
 #include "stats/table.hpp"
 
 using namespace sst;
@@ -43,23 +53,53 @@ Result<Config> gather_config(int argc, char** argv) {
   return merged;
 }
 
-}  // namespace
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
 
-int main(int argc, char** argv) {
-  auto cfg = gather_config(argc, argv);
-  if (!cfg.ok()) {
-    std::fprintf(stderr, "error: %s\n", cfg.error().message.c_str());
-    return 1;
+/// Split "sweep.<key>=v1,v2,..." entries out of the merged config.
+std::pair<Config, std::vector<SweepAxis>> split_sweep_axes(const Config& merged) {
+  constexpr std::string_view kPrefix = "sweep.";
+  Config base;
+  std::vector<SweepAxis> axes;
+  for (const auto& [key, value] : merged.entries()) {
+    if (key.rfind(kPrefix, 0) != 0) {
+      base.set(key, value);
+      continue;
+    }
+    SweepAxis axis;
+    axis.key = key.substr(kPrefix.size());
+    std::istringstream list(value);
+    for (std::string item; std::getline(list, item, ',');) {
+      if (!item.empty()) axis.values.push_back(std::move(item));
+    }
+    if (!axis.values.empty()) axes.push_back(std::move(axis));
   }
-  auto experiment = configio::load_experiment(cfg.value());
-  if (!experiment.ok()) {
-    std::fprintf(stderr, "error: %s\n", experiment.error().message.c_str());
-    return 1;
+  return {std::move(base), std::move(axes)};
+}
+
+/// Cartesian product of the axes, as per-point (key, value) assignments.
+std::vector<std::vector<std::pair<std::string, std::string>>> expand_grid(
+    const std::vector<SweepAxis>& axes) {
+  std::vector<std::vector<std::pair<std::string, std::string>>> points{{}};
+  for (const auto& axis : axes) {
+    std::vector<std::vector<std::pair<std::string, std::string>>> expanded;
+    expanded.reserve(points.size() * axis.values.size());
+    for (const auto& prefix : points) {
+      for (const auto& value : axis.values) {
+        auto point = prefix;
+        point.emplace_back(axis.key, value);
+        expanded.push_back(std::move(point));
+      }
+    }
+    points = std::move(expanded);
   }
+  return points;
+}
 
-  const auto result = experiment::run_experiment(experiment.value());
-  const auto& ec = experiment.value();
-
+void print_single(const experiment::ExperimentConfig& ec,
+                  const experiment::ExperimentResult& result) {
   stats::Table table("experiment result");
   table.set_note(std::to_string(ec.streams.size()) + " streams on " +
                  std::to_string(ec.node.total_disks()) + " disk(s), " +
@@ -92,5 +132,67 @@ int main(int argc, char** argv) {
     table.add_row({std::string("host CPU utilization"), result.host_cpu_utilization});
   }
   table.print(std::cout);
+}
+
+int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes) {
+  const auto points = expand_grid(axes);
+  std::vector<experiment::ExperimentConfig> configs;
+  configs.reserve(points.size());
+  for (const auto& point : points) {
+    Config cfg = base;
+    for (const auto& [key, value] : point) cfg.set(key, value);
+    auto experiment = configio::load_experiment(cfg);
+    if (!experiment.ok()) {
+      std::fprintf(stderr, "error: %s\n", experiment.error().message.c_str());
+      return 1;
+    }
+    configs.push_back(std::move(experiment.value()));
+  }
+
+  const auto results = experiment::run_sweep(configs);
+
+  stats::Table table("sweep result");
+  table.set_note(std::to_string(points.size()) + " grid points, " +
+                 std::to_string(experiment::default_sweep_workers()) + " workers");
+  std::vector<std::string> columns;
+  for (const auto& axis : axes) columns.push_back(axis.key);
+  columns.insert(columns.end(),
+                 {"MB/s", "MB/s/disk", "requests", "mean ms", "p95 ms"});
+  table.set_columns(columns);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& result = results[i];
+    std::vector<stats::Cell> row;
+    for (const auto& [key, value] : points[i]) row.emplace_back(value);
+    row.emplace_back(result.total_mbps);
+    row.emplace_back(result.per_disk_mbps(configs[i].node.total_disks()));
+    row.emplace_back(static_cast<std::int64_t>(result.requests_completed));
+    row.emplace_back(result.latency.mean_ms());
+    row.emplace_back(result.latency.p95_ms());
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cfg = gather_config(argc, argv);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "error: %s\n", cfg.error().message.c_str());
+    return 1;
+  }
+
+  auto [base, axes] = split_sweep_axes(cfg.value());
+  if (!axes.empty()) return run_sweep_cli(base, axes);
+
+  auto experiment = configio::load_experiment(base);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "error: %s\n", experiment.error().message.c_str());
+    return 1;
+  }
+
+  const auto result = experiment::run_experiment(experiment.value());
+  print_single(experiment.value(), result);
   return 0;
 }

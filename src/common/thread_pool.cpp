@@ -1,0 +1,58 @@
+#include "common/thread_pool.hpp"
+
+#include <utility>
+
+namespace sst {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this]() { return unfinished_ == 0; });
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this]() { return unfinished_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this]() { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --unfinished_;
+      if (unfinished_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace sst

@@ -1,0 +1,50 @@
+// Fixed-size pool of worker threads draining one shared FIFO task queue.
+// Deliberately work-stealing-free: the only parallel work in this codebase
+// is fanning out whole experiment runs (seconds of simulated time each), so
+// a single locked queue sees negligible contention and keeps completion
+// order reasoning trivial. Destruction waits for every queued task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sst {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least one).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; it runs on some worker in FIFO dispatch order. Tasks
+  /// must not throw — wrap work that can fail and capture the error (see
+  /// experiment::run_sweep).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished running.
+  void wait_idle();
+
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t unfinished_ = 0;  ///< queued + currently running
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sst

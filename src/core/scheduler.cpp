@@ -13,12 +13,22 @@ constexpr std::string_view kLog = "scheduler";
 
 /// Does the union of (optionally only filled) buffer ranges cover
 /// [off, off+len)? Buffers are kept sorted by offset and contiguous ranges
-/// may span several buffers.
+/// may span several buffers. The scan binary-searches its starting buffer
+/// (the last one beginning at or before `off`, stepping back over rare
+/// overlapping extents) instead of walking the whole staged set.
 bool covered_by(const std::vector<std::unique_ptr<IoBuffer>>& buffers, ByteOffset off,
                 Bytes len, bool filled_only) {
+  auto first = std::upper_bound(
+      buffers.begin(), buffers.end(), off,
+      [](ByteOffset o, const std::unique_ptr<IoBuffer>& b) { return o < b->offset(); });
+  while (first != buffers.begin() &&
+         (*std::prev(first))->offset() + (*std::prev(first))->capacity() > off) {
+    --first;
+  }
   ByteOffset cursor = off;
   const ByteOffset end = off + len;
-  for (const auto& b : buffers) {
+  for (auto it = first; it != buffers.end(); ++it) {
+    const auto& b = *it;
     const ByteOffset b_end = filled_only ? b->end() : b->offset() + b->capacity();
     if (b->offset() > cursor) {
       if (cursor >= end) break;
@@ -101,11 +111,14 @@ const Stream* StreamScheduler::stream_by_id(StreamId id) const {
 }
 
 std::size_t StreamScheduler::buffered_count() const {
+#ifndef NDEBUG
   std::size_t n = 0;
   for (const auto& [id, s] : streams_) {
-    if (s->state == StreamState::kBuffered && !s->buffers.empty()) ++n;
+    if (counts_as_buffered(*s)) ++n;
   }
-  return n;
+  assert(n == buffered_count_ && "buffered-set counter out of sync");
+#endif
+  return buffered_count_;
 }
 
 void StreamScheduler::enqueue(Stream& stream, ClientRequest request) {
@@ -172,7 +185,9 @@ void StreamScheduler::make_candidate(Stream& stream) {
   if (stream.state == StreamState::kDispatched || stream.state == StreamState::kCandidate) {
     return;
   }
+  const bool was = counts_as_buffered(stream);
   stream.state = StreamState::kCandidate;
+  note_buffered(stream, was);
   candidates_.push_back(stream.id);
 }
 
@@ -184,36 +199,33 @@ void StreamScheduler::pump() {
         last_issue_pos_);
     const StreamId id = candidates_[choice];
     candidates_.erase(candidates_.begin() + static_cast<std::ptrdiff_t>(choice));
-    Stream& stream = stream_ref(id);
-    dispatch(stream);
-    if (stream.state == StreamState::kCandidate && !candidates_.empty() &&
-        candidates_.front() == id) {
+    if (!dispatch(stream_ref(id))) {
       // Dispatch bounced on memory; retry later when buffers free up.
       break;
     }
   }
 }
 
-void StreamScheduler::dispatch(Stream& stream) {
+bool StreamScheduler::dispatch(Stream& stream) {
   assert(stream.state == StreamState::kCandidate);
   stream.state = StreamState::kDispatched;
   ++dispatched_;
   stream.issued_in_residency = 0;
   ++stream.stats.residencies;
-  issue_next(stream);
+  return issue_next(stream);
 }
 
-void StreamScheduler::issue_next(Stream& stream) {
+bool StreamScheduler::issue_next(Stream& stream) {
   assert(stream.state == StreamState::kDispatched);
   if (stream.issued_in_residency >= params_.requests_per_residency) {
     rotate_out(stream);
-    return;
+    return true;
   }
   const Bytes capacity = devices_[stream.device]->capacity();
   if (stream.prefetch_pos >= capacity) {
     stream.at_device_end = true;
     rotate_out(stream);
-    return;
+    return true;
   }
   const Bytes len = std::min<Bytes>(params_.read_ahead, capacity - stream.prefetch_pos);
 
@@ -231,15 +243,21 @@ void StreamScheduler::issue_next(Stream& stream) {
     } else {
       candidates_.push_back(stream.id);
     }
-    return;
+    return false;
   }
 
   IoBuffer* raw = buffer.get();
-  stream.buffers.push_back(std::move(buffer));
-  // Keep buffers sorted by offset (allocations are monotone per stream, but
-  // an earlier buffer may have been reaped, so enforce it).
-  std::sort(stream.buffers.begin(), stream.buffers.end(),
-            [](const auto& a, const auto& b) { return a->offset() < b->offset(); });
+  // Keep buffers sorted by offset. Allocations are monotone per stream, so
+  // the new extent almost always belongs at the tail; a rewind re-aim can
+  // land it mid-sequence, handled by a binary-searched insertion.
+  if (stream.buffers.empty() || stream.buffers.back()->offset() <= raw->offset()) {
+    stream.buffers.push_back(std::move(buffer));
+  } else {
+    auto pos = std::upper_bound(
+        stream.buffers.begin(), stream.buffers.end(), raw->offset(),
+        [](ByteOffset off, const std::unique_ptr<IoBuffer>& b) { return off < b->offset(); });
+    stream.buffers.insert(pos, std::move(buffer));
+  }
 
   const ByteOffset issue_offset = stream.prefetch_pos;
   stream.prefetch_pos += len;
@@ -265,6 +283,7 @@ void StreamScheduler::issue_next(Stream& stream) {
     };
     devices_[dev]->submit(std::move(req));
   });
+  return true;
 }
 
 void StreamScheduler::rotate_out(Stream& stream) {
@@ -283,6 +302,7 @@ void StreamScheduler::rotate_out(Stream& stream) {
     candidates_.push_back(stream.id);
   } else {
     stream.state = StreamState::kBuffered;
+    note_buffered(stream, /*was=*/false);  // was kDispatched
   }
 }
 
@@ -347,11 +367,13 @@ void StreamScheduler::serve_request(Stream& stream, ClientRequest request) {
 
 void StreamScheduler::reap_buffers(Stream& stream) {
   auto& buffers = stream.buffers;
+  const bool was = counts_as_buffered(stream);
   buffers.erase(std::remove_if(buffers.begin(), buffers.end(),
                                [](const std::unique_ptr<IoBuffer>& b) {
                                  return b->fully_consumed();
                                }),
                 buffers.end());
+  note_buffered(stream, was);
   // Memory freed: streams stalled on allocation may proceed now.
   if (!candidates_.empty()) pump();
 }
@@ -401,6 +423,7 @@ void StreamScheduler::collect_garbage() {
       }
       return false;
     };
+    const bool was_buffered = counts_as_buffered(*stream);
     for (auto it = buffers.begin(); it != buffers.end();) {
       IoBuffer& b = **it;
       // Never reclaim in-flight reads; filled-and-idle buffers whose data
@@ -413,6 +436,7 @@ void StreamScheduler::collect_garbage() {
         ++it;
       }
     }
+    note_buffered(*stream, was_buffered);
     const bool inert = stream->state == StreamState::kIdle ||
                        stream->state == StreamState::kBuffered;
     if (inert && stream->inflight == 0 && stream->pending.empty() &&
@@ -432,6 +456,7 @@ void StreamScheduler::retire_stream(StreamId id) {
   if (it == streams_.end()) return;
   Stream& s = *it->second;
   assert(s.inflight == 0 && s.pending.empty());
+  if (counts_as_buffered(s)) --buffered_count_;
   auto& idx = index_[s.device];
   const auto entry = idx.find(s.range_start);
   if (entry != idx.end() && entry->second == id) idx.erase(entry);

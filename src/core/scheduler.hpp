@@ -82,6 +82,8 @@ class StreamScheduler {
   [[nodiscard]] std::size_t dispatched_count() const { return dispatched_; }
   [[nodiscard]] std::size_t candidate_count() const { return candidates_.size(); }
   /// Streams holding staged data while not dispatched (the buffered set).
+  /// Maintained incrementally at every state/buffer transition, so the
+  /// query is O(1) even with thousands of streams.
   [[nodiscard]] std::size_t buffered_count() const;
   [[nodiscard]] const Stream* stream_by_id(StreamId id) const;
 
@@ -89,11 +91,15 @@ class StreamScheduler {
   Stream& stream_ref(StreamId id);
   /// Move a stream into the candidate queue if not already scheduled.
   void make_candidate(Stream& stream);
-  /// Give `stream` a dispatch slot and start its residency.
-  void dispatch(Stream& stream);
+  /// Give `stream` a dispatch slot and start its residency. Returns false
+  /// when the first issue bounced on memory and the stream fell back to the
+  /// head of the candidate queue — the pump must stall until buffers free.
+  bool dispatch(Stream& stream);
   /// Issue the stream's next R-sized read, or rotate it out when its
-  /// residency expired / memory ran out / the device is exhausted.
-  void issue_next(Stream& stream);
+  /// residency expired / memory ran out / the device is exhausted. Returns
+  /// false only on a memory bounce (allocation failure sent the stream back
+  /// to the candidate queue); rotations and successful issues return true.
+  bool issue_next(Stream& stream);
   /// End the stream's residency; staged data remains in the buffered set.
   void rotate_out(Stream& stream);
   void on_read_complete(StreamId stream_id, ByteOffset buffer_offset);
@@ -108,6 +114,21 @@ class StreamScheduler {
   void retire_stream(StreamId id);
   void arm_gc();
 
+  /// Membership predicate for the maintained buffered-set counter.
+  [[nodiscard]] static bool counts_as_buffered(const Stream& s) {
+    return s.state == StreamState::kBuffered && !s.buffers.empty();
+  }
+  /// Re-evaluate `stream`'s buffered-set membership after a mutation;
+  /// `was` is counts_as_buffered() captured before the mutation.
+  void note_buffered(const Stream& stream, bool was) {
+    const bool now = counts_as_buffered(stream);
+    if (was && !now) {
+      --buffered_count_;
+    } else if (!was && now) {
+      ++buffered_count_;
+    }
+  }
+
   sim::Simulator& sim_;
   std::vector<blockdev::BlockDevice*> devices_;
   SchedulerParams params_;
@@ -120,6 +141,7 @@ class StreamScheduler {
   std::vector<std::map<ByteOffset, StreamId>> index_;
   std::deque<StreamId> candidates_;
   std::size_t dispatched_ = 0;
+  std::size_t buffered_count_ = 0;
   std::map<std::uint32_t, ByteOffset> last_issue_pos_;
   StreamId next_stream_id_ = 1;
   sim::EventHandle gc_event_;

@@ -4,17 +4,53 @@
 
 namespace sst::sim {
 
-EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.alive = false;
+  ++slot.generation;  // invalidates every outstanding handle to this slot
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+EventHandle Simulator::schedule_at(SimTime when, detail::EventFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  auto state = std::make_shared<detail::EventState>();
-  state->live_count = live_count_;
-  ++*live_count_;
-  queue_.push(Event{when, next_seq_++, std::move(fn), state});
-  return EventHandle(std::move(state));
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.alive = true;
+  ++live_count_;
+  queue_.push(QueuedEvent{when, next_seq_++, index, slot.generation});
+  return EventHandle(this, index, slot.generation);
+}
+
+void Simulator::cancel_event(std::uint32_t index, std::uint32_t generation) {
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (slot.generation != generation || !slot.alive) return;
+  slot.alive = false;
+  slot.fn.reset();  // release captured resources promptly
+  --live_count_;
+  // The slot itself is recycled when its queue record reaches the top.
 }
 
 void Simulator::drop_dead_events() {
-  while (!queue_.empty() && !queue_.top().state->alive) {
+  while (!queue_.empty()) {
+    const QueuedEvent& top = queue_.top();
+    // A slot is recycled only when its record pops, so generations match.
+    assert(slots_[top.slot].generation == top.generation);
+    if (slots_[top.slot].alive) break;
+    release_slot(top.slot);
     queue_.pop();
   }
 }
@@ -22,14 +58,18 @@ void Simulator::drop_dead_events() {
 bool Simulator::step() {
   drop_dead_events();
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
+  const QueuedEvent top = queue_.top();
   queue_.pop();
-  assert(ev.when >= now_);
-  now_ = ev.when;
-  ev.state->alive = false;
-  --*live_count_;
+  Slot& slot = slots_[top.slot];
+  assert(slot.generation == top.generation && slot.alive);
+  assert(top.when >= now_);
+  now_ = top.when;
+  detail::EventFn fn = std::move(slot.fn);
+  slot.alive = false;
+  --live_count_;
+  release_slot(top.slot);  // recycle before invoking: fn may schedule again
   ++executed_;
-  ev.fn();
+  fn();
   return true;
 }
 

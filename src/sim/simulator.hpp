@@ -4,12 +4,23 @@
 // generators) is simulated as callbacks scheduled on one Simulator. Events
 // at equal timestamps fire in scheduling order (a monotone sequence number
 // breaks ties), which keeps runs deterministic.
+//
+// The event store is a pooled slab: each scheduled event occupies a reusable
+// slot holding its callback inline (no heap allocation for closures up to
+// EventFn::kInlineBytes), and the priority queue orders plain {time, seq,
+// slot, generation} records. Handles address events by (slot, generation),
+// so a recycled slot invalidates stale handles without shared ownership.
+// Steady-state schedule/fire/cancel therefore performs no per-event heap
+// allocation.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -17,50 +28,136 @@
 namespace sst::sim {
 
 namespace detail {
-/// State shared between the queue entry and any outstanding handle. The
-/// live-event counter lives here too so cancellation from a handle keeps
-/// Simulator::pending_events() exact even though the entry is popped lazily.
-struct EventState {
-  bool alive = true;
-  std::shared_ptr<std::size_t> live_count;
+
+/// Type-erased move-only `void()` callable with inline storage. Closures up
+/// to kInlineBytes (covering every callback in the simulator's hot paths)
+/// live inside the object; larger ones fall back to a single heap
+/// allocation.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventFn() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, EventFn> && std::is_invocable_v<D&>, int> = 0>
+  // NOLINTNEXTLINE(google-explicit-constructor) — callable adaptor by design
+  EventFn(F&& fn) {
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr);
+    ops_->invoke(storage_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct the callable at `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* dst, void* src) {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); }};
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
 };
+
 }  // namespace detail
 
-/// Handle used to cancel a scheduled event. Cancellation is lazy: the event
-/// stays in the queue but its callback is skipped when popped.
+class Simulator;
+
+/// Handle used to cancel a scheduled event. Cancellation is lazy: the queue
+/// record stays until popped, but the callback is released immediately.
+/// Handles are small value types addressing a slab slot by generation, so
+/// they stay safely inert after the event fires or is cancelled (the slot's
+/// generation moves on). The handle must not outlive the Simulator itself.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True while the event has neither fired nor been cancelled.
-  [[nodiscard]] bool pending() const { return state_ && state_->alive; }
+  [[nodiscard]] bool pending() const;
 
-  void cancel() {
-    if (state_ && state_->alive) {
-      state_->alive = false;
-      --*state_->live_count;
-    }
-  }
+  void cancel();
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<detail::EventState> state) : state_(std::move(state)) {}
-  std::shared_ptr<detail::EventState> state_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t generation)
+      : sim_(sim), slot_(slot), generation_(generation) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Simulator {
  public:
-  Simulator() : live_count_(std::make_shared<std::size_t>(0)) {}
+  Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `when` (must be >= now()).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  EventHandle schedule_at(SimTime when, detail::EventFn fn);
 
   /// Schedule `fn` to run `delay` nanoseconds from now.
-  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
+  EventHandle schedule_after(SimTime delay, detail::EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -77,33 +174,67 @@ class Simulator {
   /// Execute exactly one event if any is pending. Returns false when empty.
   bool step();
 
-  [[nodiscard]] bool empty() const { return *live_count_ == 0; }
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
   /// Scheduled-and-not-cancelled events still waiting to fire.
-  [[nodiscard]] std::size_t pending_events() const { return *live_count_; }
+  [[nodiscard]] std::size_t pending_events() const { return live_count_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+  /// One slab slot: holds the callback and the generation that outstanding
+  /// handles must match. Recycled through an intrusive free list.
+  struct Slot {
+    detail::EventFn fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool alive = false;
+  };
+
+  /// Queue records are plain data; the callback stays in the slab so heap
+  /// sift operations move 24 bytes instead of a closure.
+  struct QueuedEvent {
     SimTime when = 0;
     std::uint64_t seq = 0;
-    std::function<void()> fn;
-    std::shared_ptr<detail::EventState> state;
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
   /// Pops cancelled events off the top so step()/run_until see live ones.
   void drop_dead_events();
+
+  [[nodiscard]] bool event_pending(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation &&
+           slots_[slot].alive;
+  }
+  void cancel_event(std::uint32_t slot, std::uint32_t generation);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::shared_ptr<std::size_t> live_count_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t live_count_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
 };
+
+inline bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->event_pending(slot_, generation_);
+}
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) sim_->cancel_event(slot_, generation_);
+}
 
 }  // namespace sst::sim

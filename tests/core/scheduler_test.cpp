@@ -425,6 +425,47 @@ TEST(Scheduler, AtDeviceEndStopsPrefetching) {
   EXPECT_LE(s.prefetch_pos, kDev);
 }
 
+TEST(Scheduler, PumpStallsOnMemoryBounceUnderNonFifoPolicy) {
+  // Regression: the pump used to detect a memory bounce by checking whether
+  // the bounced stream reappeared at candidates_.front(). With a non-FIFO
+  // policy picking from the middle of the queue that heuristic can misread
+  // the state; the bounce is now reported by dispatch()'s return value.
+  //
+  // Memory holds two read-ahead buffers (derived D = 2). Two streams
+  // dispatch, partially consume their buffers and rotate out to the
+  // buffered set still holding the memory; when a dispatch slot frees, the
+  // pump picks one of the remaining candidates, bounces on allocation and
+  // must stall until GC reclaims the stale buffers.
+  SchedulerParams p = small_params();
+  p.dispatch_set_size = 0;       // derive D from M / (R*N) = 2
+  p.memory_budget = 128 * KiB;   // two 64 KiB read-ahead buffers
+  p.policy = ReplacementPolicyKind::kNearestOffset;
+  Harness h(p);
+  int done = 0;
+  std::vector<Stream*> streams;
+  for (int i = 0; i < 4; ++i) {
+    const ByteOffset base = static_cast<ByteOffset>(i) * 4 * MiB;
+    streams.push_back(&h.sched.create_stream(0, base, base));
+  }
+  // 32 KiB requests: each served stream keeps a half-consumed buffer.
+  for (auto* s : streams) {
+    h.sched.enqueue(*s, h.make_req(s->range_start, 32 * KiB, &done));
+  }
+  h.run_ms(100);
+  // The first two streams were served and rotated out holding the pool's
+  // entire budget; dispatching a third bounced and the pump stalled instead
+  // of spinning through the remaining candidates (which would burn
+  // residencies without issuing anything).
+  EXPECT_EQ(done, 2);
+  EXPECT_GE(h.sched.stats().dispatch_stalls, 1u);
+  EXPECT_EQ(h.sched.candidate_count(), 2u);
+  EXPECT_EQ(h.sched.dispatched_count(), 0u);
+  // No livelock or lost streams: GC reclaims the stale buffers (500 ms
+  // timeout) and the bounced candidates dispatch and complete.
+  h.run_ms(1500);
+  EXPECT_EQ(done, 4);
+}
+
 TEST(ReplacementPolicy, RoundRobinPicksHead) {
   RoundRobinPolicy p;
   std::deque<StreamId> candidates{5, 6, 7};

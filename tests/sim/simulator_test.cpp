@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 namespace sst::sim {
@@ -160,6 +161,85 @@ TEST(Simulator, RunReturnsEventCount) {
   Simulator s;
   for (int i = 0; i < 4; ++i) s.schedule_at(i, [] {});
   EXPECT_EQ(s.run(), 4u);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+TEST(Simulator, StaleHandleDoesNotAffectRecycledSlot) {
+  Simulator s;
+  int first = 0;
+  int second = 0;
+  auto h1 = s.schedule_at(1, [&] { ++first; });
+  s.run();
+  EXPECT_FALSE(h1.pending());
+  // The slab recycles h1's slot for the next event; the stale handle must
+  // neither observe nor cancel its replacement.
+  auto h2 = s.schedule_at(2, [&] { ++second; });
+  h1.cancel();
+  EXPECT_TRUE(h2.pending());
+  s.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, HandleOutlivesDrainedSimulator) {
+  Simulator s;
+  auto fired = s.schedule_at(1, [] {});
+  auto cancelled = s.schedule_at(2, [] {});
+  cancelled.cancel();
+  s.run();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(fired.pending());
+  EXPECT_FALSE(cancelled.pending());
+  fired.cancel();  // both harmless long after the queue drained
+  cancelled.cancel();
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Simulator, PendingCountExactUnderMixedCancelAndFire) {
+  Simulator s;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) handles.push_back(s.schedule_at(i + 1, [] {}));
+  EXPECT_EQ(s.pending_events(), 10u);
+  for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+  EXPECT_EQ(s.pending_events(), 5u);
+  EXPECT_TRUE(s.step());  // fires t=2, skipping the cancelled t=1
+  EXPECT_EQ(s.now(), 2u);
+  EXPECT_EQ(s.pending_events(), 4u);
+  handles[1].cancel();  // already fired: no effect on the count
+  EXPECT_EQ(s.pending_events(), 4u);
+  handles[3].cancel();  // t=4, still pending
+  EXPECT_EQ(s.pending_events(), 3u);
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.executed_events(), 4u);  // t=2 (stepped) + t=6, 8, 10
+}
+
+TEST(Simulator, OversizedCallableUsesHeapFallback) {
+  Simulator s;
+  std::array<std::uint64_t, 32> payload{};  // 256 bytes: past inline storage
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i;
+  std::uint64_t sum = 0;
+  s.schedule_at(1, [payload, &sum] {
+    for (const auto v : payload) sum += v;
+  });
+  s.run();
+  EXPECT_EQ(sum, 496u);
+}
+
+TEST(Simulator, CancelOversizedCallableReleasesIt) {
+  Simulator s;
+  std::array<char, 200> big{};
+  auto h = s.schedule_at(1, [big] { (void)big; });
+  h.cancel();
+  s.run();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.executed_events(), 0u);
 }
 
 }  // namespace
