@@ -14,6 +14,7 @@ constexpr std::uint32_t kStreams = 60;
 
 SweepCache& classifier_cache() {
   static SweepCache cache(
+      "ablation_classifier",
       sweep_grid({{2, 3, 4, 8}, {8, 32, 128}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const auto threshold = static_cast<std::uint32_t>(key[0]);

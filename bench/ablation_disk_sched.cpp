@@ -11,6 +11,7 @@ using namespace sstbench;
 
 SweepCache& disk_sched_cache() {
   static SweepCache cache(
+      "ablation_disk_sched",
       sweep_grid({{static_cast<std::int64_t>(disk::SchedulerKind::kFcfs),
                    static_cast<std::int64_t>(disk::SchedulerKind::kElevator),
                    static_cast<std::int64_t>(disk::SchedulerKind::kSstf)},

@@ -15,6 +15,7 @@ constexpr Bytes kRequest = 64 * KiB;
 
 SweepCache& nearseq_cache() {
   static SweepCache cache(
+      "ablation_nearseq",
       sweep_grid({{0, 64, 256, 1024}, {0, 1}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const Bytes gap = static_cast<Bytes>(key[0]) * KiB;

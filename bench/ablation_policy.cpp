@@ -15,6 +15,7 @@ constexpr std::uint32_t kStreams = 64;
 
 SweepCache& policy_cache() {
   static SweepCache cache(
+      "ablation_policy",
       sweep_grid({{static_cast<std::int64_t>(core::ReplacementPolicyKind::kRoundRobin),
                    static_cast<std::int64_t>(core::ReplacementPolicyKind::kNearestOffset)},
                   {128, 512, 2048}}),

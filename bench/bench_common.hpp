@@ -14,9 +14,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -107,16 +110,18 @@ inline std::vector<SweepKey> sweep_grid(const std::vector<std::vector<std::int64
 }
 
 /// Lazily-computed parallel sweep over a figure's parameter grid. Built
-/// with the grid keys and a key -> config mapping (nullopt excludes a
-/// point, mirroring the bench's own SkipWithError guards); the first
-/// result() call runs every point through experiment::run_sweep, and each
+/// with a name (used for the metrics sidecar file), the grid keys, and a
+/// key -> config mapping (nullopt excludes a point, mirroring the bench's
+/// own SkipWithError guards); the first result() call runs every point
+/// through experiment::run_sweep, writes BENCH_<name>_metrics.json (full
+/// per-point metrics, beside the bench's own BENCH_*.json output), and each
 /// benchmark case afterwards reads its point for free.
 class SweepCache {
  public:
   using MakeConfig = std::function<std::optional<experiment::ExperimentConfig>(const SweepKey&)>;
 
-  SweepCache(std::vector<SweepKey> keys, MakeConfig make)
-      : keys_(std::move(keys)), make_(std::move(make)) {}
+  SweepCache(std::string name, std::vector<SweepKey> keys, MakeConfig make)
+      : name_(std::move(name)), keys_(std::move(keys)), make_(std::move(make)) {}
 
   /// The precomputed result for `key`, or nullptr for an excluded point.
   [[nodiscard]] const experiment::ExperimentResult* result(const SweepKey& key) {
@@ -140,11 +145,36 @@ class SweepCache {
       }
     }
     std::vector<experiment::ExperimentResult> results = experiment::run_sweep(configs);
+    write_metrics(included, results);
     for (std::size_t i = 0; i < included.size(); ++i) {
       results_.emplace(included[i], std::move(results[i]));
     }
   }
 
+  /// Full metrics for every grid point, as a JSON array of
+  /// {"key": [...], "metrics": {...}} records.
+  void write_metrics(const std::vector<SweepKey>& included,
+                     const std::vector<experiment::ExperimentResult>& results) const {
+    const std::string path = "BENCH_" + name_ + "_metrics.json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < included.size(); ++i) {
+      if (i != 0) out << ",\n";
+      out << "{\"key\":[";
+      for (std::size_t j = 0; j < included[i].size(); ++j) {
+        if (j != 0) out << ',';
+        out << included[i][j];
+      }
+      out << "],\"metrics\":" << results[i].to_json() << "}";
+    }
+    out << "\n]\n";
+  }
+
+  std::string name_;
   std::vector<SweepKey> keys_;
   MakeConfig make_;
   std::map<SweepKey, experiment::ExperimentResult> results_;

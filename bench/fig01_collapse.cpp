@@ -18,6 +18,7 @@ node::NodeConfig fig01_node() {
 
 SweepCache& fig01_cache() {
   static SweepCache cache(
+      "fig01_collapse",
       sweep_grid({{60, 100, 300, 500}, {8, 16, 64, 128, 256}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const auto streams = static_cast<std::uint32_t>(key[0]);

@@ -117,6 +117,7 @@ std::optional<experiment::ExperimentConfig> fig02_sched_config(const SweepKey& k
 
 SweepCache& fig02_sched_cache() {
   static SweepCache cache(
+      "fig02_linux_sched",
       sweep_grid({{std::begin(kStreamCounts), std::end(kStreamCounts)}}),
       fig02_sched_config);
   return cache;

@@ -11,6 +11,7 @@ using namespace sstbench;
 
 SweepCache& fig04_cache() {
   static SweepCache cache(
+      "fig04_reqsize",
       sweep_grid({{1, 10, 30, 60, 100}, {8, 16, 64, 128, 256}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const auto streams = static_cast<std::uint32_t>(key[0]);

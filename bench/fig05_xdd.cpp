@@ -12,6 +12,7 @@ using namespace sstbench;
 
 SweepCache& fig05_cache() {
   static SweepCache cache(
+      "fig05_xdd",
       sweep_grid({{1, 10, 20, 30, 50}, {8, 16, 64, 128, 256}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const auto streams = static_cast<std::uint32_t>(key[0]);

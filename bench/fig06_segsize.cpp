@@ -14,6 +14,7 @@ constexpr std::uint32_t kStreams = 30;
 
 SweepCache& fig06_cache() {
   static SweepCache cache(
+      "fig06_segsize",
       sweep_grid({{32, 64, 128, 256, 512, 1024, 2048}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const Bytes segment = static_cast<Bytes>(key[0]) * KiB;

@@ -18,6 +18,7 @@ node::NodeConfig fig07_node(std::uint32_t num_segments) {
 
 SweepCache& fig07_cache() {
   static SweepCache cache(
+      "fig07_readahead",
       sweep_grid({{128, 64, 32, 16, 8}, {1, 10, 30, 50, 100}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const auto num_segments = static_cast<std::uint32_t>(key[0]);

@@ -12,6 +12,7 @@ using namespace sstbench;
 
 SweepCache& fig08_cache() {
   static SweepCache cache(
+      "fig08_ctrl_prefetch",
       sweep_grid({{64, 256, 512, 1024, 2048, 4096}, {1, 10, 30, 60, 100}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const Bytes prefetch = static_cast<Bytes>(key[0]) * KiB;

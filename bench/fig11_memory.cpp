@@ -21,6 +21,7 @@ core::SchedulerParams fig11_params(Bytes memory, Bytes read_ahead) {
 
 SweepCache& fig11_cache() {
   static SweepCache cache(
+      "fig11_memory",
       sweep_grid({{8, 16, 64, 128, 256}, {256, 1024, 8192}, {1, 10, 100}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const Bytes memory = static_cast<Bytes>(key[0]) * MiB;

@@ -12,6 +12,7 @@ using namespace sstbench;
 
 SweepCache& fig12_cache() {
   static SweepCache cache(
+      "fig12_multidisk",
       sweep_grid({{0, 512, 1024, 2048}, {10, 30, 60, 100}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const Bytes read_ahead = static_cast<Bytes>(key[0]) * KiB;

@@ -15,6 +15,7 @@ constexpr Bytes kReadAhead = 512 * KiB;
 
 SweepCache& fig13_small_cache() {
   static SweepCache cache(
+      "fig13_small",
       sweep_grid({{10, 30, 60, 100}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const auto per_disk = static_cast<std::uint32_t>(key[0]);
@@ -36,6 +37,7 @@ SweepCache& fig13_small_cache() {
 
 SweepCache& fig13_staged_cache() {
   static SweepCache cache(
+      "fig13_staged",
       sweep_grid({{10, 30, 60, 100}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const auto per_disk = static_cast<std::uint32_t>(key[0]);

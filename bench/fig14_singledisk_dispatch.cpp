@@ -12,6 +12,7 @@ using namespace sstbench;
 
 SweepCache& fig14_small_cache() {
   static SweepCache cache(
+      "fig14_small",
       sweep_grid({{10, 30, 60, 100}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const auto streams = static_cast<std::uint32_t>(key[0]);
@@ -29,6 +30,7 @@ SweepCache& fig14_small_cache() {
 
 SweepCache& fig14_all_cache() {
   static SweepCache cache(
+      "fig14_all",
       sweep_grid({{10, 30, 60, 100}, {2048, 8192}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const auto streams = static_cast<std::uint32_t>(key[0]);

@@ -13,6 +13,7 @@ using namespace sstbench;
 
 SweepCache& fig15_cache() {
   static SweepCache cache(
+      "fig15_response_time",
       sweep_grid({{256, 1024, 8192}, {8, 64, 256}, {1, 10, 100}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
         const Bytes read_ahead = static_cast<Bytes>(key[0]) * KiB;

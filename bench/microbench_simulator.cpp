@@ -2,8 +2,9 @@
 // google-benchmark): raw event throughput through the pooled event slab,
 // schedule+cancel churn, a fig01-style end-to-end experiment, and the
 // parallel sweep engine's speedup over a serial run. Verifies — via global
-// operator new/delete counters — that schedule/fire and schedule/cancel
-// allocate NOTHING per event once the slab is warm.
+// operator new/delete counters — that schedule/fire, schedule/cancel and
+// trace-event recording allocate NOTHING per event once their slabs are
+// warm.
 //
 // Usage: microbench_simulator [output.json]   (default BENCH_simcore.json)
 #include <atomic>
@@ -16,6 +17,7 @@
 
 #include "experiment/sweep.hpp"
 #include "node/storage_node.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
 
@@ -120,6 +122,38 @@ BenchResult bench_schedule_cancel() {
   return {"schedule_cancel", ops / elapsed, "ops/sec", allocs};
 }
 
+/// Trace-event recording into a warmed slab: the path every instrumented
+/// component hits when tracing is enabled. Must stay allocation-free so
+/// enabling a trace never perturbs what it measures.
+BenchResult bench_tracer_record() {
+  constexpr std::uint64_t kWarmupEvents = 1 << 16;
+  constexpr std::uint64_t kMeasureEvents = 1 << 21;
+
+  obs::Tracer tracer(kWarmupEvents + kMeasureEvents);
+  for (std::uint64_t i = 0; i < kWarmupEvents; i += 2) {
+    tracer.complete(obs::disk_track(0), "disk", "cmd", i, i + 1);
+    tracer.instant(obs::kSchedulerTrack, "scheduler", "rotation", i, "stream",
+                   static_cast<double>(i));
+  }
+
+  const std::uint64_t allocs_before = g_allocations.load();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < kMeasureEvents; i += 2) {
+    tracer.complete(obs::disk_track(0), "disk", "cmd", i, i + 1);
+    tracer.instant(obs::kSchedulerTrack, "scheduler", "rotation", i, "stream",
+                   static_cast<double>(i));
+  }
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = g_allocations.load() - allocs_before;
+  if (tracer.event_count() != kWarmupEvents + kMeasureEvents) {
+    std::fprintf(stderr, "tracer_record: lost events\n");
+    std::exit(1);
+  }
+
+  return {"tracer_record", static_cast<double>(kMeasureEvents) / elapsed,
+          "events/sec", allocs};
+}
+
 experiment::ExperimentConfig small_fig01_config(std::uint32_t streams) {
   node::NodeConfig node;
   node.num_controllers = 2;
@@ -186,6 +220,7 @@ int main(int argc, char** argv) {
   std::vector<BenchResult> results;
   results.push_back(bench_event_throughput());
   results.push_back(bench_schedule_cancel());
+  results.push_back(bench_tracer_record());
   results.push_back(bench_end_to_end());
   bench_sweep(results);
 
@@ -194,7 +229,8 @@ int main(int argc, char** argv) {
     std::printf("%-20s %14.1f %-10s steady-state allocs: %llu\n", r.name.c_str(),
                 r.value, r.unit.c_str(),
                 static_cast<unsigned long long>(r.steady_state_allocations));
-    if (r.name == "event_throughput" || r.name == "schedule_cancel") {
+    if (r.name == "event_throughput" || r.name == "schedule_cancel" ||
+        r.name == "tracer_record") {
       if (r.steady_state_allocations != 0) alloc_free = false;
     }
   }

@@ -14,11 +14,24 @@
 //   ./build/examples/experiment_cli workload.streams=100 \
 //       sweep.sched.read_ahead=512K,2M,8M sweep.workload.streams=10,100
 //
+// Observability flags (work in both single and sweep mode; sweep mode
+// writes one file per grid point, with the point index before the
+// extension):
+//
+//   --trace=trace.json          request-lifecycle trace (Chrome Trace JSON,
+//                               load in Perfetto / chrome://tracing)
+//   --metrics=metrics.json      full metrics export (per-layer counters,
+//                               latency histogram); a JSON array in sweeps
+//   --timeseries=series.csv     sampled gauges as CSV
+//   --sample-interval-ms=N      gauge sampling period (default 100 when
+//                               --timeseries is given)
+//
 // Prints a result table plus the scheduler/disk counters. See
 // src/configio/loaders.hpp for the full key reference.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -26,16 +39,77 @@
 
 #include "configio/loaders.hpp"
 #include "experiment/sweep.hpp"
+#include "obs/tracer.hpp"
 #include "stats/table.hpp"
 
 using namespace sst;
 
 namespace {
 
-Result<Config> gather_config(int argc, char** argv) {
-  Config merged;
+/// Observability outputs requested via --flags.
+struct ObsOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string timeseries_path;
+  SimTime sample_interval = 0;
+
+  [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
+  [[nodiscard]] SimTime effective_interval() const {
+    if (sample_interval > 0) return sample_interval;
+    return timeseries_path.empty() ? 0 : msec(100);
+  }
+};
+
+/// Parse --name=value observability flags out of argv; everything else is
+/// returned for the config parser. Returns false on a malformed flag.
+bool split_obs_flags(int argc, char** argv, ObsOptions& obs,
+                     std::vector<std::string>& rest) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      obs.trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      obs.metrics_path = arg.substr(10);
+    } else if (arg.rfind("--timeseries=", 0) == 0) {
+      obs.timeseries_path = arg.substr(13);
+    } else if (arg.rfind("--sample-interval-ms=", 0) == 0) {
+      try {
+        obs.sample_interval = msec(std::stoull(arg.substr(21)));
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --sample-interval-ms value: %s\n", arg.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  return true;
+}
+
+/// "out.json" + index 2 -> "out.2.json" (sweep mode writes one file per
+/// grid point).
+std::string indexed_path(const std::string& path, std::size_t index) {
+  const auto dot = path.rfind('.');
+  const auto slash = path.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + std::to_string(index);
+  }
+  return path.substr(0, dot) + "." + std::to_string(index) + path.substr(dot);
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+Result<Config> gather_config(const std::vector<std::string>& args) {
+  Config merged;
+  for (const std::string& arg : args) {
     if (!arg.empty() && arg.front() == '@') {
       std::ifstream file(arg.substr(1));
       if (!file) return make_error("cannot open config file: " + arg.substr(1));
@@ -134,7 +208,8 @@ void print_single(const experiment::ExperimentConfig& ec,
   table.print(std::cout);
 }
 
-int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes) {
+int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes,
+                  const ObsOptions& obs) {
   const auto points = expand_grid(axes);
   std::vector<experiment::ExperimentConfig> configs;
   configs.reserve(points.size());
@@ -149,7 +224,53 @@ int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes) {
     configs.push_back(std::move(experiment.value()));
   }
 
+  // One tracer per grid point: sweep workers run points concurrently, so
+  // trace state must never be shared.
+  std::vector<std::unique_ptr<obs::Tracer>> tracers;
+  if (obs.tracing()) {
+    tracers.reserve(configs.size());
+    for (auto& config : configs) {
+      tracers.push_back(std::make_unique<obs::Tracer>());
+      config.tracer = tracers.back().get();
+    }
+  }
+  for (auto& config : configs) config.sample_interval = obs.effective_interval();
+
   const auto results = experiment::run_sweep(configs);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (obs.tracing() &&
+        !tracers[i]->write_file(indexed_path(obs.trace_path, i))) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   indexed_path(obs.trace_path, i).c_str());
+      return 1;
+    }
+    if (!obs.timeseries_path.empty() &&
+        !write_text_file(indexed_path(obs.timeseries_path, i),
+                         results[i].timeseries.to_csv())) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   indexed_path(obs.timeseries_path, i).c_str());
+      return 1;
+    }
+  }
+  if (!obs.metrics_path.empty()) {
+    std::ostringstream doc;
+    doc << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i != 0) doc << ",\n";
+      doc << "{\"point\":{";
+      for (std::size_t j = 0; j < points[i].size(); ++j) {
+        if (j != 0) doc << ",";
+        doc << '"' << points[i][j].first << "\":\"" << points[i][j].second << '"';
+      }
+      doc << "},\"metrics\":" << results[i].to_json() << "}";
+    }
+    doc << "\n]\n";
+    if (!write_text_file(obs.metrics_path, doc.str())) {
+      std::fprintf(stderr, "error: cannot write %s\n", obs.metrics_path.c_str());
+      return 1;
+    }
+  }
 
   stats::Table table("sweep result");
   table.set_note(std::to_string(points.size()) + " grid points, " +
@@ -177,14 +298,18 @@ int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto cfg = gather_config(argc, argv);
+  ObsOptions obs;
+  std::vector<std::string> args;
+  if (!split_obs_flags(argc, argv, obs, args)) return 1;
+
+  auto cfg = gather_config(args);
   if (!cfg.ok()) {
     std::fprintf(stderr, "error: %s\n", cfg.error().message.c_str());
     return 1;
   }
 
   auto [base, axes] = split_sweep_axes(cfg.value());
-  if (!axes.empty()) return run_sweep_cli(base, axes);
+  if (!axes.empty()) return run_sweep_cli(base, axes, obs);
 
   auto experiment = configio::load_experiment(base);
   if (!experiment.ok()) {
@@ -192,7 +317,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  obs::Tracer tracer;
+  if (obs.tracing()) experiment.value().tracer = &tracer;
+  experiment.value().sample_interval = obs.effective_interval();
+
   const auto result = experiment::run_experiment(experiment.value());
   print_single(experiment.value(), result);
+
+  if (obs.tracing() && !tracer.write_file(obs.trace_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", obs.trace_path.c_str());
+    return 1;
+  }
+  if (!obs.metrics_path.empty() &&
+      !write_text_file(obs.metrics_path, result.to_json())) {
+    std::fprintf(stderr, "error: cannot write %s\n", obs.metrics_path.c_str());
+    return 1;
+  }
+  if (!obs.timeseries_path.empty() &&
+      !write_text_file(obs.timeseries_path, result.timeseries.to_csv())) {
+    std::fprintf(stderr, "error: cannot write %s\n", obs.timeseries_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/types.hpp"
+
 namespace sst {
 
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
@@ -21,11 +23,17 @@ void log_emit(LogLevel level, std::string_view component, std::string_view messa
 
 /// Streaming log statement builder:
 ///   LogMessage(LogLevel::kInfo, "disk") << "seek to cyl " << cyl;
-/// emits on destruction if the level passes the threshold.
+/// emits on destruction if the level passes the threshold. log_emit prefixes
+/// wall-clock time and a thread tag; pass `sim_now` to also lead the message
+/// with the simulated timestamp.
 class LogMessage {
  public:
   LogMessage(LogLevel level, std::string_view component)
       : level_(level), component_(component), enabled_(level >= log_level()) {}
+  LogMessage(LogLevel level, std::string_view component, SimTime sim_now)
+      : LogMessage(level, component) {
+    if (enabled_) stream_ << "[sim " << to_millis(sim_now) << "ms] ";
+  }
   ~LogMessage() {
     if (enabled_) detail::log_emit(level_, component_, stream_.str());
   }

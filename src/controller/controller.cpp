@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace sst::ctrl {
 
@@ -17,12 +18,26 @@ std::uint32_t Controller::attach_disk(disk::DiskParams disk_params) {
   return channel;
 }
 
+void Controller::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    tracer_->name_track(obs::controller_track(id_), "controller " + std::to_string(id_));
+  }
+  for (auto& d : disks_) d->set_tracer(tracer);
+}
+
 void Controller::transfer_to_host(Bytes bytes, std::function<void(SimTime)> done) {
   const SimTime now = sim_.now();
   const SimTime start = std::max(now, bus_free_at_);
   const auto xfer = static_cast<SimTime>(
       static_cast<double>(bytes) / params_.transfer_rate_bps * 1e9 + 0.5);
   const SimTime end = start + params_.command_overhead + xfer;
+  // The path is serial (start >= bus_free_at_), so recording the span up
+  // front keeps the controller track's timestamps monotone.
+  if (tracer_ != nullptr) {
+    tracer_->complete(obs::controller_track(id_), "controller", "xfer_to_host", start,
+                      end, "bytes", static_cast<double>(bytes));
+  }
   stats_.bus_busy_time += end - start;
   stats_.bytes_to_host += bytes;
   bus_free_at_ = end;

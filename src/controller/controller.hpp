@@ -16,6 +16,7 @@
 #include "controller/cache.hpp"
 #include "controller/params.hpp"
 #include "disk/disk.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 
 namespace sst::ctrl {
@@ -56,6 +57,11 @@ class Controller {
 
   void reset_stats();
 
+  /// Attach a per-experiment tracer (nullptr detaches) to this controller
+  /// and every attached disk; call after all disks are attached. The tracer
+  /// must outlive the controller.
+  void set_tracer(obs::Tracer* tracer);
+
  private:
   /// Serialize `bytes` over the controller-to-host path; `done` fires when
   /// the transfer completes.
@@ -70,6 +76,7 @@ class Controller {
   std::vector<std::unique_ptr<disk::Disk>> disks_;
   SimTime bus_free_at_ = 0;
   ControllerStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sst::ctrl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <string>
 
 #include "common/logging.hpp"
 
@@ -60,6 +61,11 @@ StreamScheduler::StreamScheduler(sim::Simulator& simulator,
 
 StreamScheduler::~StreamScheduler() { gc_event_.cancel(); }
 
+void StreamScheduler::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) tracer_->name_track(obs::kSchedulerTrack, "scheduler");
+}
+
 void StreamScheduler::arm_gc() {
   if (gc_event_.pending()) return;
   gc_event_ = sim_.schedule_after(params_.gc_period, [this]() {
@@ -94,8 +100,13 @@ Stream& StreamScheduler::create_stream(std::uint32_t device, ByteOffset range_st
   streams_.emplace(stream->id, std::move(stream));
   ++stats_.streams_created;
   arm_gc();
-  LogMessage(LogLevel::kDebug, kLog) << "stream " << ref.id << " created on dev " << device
-                                     << " at " << range_start;
+  if (tracer_ != nullptr) {
+    tracer_->name_track(obs::stream_track(ref.id), "stream " + std::to_string(ref.id));
+    tracer_->instant(obs::kSchedulerTrack, "scheduler", "stream_created", sim_.now(),
+                     "stream", static_cast<double>(ref.id));
+  }
+  LogMessage(LogLevel::kDebug, kLog, sim_.now())
+      << "stream " << ref.id << " created on dev " << device << " at " << range_start;
   return ref;
 }
 
@@ -212,6 +223,7 @@ bool StreamScheduler::dispatch(Stream& stream) {
   ++dispatched_;
   stream.issued_in_residency = 0;
   ++stream.stats.residencies;
+  stream.dispatched_at = sim_.now();
   return issue_next(stream);
 }
 
@@ -232,6 +244,10 @@ bool StreamScheduler::issue_next(Stream& stream) {
   auto buffer = pool_.allocate(stream.device, stream.prefetch_pos, len, sim_.now());
   if (buffer == nullptr) {
     ++stats_.dispatch_stalls;
+    if (tracer_ != nullptr) {
+      tracer_->instant(obs::kSchedulerTrack, "scheduler", "dispatch_stall", sim_.now(),
+                       "stream", static_cast<double>(stream.id));
+    }
     const bool first_issue = stream.issued_in_residency == 0;
     // Leave the dispatch set; on a first-issue bounce go back to the head
     // of the candidate queue and stall the pump until memory frees.
@@ -278,8 +294,8 @@ bool StreamScheduler::issue_next(Stream& stream) {
     req.length = len;
     req.op = IoOp::kRead;
     req.data = data;
-    req.on_complete = [this, sid, issue_offset](SimTime) {
-      on_read_complete(sid, issue_offset);
+    req.on_complete = [this, sid, issue_offset, issued_at = sim_.now()](SimTime) {
+      on_read_complete(sid, issue_offset, issued_at);
     };
     devices_[dev]->submit(std::move(req));
   });
@@ -291,6 +307,13 @@ void StreamScheduler::rotate_out(Stream& stream) {
   assert(dispatched_ > 0);
   --dispatched_;
   ++stats_.rotations;
+  if (tracer_ != nullptr) {
+    tracer_->complete(obs::stream_track(stream.id), "scheduler", "residency",
+                      stream.dispatched_at, sim_.now(), "issued",
+                      static_cast<double>(stream.issued_in_residency));
+    tracer_->instant(obs::kSchedulerTrack, "scheduler", "rotation", sim_.now(), "stream",
+                     static_cast<double>(stream.id));
+  }
   // Streams with unmet demand re-enter the candidate queue (round-robin
   // tail); satisfied streams park in the buffered set.
   const bool unmet = std::any_of(
@@ -306,10 +329,19 @@ void StreamScheduler::rotate_out(Stream& stream) {
   }
 }
 
-void StreamScheduler::on_read_complete(StreamId stream_id, ByteOffset buffer_offset) {
+void StreamScheduler::on_read_complete(StreamId stream_id, ByteOffset buffer_offset,
+                                       SimTime issued_at) {
   Stream& stream = stream_ref(stream_id);
   assert(stream.inflight > 0);
   --stream.inflight;
+  if (tracer_ != nullptr) {
+    // Stage span: device submit -> data staged in the buffer pool. Emitted
+    // as a complete ('X') event because stage spans from consecutive
+    // residencies may overlap, which 'B'/'E' pairs cannot express.
+    tracer_->complete(obs::stream_track(stream_id), "scheduler", "prefetch", issued_at,
+                      sim_.now(), "offset_mb",
+                      static_cast<double>(buffer_offset) / static_cast<double>(MiB));
+  }
   for (auto& b : stream.buffers) {
     if (b->offset() == buffer_offset && !b->filled()) {
       b->mark_filled(b->capacity(), sim_.now());
@@ -358,6 +390,10 @@ void StreamScheduler::serve_request(Stream& stream, ClientRequest request) {
   stream.stats.bytes_served += request.length;
   stats_.bytes_served += request.length;
   ++stats_.client_completions;
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::stream_track(stream.id), "scheduler", "serve", sim_.now(),
+                     "bytes", static_cast<double>(request.length));
+  }
 
   cpu_.execute(cpu_.complete_cost(pool_.live_buffers()),
                [cb = std::move(request.on_complete), this]() {
@@ -387,6 +423,7 @@ void StreamScheduler::collect_garbage() {
   const SimTime pending_horizon =
       now > params_.pending_timeout ? now - params_.pending_timeout : 0;
 
+  const std::uint64_t reclaimed_before = stats_.gc_buffers_reclaimed;
   std::vector<StreamId> dead;
   for (auto& [id, stream] : streams_) {
     // Escalate starved parked requests: under memory pressure a request
@@ -399,6 +436,10 @@ void StreamScheduler::collect_garbage() {
         it = stream->pending.erase(it);
         ++stats_.fallback_direct_reads;
         ++stats_.escalated_reads;
+        if (tracer_ != nullptr) {
+          tracer_->instant(obs::kSchedulerTrack, "scheduler", "escalated_read",
+                           sim_.now(), "stream", static_cast<double>(stream->id));
+        }
         blockdev::BlockRequest direct;
         direct.offset = req.offset;
         direct.length = req.length;
@@ -447,6 +488,11 @@ void StreamScheduler::collect_garbage() {
   for (const StreamId id : dead) {
     ++stats_.gc_streams_retired;
     retire_stream(id);
+  }
+  if (tracer_ != nullptr && stats_.gc_buffers_reclaimed > reclaimed_before) {
+    tracer_->instant(
+        obs::kSchedulerTrack, "scheduler", "gc_reclaim", sim_.now(), "buffers",
+        static_cast<double>(stats_.gc_buffers_reclaimed - reclaimed_before));
   }
   if (!candidates_.empty()) pump();
 }

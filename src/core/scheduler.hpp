@@ -21,6 +21,7 @@
 #include "core/params.hpp"
 #include "core/replacement_policy.hpp"
 #include "core/stream.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 
 namespace sst::core {
@@ -74,6 +75,10 @@ class StreamScheduler {
   /// buffers and dismantle dead streams. Exposed for tests.
   void collect_garbage();
 
+  /// Attach a per-experiment tracer (nullptr detaches). Every trace site is
+  /// one null check when detached; the tracer must outlive the scheduler.
+  void set_tracer(obs::Tracer* tracer);
+
   [[nodiscard]] const SchedulerParams& params() const { return params_; }
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const BufferPool& pool() const { return pool_; }
@@ -102,7 +107,10 @@ class StreamScheduler {
   bool issue_next(Stream& stream);
   /// End the stream's residency; staged data remains in the buffered set.
   void rotate_out(Stream& stream);
-  void on_read_complete(StreamId stream_id, ByteOffset buffer_offset);
+  /// `issued_at` is when the read-ahead hit the device (traced as the
+  /// prefetch span's start; 0 before the first trace-aware issue).
+  void on_read_complete(StreamId stream_id, ByteOffset buffer_offset,
+                        SimTime issued_at);
   /// Serve every pending request that staged data now covers.
   void drain_pending(Stream& stream);
   /// Serve one request from the staged buffers covering it (CPU-charged
@@ -146,6 +154,7 @@ class StreamScheduler {
   StreamId next_stream_id_ = 1;
   sim::EventHandle gc_event_;
   SchedulerStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sst::core

@@ -1,6 +1,8 @@
 #include "core/server.hpp"
 
 #include <cassert>
+#include <string>
+#include <utility>
 
 namespace sst::core {
 
@@ -11,6 +13,26 @@ StorageServer::StorageServer(sim::Simulator& simulator,
       devices_(devices),
       classifier_(params.classifier),
       scheduler_(simulator, std::move(devices), params) {}
+
+void StorageServer::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  scheduler_.set_tracer(tracer);
+  if (tracer_ != nullptr) {
+    for (std::size_t dev = 0; dev < devices_.size(); ++dev) {
+      tracer_->name_track(obs::request_track(static_cast<std::uint32_t>(dev)),
+                          "requests dev " + std::to_string(dev));
+    }
+  }
+}
+
+void StorageServer::trace_request(ClientRequest& request, const char* kind) {
+  const auto tid = obs::request_track(request.device);
+  request.on_complete = [this, tid, kind, start = sim_.now(),
+                         prev = std::move(request.on_complete)](SimTime done) {
+    tracer_->complete(tid, "request", kind, start, done);
+    if (prev) prev(done);
+  };
+}
 
 void StorageServer::submit(ClientRequest request) {
   assert(request.device < devices_.size());
@@ -26,12 +48,14 @@ void StorageServer::submit(ClientRequest request) {
 
   if (request.op == IoOp::kWrite) {
     ++stats_.direct_writes;
+    if (tracer_ != nullptr) trace_request(request, "direct_write");
     direct(std::move(request));
     return;
   }
 
   if (Stream* stream = scheduler_.find_stream(request.device, request.offset)) {
     ++stats_.sequential_requests;
+    if (tracer_ != nullptr) trace_request(request, "stream_read");
     scheduler_.enqueue(*stream, std::move(request));
     return;
   }
@@ -43,17 +67,23 @@ void StorageServer::submit(ClientRequest request) {
     // classifier's block-rounded end may overshoot it, and a stream whose
     // cursor starts past the client's next read would strand that request.
     const ByteOffset next_read = request.offset + request.length;
+    if (tracer_ != nullptr) {
+      tracer_->instant(obs::kSchedulerTrack, "classifier", "stream_detected",
+                       sim_.now(), "device", static_cast<double>(detected->device));
+    }
     Stream& stream =
         scheduler_.create_stream(detected->device, detected->start, next_read);
     // The triggering request itself lies below the new stream's read-ahead
     // start; enqueue() routes it to the device directly while the stream
     // begins prefetching from the detection end.
     ++stats_.sequential_requests;
+    if (tracer_ != nullptr) trace_request(request, "stream_read");
     scheduler_.enqueue(stream, std::move(request));
     return;
   }
 
   ++stats_.direct_reads;
+  if (tracer_ != nullptr) trace_request(request, "direct_read");
   direct(std::move(request));
 }
 

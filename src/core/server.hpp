@@ -13,6 +13,7 @@
 #include "common/types.hpp"
 #include "core/classifier.hpp"
 #include "core/scheduler.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 
 namespace sst::core {
@@ -34,6 +35,10 @@ class StorageServer {
   /// Entry point for client requests. The request must fit the device.
   void submit(ClientRequest request);
 
+  /// Attach a per-experiment tracer (nullptr detaches); forwarded to the
+  /// stream scheduler. The tracer must outlive the server.
+  void set_tracer(obs::Tracer* tracer);
+
   [[nodiscard]] StreamScheduler& scheduler() { return scheduler_; }
   [[nodiscard]] const StreamScheduler& scheduler() const { return scheduler_; }
   [[nodiscard]] Classifier& classifier() { return classifier_; }
@@ -42,12 +47,17 @@ class StorageServer {
 
  private:
   void direct(ClientRequest request);
+  /// Wrap the request's completion so its full lifetime (arrival -> client
+  /// completion) lands on the device's request track as a complete span.
+  /// `kind` names the route taken and must be a string literal.
+  void trace_request(ClientRequest& request, const char* kind);
 
   sim::Simulator& sim_;
   std::vector<blockdev::BlockDevice*> devices_;
   Classifier classifier_;
   StreamScheduler scheduler_;
   ServerStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sst::core

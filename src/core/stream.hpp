@@ -73,6 +73,7 @@ struct Stream {
   std::uint32_t inflight = 0;  ///< disk requests outstanding
   bool at_device_end = false;  ///< prefetch reached the end of the device
   SimTime last_activity = 0;
+  SimTime dispatched_at = 0;  ///< start of the current residency (for tracing)
 
   /// Rewind detection: a client that wraps to the start of its region keeps
   /// matching this stream but lands behind the prefetch cursor. A short run

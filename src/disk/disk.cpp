@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "common/logging.hpp"
 
@@ -15,6 +16,13 @@ Disk::Disk(sim::Simulator& simulator, DiskParams params, DiskId id)
       seek_(params.seek, geometry_.total_cylinders()),
       cache_(params.cache),
       queue_(make_scheduler(params.scheduler)) {}
+
+void Disk::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    tracer_->name_track(obs::disk_track(id_), "disk " + std::to_string(id_));
+  }
+}
 
 void Disk::submit(DiskCommand cmd) {
   assert(cmd.sectors > 0);
@@ -39,6 +47,10 @@ void Disk::materialize_background() {
   sectors = std::min(sectors, geometry_.total_sectors() - cursor);
   if (sectors == 0) return;
 
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::disk_track(id_), "disk", "background_fill", now, "sectors",
+                     static_cast<double>(sectors));
+  }
   cache_.extend_from(cursor, sectors, now);
   const SimTime used = geometry_.media_time(cursor, sectors);
   stats_.media_time += used;
@@ -65,6 +77,12 @@ void Disk::service(QueuedCommand qc) {
   SimTime request_done = ready;
   SimTime mechanism_done = ready;
 
+  // The mechanism is strictly serial (the next command starts at this one's
+  // mechanism_done), so the whole phase ladder can be recorded now with
+  // future timestamps and per-track time stays monotone.
+  const std::uint32_t trace_tid = obs::disk_track(id_);
+  if (tracer_ != nullptr) tracer_->begin(trace_tid, "disk", "cmd", start);
+
   if (cmd.op == IoOp::kRead) {
     ++stats_.reads;
     stats_.bytes_requested += sectors_to_bytes(cmd.sectors);
@@ -75,6 +93,10 @@ void Disk::service(QueuedCommand qc) {
           0.5);
       request_done = ready + xfer;
       mechanism_done = request_done;
+      if (tracer_ != nullptr) {
+        tracer_->complete(trace_tid, "disk", "cache_hit_xfer", ready, request_done,
+                          "sectors", static_cast<double>(cmd.sectors));
+      }
     } else {
       // Miss: position the head, then read request + read-ahead into a
       // cache segment. The host sees completion when the demanded sectors
@@ -104,6 +126,26 @@ void Disk::service(QueuedCommand qc) {
       request_done = ready + seek + rot + demand_media;
       mechanism_done = ready + seek + rot + fill_media;
 
+      if (tracer_ != nullptr) {
+        SimTime at = ready;
+        if (seek > 0) {
+          tracer_->begin(trace_tid, "disk", "seek", at);
+          tracer_->end(trace_tid, "disk", "seek", at + seek);
+        }
+        at += seek;
+        if (rot > 0) {
+          tracer_->begin(trace_tid, "disk", "rotation", at);
+          tracer_->end(trace_tid, "disk", "rotation", at + rot);
+        }
+        at += rot;
+        tracer_->begin(trace_tid, "disk", "read_media", at);
+        tracer_->end(trace_tid, "disk", "read_media", request_done);
+        if (mechanism_done > request_done) {
+          tracer_->begin(trace_tid, "disk", "readahead_fill", request_done);
+          tracer_->end(trace_tid, "disk", "readahead_fill", mechanism_done);
+        }
+      }
+
       stats_.seek_time += seek;
       stats_.rotation_time += rot;
       stats_.media_time += fill_media;
@@ -130,6 +172,22 @@ void Disk::service(QueuedCommand qc) {
     request_done = ready + seek + rot + media;
     mechanism_done = request_done;
 
+    if (tracer_ != nullptr) {
+      SimTime at = ready;
+      if (seek > 0) {
+        tracer_->begin(trace_tid, "disk", "seek", at);
+        tracer_->end(trace_tid, "disk", "seek", at + seek);
+      }
+      at += seek;
+      if (rot > 0) {
+        tracer_->begin(trace_tid, "disk", "rotation", at);
+        tracer_->end(trace_tid, "disk", "rotation", at + rot);
+      }
+      at += rot;
+      tracer_->begin(trace_tid, "disk", "write_media", at);
+      tracer_->end(trace_tid, "disk", "write_media", request_done);
+    }
+
     stats_.seek_time += seek;
     stats_.rotation_time += rot;
     stats_.media_time += media;
@@ -142,6 +200,7 @@ void Disk::service(QueuedCommand qc) {
   }
 
   stats_.busy_time += mechanism_done - start;
+  if (tracer_ != nullptr) tracer_->end(trace_tid, "disk", "cmd", mechanism_done);
 
   // Completion fires when the host's data is available ...
   sim_.schedule_at(request_done, [cb = std::move(qc.cmd.on_complete), request_done]() {

@@ -21,6 +21,7 @@
 #include "disk/params.hpp"
 #include "disk/scheduler.hpp"
 #include "disk/seek_model.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 
 namespace sst::disk {
@@ -63,6 +64,11 @@ class Disk {
 
   void reset_stats();
 
+  /// Attach a per-experiment tracer (nullptr detaches). Mechanical phases
+  /// (seek, rotation, media transfer) are recorded as nested spans on this
+  /// disk's track; the tracer must outlive the disk.
+  void set_tracer(obs::Tracer* tracer);
+
  private:
   void try_service();
   void service(QueuedCommand qc);
@@ -91,6 +97,7 @@ class Disk {
   Lba head_lba_ = 0;
   BackgroundPrefetch background_;
   DiskStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sst::disk

@@ -1,0 +1,71 @@
+// ExperimentResult -> JSON via the obs metrics registry: every per-layer
+// stats struct registered under its own namespace, one deterministic
+// document out.
+#include "experiment/runner.hpp"
+#include "obs/metrics.hpp"
+
+namespace sst::experiment {
+
+std::string ExperimentResult::to_json() const {
+  obs::MetricsRegistry reg;
+
+  reg.gauge("throughput.total_mbps", total_mbps);
+  reg.gauge("throughput.min_stream_mbps", min_stream_mbps);
+  reg.gauge("throughput.max_stream_mbps", max_stream_mbps);
+  reg.array("throughput.stream_mbps", stream_mbps);
+  reg.counter("throughput.requests_completed", requests_completed);
+
+  reg.histogram("latency", latency);
+
+  reg.counter("disk.bytes_requested", disk_totals.bytes_requested);
+  reg.counter("disk.bytes_from_media", disk_totals.bytes_from_media);
+  reg.counter("disk.commands", disk_totals.commands);
+  reg.counter("disk.cache_hits", disk_totals.cache_hits);
+  reg.counter("disk.cache_misses", disk_totals.cache_misses);
+  reg.counter("disk.wasted_prefetch_sectors", disk_totals.wasted_prefetch_sectors);
+  reg.gauge("disk.seek_time_ms", to_millis(disk_totals.seek_time));
+  reg.gauge("disk.busy_time_ms", to_millis(disk_totals.busy_time));
+
+  reg.counter("controller.commands", controller_totals.commands);
+  reg.counter("controller.bytes_to_host", controller_totals.bytes_to_host);
+  reg.gauge("controller.bus_busy_time_ms", to_millis(controller_totals.bus_busy_time));
+  reg.counter("controller.cache_hits", controller_totals.cache_hits);
+  reg.counter("controller.cache_misses", controller_totals.cache_misses);
+  reg.counter("controller.cache_evictions", controller_totals.cache_evictions);
+  reg.counter("controller.prefetched_bytes", controller_totals.prefetched_bytes);
+  reg.counter("controller.wasted_prefetch_bytes",
+              controller_totals.wasted_prefetch_bytes);
+
+  reg.counter("scheduler.streams_created", scheduler_stats.streams_created);
+  reg.counter("scheduler.streams_retired", scheduler_stats.streams_retired);
+  reg.counter("scheduler.disk_reads", scheduler_stats.disk_reads);
+  reg.counter("scheduler.bytes_prefetched", scheduler_stats.bytes_prefetched);
+  reg.counter("scheduler.client_completions", scheduler_stats.client_completions);
+  reg.counter("scheduler.bytes_served", scheduler_stats.bytes_served);
+  reg.counter("scheduler.buffer_hits", scheduler_stats.buffer_hits);
+  reg.counter("scheduler.rotations", scheduler_stats.rotations);
+  reg.counter("scheduler.dispatch_stalls", scheduler_stats.dispatch_stalls);
+  reg.counter("scheduler.gc_buffers_reclaimed", scheduler_stats.gc_buffers_reclaimed);
+  reg.counter("scheduler.gc_bytes_wasted", scheduler_stats.gc_bytes_wasted);
+  reg.counter("scheduler.gc_streams_retired", scheduler_stats.gc_streams_retired);
+  reg.counter("scheduler.fallback_direct_reads", scheduler_stats.fallback_direct_reads);
+  reg.counter("scheduler.escalated_reads", scheduler_stats.escalated_reads);
+
+  reg.counter("server.requests", server_stats.requests);
+  reg.counter("server.sequential_requests", server_stats.sequential_requests);
+  reg.counter("server.direct_reads", server_stats.direct_reads);
+  reg.counter("server.direct_writes", server_stats.direct_writes);
+
+  reg.counter("classifier.requests_seen", classifier_stats.requests_seen);
+  reg.counter("classifier.regions_allocated", classifier_stats.regions_allocated);
+  reg.counter("classifier.regions_collected", classifier_stats.regions_collected);
+  reg.counter("classifier.streams_detected", classifier_stats.streams_detected);
+  reg.counter("classifier.bitmap_bytes", classifier_stats.bitmap_bytes);
+
+  reg.gauge("host.cpu_utilization", host_cpu_utilization);
+  reg.counter("host.peak_buffer_memory", peak_buffer_memory);
+
+  return reg.to_json();
+}
+
+}  // namespace sst::experiment

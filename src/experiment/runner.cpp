@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <string>
 
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -16,6 +17,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::unique_ptr<core::StorageServer> server;
   if (config.scheduler.has_value()) {
     server = node.make_server(*config.scheduler);
+  }
+
+  if (config.tracer != nullptr) {
+    node.attach_tracer(config.tracer);
+    if (server) server->set_tracer(config.tracer);
   }
 
   workload::RequestSink sink;
@@ -50,6 +56,43 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   for (auto& client : clients) client->start();
 
+  obs::TimeSeriesSampler sampler(simulator, config.sample_interval);
+  if (config.sample_interval > 0) {
+    // Windowed throughput: bytes moved since the previous tick. The meters
+    // reset at begin_measurement, so a shrinking total restarts the window.
+    sampler.add_gauge("mbps", [&clients, prev_bytes = Bytes{0},
+                               prev_time = SimTime{0}, &simulator]() mutable {
+      Bytes total = 0;
+      for (const auto& client : clients) total += client->stats().throughput.total_bytes();
+      const SimTime now = simulator.now();
+      const Bytes delta = total >= prev_bytes ? total - prev_bytes : total;
+      const double mbps = now > prev_time ? mb_per_sec(delta, now - prev_time) : 0.0;
+      prev_bytes = total;
+      prev_time = now;
+      return mbps;
+    });
+    if (server) {
+      core::StreamScheduler& sched = server->scheduler();
+      sampler.add_gauge("dispatch_set",
+                        [&sched]() { return static_cast<double>(sched.dispatched_count()); });
+      sampler.add_gauge("candidates",
+                        [&sched]() { return static_cast<double>(sched.candidate_count()); });
+      sampler.add_gauge("buffered_streams",
+                        [&sched]() { return static_cast<double>(sched.buffered_count()); });
+      sampler.add_gauge("streams",
+                        [&sched]() { return static_cast<double>(sched.stream_count()); });
+      sampler.add_gauge("pool_mb", [&sched]() {
+        return static_cast<double>(sched.pool().committed()) / 1e6;
+      });
+    }
+    for (std::size_t i = 0; i < node.device_count(); ++i) {
+      sampler.add_gauge("disk" + std::to_string(i) + ".queue_depth", [&node, i]() {
+        return static_cast<double>(node.disk_of(i).queue_depth());
+      });
+    }
+    sampler.start();
+  }
+
   simulator.run_until(config.warmup);
   for (auto& client : clients) client->begin_measurement();
   const SimTime t0 = simulator.now();
@@ -73,12 +116,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.min_stream_mbps = clients.empty() ? 0.0 : min_mbps;
   result.max_stream_mbps = max_mbps;
   result.disk_totals = node.disk_totals();
+  result.controller_totals = node.controller_totals();
   if (server) {
     result.scheduler_stats = server->scheduler().stats();
     result.server_stats = server->stats();
+    result.classifier_stats = server->classifier().stats();
     result.host_cpu_utilization =
         server->scheduler().cpu().stats().utilization(t1);
     result.peak_buffer_memory = server->scheduler().pool().stats().peak_committed;
+  }
+  if (config.sample_interval > 0) {
+    sampler.stop();
+    result.timeseries = sampler.take();
   }
   return result;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/params.hpp"
@@ -14,6 +15,8 @@
 #include "core/scheduler.hpp"
 #include "core/server.hpp"
 #include "node/storage_node.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/tracer.hpp"
 #include "stats/histogram.hpp"
 #include "workload/generator.hpp"
 
@@ -31,6 +34,14 @@ struct ExperimentConfig {
   std::vector<workload::StreamSpec> streams;
   SimTime warmup = sec(4);
   SimTime measure = sec(20);
+  /// Present = record request-lifecycle trace events into this tracer
+  /// (owned by the caller; one tracer per experiment, so parallel sweep
+  /// points can trace concurrently). Absent = zero tracing overhead.
+  obs::Tracer* tracer = nullptr;
+  /// > 0 = sample live gauges (dispatch-set occupancy, buffer-pool bytes,
+  /// per-disk queue depth, windowed MB/s) every `sample_interval` of sim
+  /// time into ExperimentResult::timeseries.
+  SimTime sample_interval = 0;
 };
 
 struct ExperimentResult {
@@ -42,14 +53,23 @@ struct ExperimentResult {
   std::uint64_t requests_completed = 0;
   stats::LatencyHistogram latency;  ///< merged over all streams
   node::NodeDiskTotals disk_totals;
-  core::SchedulerStats scheduler_stats;  ///< zeros when no scheduler
-  core::ServerStats server_stats;        ///< zeros when no scheduler
+  node::NodeControllerTotals controller_totals;
+  core::SchedulerStats scheduler_stats;    ///< zeros when no scheduler
+  core::ServerStats server_stats;          ///< zeros when no scheduler
+  core::ClassifierStats classifier_stats;  ///< zeros when no scheduler
   double host_cpu_utilization = 0.0;
   Bytes peak_buffer_memory = 0;
+  /// Sampled gauges; empty unless ExperimentConfig::sample_interval > 0.
+  obs::TimeSeries timeseries;
 
   [[nodiscard]] double per_disk_mbps(std::uint32_t disks) const {
     return disks ? total_mbps / disks : 0.0;
   }
+
+  /// Complete metrics export (throughput, latency quantiles and histogram
+  /// buckets, disk/controller/scheduler/server counters) as one JSON
+  /// document. Deterministic: same result, same bytes.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Run one configuration to completion. Deterministic: same config, same

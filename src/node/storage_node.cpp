@@ -59,8 +59,27 @@ NodeDiskTotals StorageNode::disk_totals() const {
   return totals;
 }
 
+NodeControllerTotals StorageNode::controller_totals() const {
+  NodeControllerTotals totals;
+  for (const auto& controller : controllers_) {
+    totals.commands += controller->stats().commands;
+    totals.bytes_to_host += controller->stats().bytes_to_host;
+    totals.bus_busy_time += controller->stats().bus_busy_time;
+    totals.cache_hits += controller->cache_stats().hits;
+    totals.cache_misses += controller->cache_stats().misses;
+    totals.cache_evictions += controller->cache_stats().evictions;
+    totals.prefetched_bytes += controller->cache_stats().prefetched_bytes;
+    totals.wasted_prefetch_bytes += controller->cache_stats().wasted_prefetch_bytes;
+  }
+  return totals;
+}
+
 void StorageNode::reset_stats() {
   for (auto& controller : controllers_) controller->reset_stats();
+}
+
+void StorageNode::attach_tracer(obs::Tracer* tracer) {
+  for (auto& controller : controllers_) controller->set_tracer(tracer);
 }
 
 }  // namespace sst::node

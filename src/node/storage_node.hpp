@@ -49,6 +49,19 @@ struct NodeConfig {
   }
 };
 
+/// Aggregated counters across every controller of the node (transfer path
+/// plus extent-cache behaviour).
+struct NodeControllerTotals {
+  std::uint64_t commands = 0;
+  Bytes bytes_to_host = 0;
+  SimTime bus_busy_time = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  Bytes prefetched_bytes = 0;
+  Bytes wasted_prefetch_bytes = 0;
+};
+
 /// Aggregated counters across every disk of the node.
 struct NodeDiskTotals {
   Bytes bytes_requested = 0;
@@ -86,7 +99,12 @@ class StorageNode {
   [[nodiscard]] std::unique_ptr<core::StorageServer> make_server(core::SchedulerParams params);
 
   [[nodiscard]] NodeDiskTotals disk_totals() const;
+  [[nodiscard]] NodeControllerTotals controller_totals() const;
   void reset_stats();
+
+  /// Attach a per-experiment tracer to every controller and disk (nullptr
+  /// detaches). The tracer must outlive the node.
+  void attach_tracer(obs::Tracer* tracer);
 
  private:
   sim::Simulator& sim_;

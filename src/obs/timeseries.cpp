@@ -1,0 +1,91 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace sst::obs {
+
+namespace {
+
+void write_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void TimeSeries::write_csv(std::ostream& os) const {
+  os << "time_s";
+  for (const auto& n : names) os << ',' << n;
+  os << '\n';
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    write_double(os, to_seconds(times[i]));
+    for (const double v : rows[i]) {
+      os << ',';
+      write_double(os, v);
+    }
+    os << '\n';
+  }
+}
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+void TimeSeries::write_json(std::ostream& os) const {
+  os << "{\"names\":[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << names[i] << '"';
+  }
+  os << "],\"time_s\":[";
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (i != 0) os << ',';
+    write_double(os, to_seconds(times[i]));
+  }
+  os << "],\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '[';
+    for (std::size_t j = 0; j < rows[i].size(); ++j) {
+      if (j != 0) os << ',';
+      write_double(os, rows[i][j]);
+    }
+    os << ']';
+  }
+  os << "]}\n";
+}
+
+std::string TimeSeries::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void TimeSeriesSampler::start() {
+  if (interval_ == 0 || gauges_.empty()) return;
+  sample();
+  arm();
+}
+
+void TimeSeriesSampler::stop() { tick_.cancel(); }
+
+void TimeSeriesSampler::sample() {
+  series_.times.push_back(sim_.now());
+  auto& row = series_.rows.emplace_back();
+  row.reserve(gauges_.size());
+  for (auto& g : gauges_) row.push_back(g());
+}
+
+void TimeSeriesSampler::arm() {
+  tick_ = sim_.schedule_after(interval_, [this] {
+    sample();
+    arm();
+  });
+}
+
+}  // namespace sst::obs

@@ -1,0 +1,82 @@
+// Periodic time-series sampling of live gauges during a simulation run.
+//
+// A TimeSeriesSampler registers named gauge callbacks (dispatch-set
+// occupancy, buffer-pool bytes, per-disk queue depth, windowed throughput,
+// ...) and reschedules itself on the simulator every `interval` of sim
+// time, recording one row per tick. The collected TimeSeries is plain
+// copyable data that travels inside ExperimentResult and exports to CSV or
+// JSON.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::obs {
+
+/// Column-named sample matrix: rows[i][j] is gauge `names[j]` sampled at
+/// `times[i]`.
+struct TimeSeries {
+  std::vector<std::string> names;
+  std::vector<SimTime> times;
+  std::vector<std::vector<double>> rows;
+
+  [[nodiscard]] bool empty() const { return times.empty(); }
+  [[nodiscard]] std::size_t size() const { return times.size(); }
+
+  /// Header "time_s,<name>,..." then one row per sample.
+  void write_csv(std::ostream& os) const;
+  [[nodiscard]] std::string to_csv() const;
+  /// {"names":[...],"time_s":[...],"rows":[[...],...]}.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+class TimeSeriesSampler {
+ public:
+  /// `interval` is the sim-time spacing between samples; must be > 0.
+  TimeSeriesSampler(sim::Simulator& sim, SimTime interval)
+      : sim_(sim), interval_(interval) {}
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+  ~TimeSeriesSampler() { stop(); }
+
+  /// Register a gauge before start(); sampled once per tick in
+  /// registration order.
+  void add_gauge(std::string name, std::function<double()> fn) {
+    series_.names.push_back(std::move(name));
+    gauges_.push_back(std::move(fn));
+  }
+
+  /// Take a first sample immediately and schedule the periodic tick.
+  void start();
+  /// Cancel the pending tick; the collected series remains readable.
+  void stop();
+
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+  /// Move the collected series out (sampler keeps running but restarts
+  /// from an empty matrix).
+  [[nodiscard]] TimeSeries take() {
+    TimeSeries out = std::move(series_);
+    series_ = TimeSeries{};
+    series_.names = out.names;
+    return out;
+  }
+
+ private:
+  void sample();
+  void arm();
+
+  sim::Simulator& sim_;
+  SimTime interval_;
+  std::vector<std::function<double()>> gauges_;
+  TimeSeries series_;
+  sim::EventHandle tick_;
+};
+
+}  // namespace sst::obs

@@ -1,0 +1,89 @@
+#include "obs/tracer.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace sst::obs {
+
+namespace {
+
+/// Escape a string for a JSON string literal (track names are the only
+/// dynamic strings; everything else is a literal under our control).
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Nanoseconds -> microseconds with three decimals ("12.345"), the unit
+/// Chrome Trace expects. Integer arithmetic keeps the text deterministic.
+void write_us(std::ostream& os, SimTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  os << buf;
+}
+
+void write_arg(std::ostream& os, const char* key, double val) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", val);
+  os << ",\"args\":{\"" << key << "\":" << buf << "}";
+}
+
+}  // namespace
+
+void Tracer::write_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"streamstore\"}}";
+  for (const auto& [tid, name] : tracks_) {
+    os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    write_escaped(os, name);
+    os << "\"}}";
+  }
+  for (const TraceEvent& e : events_) {
+    os << ",\n{\"ph\":\"" << e.phase << "\",\"pid\":0,\"tid\":" << e.tid
+       << ",\"cat\":\"" << e.cat << "\",\"name\":\"" << e.name << "\",\"ts\":";
+    write_us(os, e.ts);
+    if (e.phase == 'X') {
+      os << ",\"dur\":";
+      write_us(os, e.dur);
+    }
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    if (e.arg_key != nullptr) write_arg(os, e.arg_key, e.arg_val);
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::string Tracer::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace sst::obs

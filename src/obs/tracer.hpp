@@ -1,0 +1,117 @@
+// Structured request-lifecycle tracer emitting Chrome Trace Event Format
+// JSON (loadable in Perfetto / chrome://tracing).
+//
+// One Tracer per experiment — never a global singleton — so parallel sweep
+// workers can trace concurrent runs without sharing state. Components hold
+// a nullable `Tracer*`; every instrumentation site is a single null check
+// when tracing is off, and when it is on, events append into a
+// preallocated slab of fixed-size records (string fields must be literals),
+// so the recording hot path performs no per-event heap allocation once the
+// slab is warm.
+//
+// Timestamps are simulated time (SimTime nanoseconds), serialized as
+// microseconds with nanosecond precision — byte-identical output for
+// identical runs, since the simulator itself is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sst::obs {
+
+// Track ("thread") id layout. Chrome traces organize events by (pid, tid);
+// we use one process and carve the tid space per component so every disk,
+// controller, device request queue and stream renders on its own track.
+inline constexpr std::uint32_t kSchedulerTrack = 1;
+
+[[nodiscard]] constexpr std::uint32_t disk_track(DiskId id) { return 0x100 + id; }
+[[nodiscard]] constexpr std::uint32_t controller_track(ControllerId id) {
+  return 0x10000 + id;
+}
+[[nodiscard]] constexpr std::uint32_t request_track(std::uint32_t device) {
+  return 0x20000 + device;
+}
+/// Stream tracks wrap at 16 bits; collisions only matter past 65k streams.
+[[nodiscard]] constexpr std::uint32_t stream_track(StreamId id) {
+  return 0x30000 + static_cast<std::uint32_t>(id & 0xFFFF);
+}
+
+/// One fixed-size trace record. `cat`, `name` and `arg_key` must point at
+/// string literals (or other static-storage strings): the tracer stores the
+/// pointers, not copies, to keep recording allocation-free.
+struct TraceEvent {
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  const char* arg_key = nullptr;  ///< nullptr = no argument
+  double arg_val = 0.0;
+  SimTime ts = 0;   ///< event (or span start) time, ns
+  SimTime dur = 0;  ///< span length for phase 'X', ignored otherwise
+  std::uint32_t tid = 0;
+  char phase = 'i';  ///< 'X' complete, 'B'/'E' duration pair, 'i' instant
+};
+
+class Tracer {
+ public:
+  /// `reserve_events` sizes the initial slab; recording beyond it grows the
+  /// vector (amortized, still deterministic).
+  explicit Tracer(std::size_t reserve_events = 1 << 12) {
+    events_.reserve(reserve_events);
+  }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Complete span [start, end) — phase 'X'.
+  void complete(std::uint32_t tid, const char* cat, const char* name, SimTime start,
+                SimTime end, const char* arg_key = nullptr, double arg_val = 0.0) {
+    events_.push_back(
+        {cat, name, arg_key, arg_val, start, end - start, tid, 'X'});
+  }
+
+  /// Begin/end duration pair — must nest properly per track.
+  void begin(std::uint32_t tid, const char* cat, const char* name, SimTime ts) {
+    events_.push_back({cat, name, nullptr, 0.0, ts, 0, tid, 'B'});
+  }
+  void end(std::uint32_t tid, const char* cat, const char* name, SimTime ts) {
+    events_.push_back({cat, name, nullptr, 0.0, ts, 0, tid, 'E'});
+  }
+
+  /// Thread-scoped instant event.
+  void instant(std::uint32_t tid, const char* cat, const char* name, SimTime ts,
+               const char* arg_key = nullptr, double arg_val = 0.0) {
+    events_.push_back({cat, name, arg_key, arg_val, ts, 0, tid, 'i'});
+  }
+
+  /// Human-readable label for a track (emitted as thread_name metadata).
+  void name_track(std::uint32_t tid, std::string name) {
+    tracks_.emplace_back(tid, std::move(name));
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::string>>& tracks() const {
+    return tracks_;
+  }
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+  void clear() {
+    events_.clear();
+    tracks_.clear();
+  }
+
+  /// Serialize as {"traceEvents":[...]}. Deterministic: same events, same
+  /// bytes.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+  /// Write to `path`; false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> tracks_;
+};
+
+}  // namespace sst::obs

@@ -70,6 +70,18 @@ double LatencyHistogram::quantile_ms(double q) const {
   return static_cast<double>(max_ns_) / 1e6;
 }
 
+HistogramBucket LatencyHistogram::bucket(std::size_t index) const {
+  return {bucket_lower_ns(index), bucket_upper_ns(index), buckets_[index]};
+}
+
+std::vector<HistogramBucket> LatencyHistogram::nonzero_buckets() const {
+  std::vector<HistogramBucket> out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] != 0) out.push_back(bucket(i));
+  }
+  return out;
+}
+
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;

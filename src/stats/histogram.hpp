@@ -11,6 +11,13 @@
 
 namespace sst::stats {
 
+/// One exported histogram bucket: samples in [lower_ns, upper_ns).
+struct HistogramBucket {
+  double lower_ns = 0.0;
+  double upper_ns = 0.0;
+  std::uint64_t count = 0;
+};
+
 class LatencyHistogram {
  public:
   LatencyHistogram();
@@ -30,6 +37,13 @@ class LatencyHistogram {
 
   /// Merge another histogram into this one (same fixed bucketing).
   void merge(const LatencyHistogram& other);
+
+  // Bucket iteration/export API (used by the metrics exporter).
+  [[nodiscard]] static std::size_t bucket_count() { return kBuckets; }
+  /// Bounds and count of bucket `index` (index < bucket_count()).
+  [[nodiscard]] HistogramBucket bucket(std::size_t index) const;
+  /// Only the buckets holding samples; their counts sum to count().
+  [[nodiscard]] std::vector<HistogramBucket> nonzero_buckets() const;
 
   [[nodiscard]] std::string debug_string() const;
 

@@ -96,6 +96,38 @@ TEST(Histogram, DebugStringMentionsStats) {
   EXPECT_NE(s.find("mean="), std::string::npos);
 }
 
+TEST(Histogram, ExportedBucketsSumToCount) {
+  LatencyHistogram h;
+  // Latencies spanning the full bucket range: sub-microsecond (bucket 0),
+  // microseconds, milliseconds, seconds, and beyond the last bucket bound.
+  h.add(0);
+  h.add(500);
+  for (std::uint64_t i = 1; i <= 200; ++i) h.add(usec(i * 37));
+  for (std::uint64_t i = 1; i <= 50; ++i) h.add(msec(i));
+  h.add(sec(2));
+  h.add(sec(5000));
+
+  const auto buckets = h.nonzero_buckets();
+  ASSERT_FALSE(buckets.empty());
+  std::uint64_t total = 0;
+  for (const auto& b : buckets) {
+    EXPECT_GT(b.count, 0u);
+    EXPECT_LT(b.lower_ns, b.upper_ns);
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, BucketIndexApiCoversAllSamples) {
+  LatencyHistogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.add(usec(i));
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::bucket_count(); ++i) {
+    total += h.bucket(i).count;
+  }
+  EXPECT_EQ(total, h.count());
+}
+
 TEST(Histogram, MonotoneQuantileFunction) {
   LatencyHistogram h;
   for (int i = 0; i < 100; ++i) h.add(msec(static_cast<std::uint64_t>(1 + i % 20)));
