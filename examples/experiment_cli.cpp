@@ -205,6 +205,24 @@ void print_single(const experiment::ExperimentConfig& ec,
                    static_cast<double>(result.peak_buffer_memory) / 1e6});
     table.add_row({std::string("host CPU utilization"), result.host_cpu_utilization});
   }
+  if (ec.fault.enabled()) {
+    table.add_row({std::string("faults injected"),
+                   static_cast<std::int64_t>(result.fault_stats.media_errors +
+                                             result.fault_stats.hangs +
+                                             result.fault_stats.spikes)});
+    table.add_row({std::string("retries"),
+                   static_cast<std::int64_t>(result.retry_stats.retries_total)});
+    table.add_row({std::string("commands recovered"),
+                   static_cast<std::int64_t>(result.retry_stats.recovered)});
+    table.add_row({std::string("retry giveups"),
+                   static_cast<std::int64_t>(result.retry_stats.giveups)});
+    table.add_row({std::string("streams evicted"),
+                   static_cast<std::int64_t>(result.scheduler_stats.streams_evicted)});
+    table.add_row({std::string("devices failed"),
+                   static_cast<std::int64_t>(result.devices_failed)});
+    table.add_row({std::string("client errors"),
+                   static_cast<std::int64_t>(result.client_errors)});
+  }
   table.print(std::cout);
 }
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Gate microbenchmark results against a committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.15]
+
+Both files are microbench_simulator output:
+
+    {"benchmarks": [{"name": ..., "value": ..., "unit": ...,
+                     "steady_state_allocations": ...}, ...],
+     "steady_state_alloc_free": true}
+
+Two classes of regression fail the gate:
+
+  * steady_state_allocations grows for any benchmark present in the
+    baseline (zero tolerance: the alloc-free hot path is a hard
+    invariant, not a performance number), or the overall
+    steady_state_alloc_free flag flips to false.
+  * a rate-style benchmark (unit not in the timing/informational set)
+    drops more than --tolerance (default 15%) below the baseline value.
+
+Wall-clock style results ("sec") and machine-dependent ones ("threads",
+speedup "x") are reported but never gated: CI runners are too noisy for
+absolute timing, and the same work is covered by the rate benchmarks.
+New benchmarks missing from the baseline are reported as informational;
+benchmarks that disappeared fail the gate (a silently dropped benchmark
+is how regressions hide).
+"""
+
+import argparse
+import json
+import sys
+
+# Units where a smaller/different value is not a regression signal.
+UNGATED_UNITS = {"sec", "s", "threads", "x"}
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}, doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional drop for rate benchmarks")
+    args = parser.parse_args()
+
+    base, base_doc = load(args.baseline)
+    cur, cur_doc = load(args.current)
+
+    failures = []
+    rows = []
+
+    if base_doc.get("steady_state_alloc_free") and not cur_doc.get(
+            "steady_state_alloc_free"):
+        failures.append("steady_state_alloc_free flipped to false")
+
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            failures.append(f"{name}: present in baseline but missing from current run")
+            continue
+
+        b_alloc = int(b.get("steady_state_allocations", 0))
+        c_alloc = int(c.get("steady_state_allocations", 0))
+        if c_alloc > b_alloc:
+            failures.append(
+                f"{name}: steady-state allocations regressed {b_alloc} -> {c_alloc}")
+
+        unit = c.get("unit", "")
+        b_val, c_val = float(b["value"]), float(c["value"])
+        note = ""
+        if unit not in UNGATED_UNITS and b_val > 0:
+            drop = (b_val - c_val) / b_val
+            if drop > args.tolerance:
+                failures.append(
+                    f"{name}: {c_val:.3f} {unit} is {drop:.1%} below baseline "
+                    f"{b_val:.3f} (tolerance {args.tolerance:.0%})")
+                note = "FAIL"
+            else:
+                note = f"{-drop:+.1%}"
+        else:
+            note = "(ungated)"
+        rows.append((name, b_val, c_val, unit, c_alloc, note))
+
+    for name in sorted(set(cur) - set(base)):
+        c = cur[name]
+        rows.append((name, float("nan"), float(c["value"]), c.get("unit", ""),
+                     int(c.get("steady_state_allocations", 0)), "(new)"))
+
+    print(f"{'benchmark':<28} {'baseline':>14} {'current':>14} "
+          f"{'unit':<12} {'allocs':>7}  delta")
+    for name, b_val, c_val, unit, allocs, note in rows:
+        b_txt = "-" if b_val != b_val else f"{b_val:.3f}"
+        print(f"{name:<28} {b_txt:>14} {c_val:>14.3f} {unit:<12} {allocs:>7}  {note}")
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed "
+          f"({len(rows)} benchmarks, tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@
 #include <functional>
 #include <string>
 
+#include "common/completion.hpp"
 #include "common/types.hpp"
 
 namespace sst::blockdev {
@@ -26,8 +27,11 @@ struct BlockRequest {
   /// Optional data buffer of `length` bytes: destination for reads, source
   /// for writes. May be null when the caller only needs timing.
   std::byte* data = nullptr;
-  /// Fires when the request completes, with the completion time.
-  std::function<void(SimTime)> on_complete;
+  /// Fires when the request completes, with the completion time and the
+  /// outcome (IoStatus::kOk unless a fault-injection/recovery layer is in
+  /// the stack). Accepts both `void(SimTime)` and `void(SimTime, IoStatus)`
+  /// handlers; see common/completion.hpp.
+  IoCompletion on_complete;
 };
 
 class BlockDevice {

@@ -37,9 +37,10 @@ class DelayedDevice final : public BlockDevice {
     const std::uint64_t seq = next_seq_++;
     if (should_delay_ && should_delay_(seq, request.offset)) {
       ++delayed_;
-      request.on_complete = [this, cb = std::move(request.on_complete)](SimTime) {
-        sim_.schedule_after(extra_delay_, [this, cb]() {
-          if (cb) cb(sim_.now());
+      request.on_complete = [this,
+                             cb = std::move(request.on_complete)](SimTime, IoStatus s) {
+        sim_.schedule_after(extra_delay_, [this, cb, s]() {
+          if (cb) cb(sim_.now(), s);
         });
       };
     }

@@ -1,0 +1,47 @@
+// Status-carrying completion callback for asynchronous I/O.
+//
+// Most of the codebase predates fault injection and registers handlers that
+// only care about the completion time; the fault/recovery layers need the
+// IoStatus as well. IoCompletion accepts both handler shapes: a
+// `void(SimTime)` callable is adapted (it observes time only, which is
+// exactly the legacy behaviour), while a `void(SimTime, IoStatus)` callable
+// sees the full outcome. Invoking with just a time reports success.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace sst {
+
+class IoCompletion {
+ public:
+  IoCompletion() = default;
+  IoCompletion(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, IoCompletion> &&
+                                 std::is_invocable_v<D&, SimTime, IoStatus>,
+                             int> = 0>
+  IoCompletion(F&& fn) : fn_(std::forward<F>(fn)) {}  // NOLINT
+
+  template <typename F, typename D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, IoCompletion> &&
+                                 !std::is_invocable_v<D&, SimTime, IoStatus> &&
+                                 std::is_invocable_v<D&, SimTime>,
+                             int> = 0>
+  IoCompletion(F&& fn)  // NOLINT(google-explicit-constructor)
+      : fn_([inner = std::forward<F>(fn)](SimTime t, IoStatus) mutable { inner(t); }) {}
+
+  void operator()(SimTime t, IoStatus s = IoStatus::kOk) const { fn_(t, s); }
+
+  [[nodiscard]] explicit operator bool() const { return static_cast<bool>(fn_); }
+
+ private:
+  std::function<void(SimTime, IoStatus)> fn_;
+};
+
+}  // namespace sst

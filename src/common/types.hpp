@@ -90,4 +90,27 @@ enum class IoOp : std::uint8_t { kRead, kWrite };
   return op == IoOp::kRead ? "read" : "write";
 }
 
+/// Outcome of an asynchronous I/O command, delivered alongside the
+/// completion time. The happy path stays `kOk`; the fault-injection and
+/// recovery layers introduce the failure values:
+///  - kMediaError: the device reported an unrecoverable read/write error
+///    (after the retry hierarchy below it gave up).
+///  - kTimeout: the command exceeded its deadline and every retry did too
+///    (a hung or dropped command).
+///  - kDeviceFailed: the target was already declared failed; the command
+///    was rejected without touching hardware (fail-fast).
+enum class IoStatus : std::uint8_t { kOk, kMediaError, kTimeout, kDeviceFailed };
+
+[[nodiscard]] constexpr bool io_ok(IoStatus s) { return s == IoStatus::kOk; }
+
+[[nodiscard]] constexpr const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kMediaError: return "media_error";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kDeviceFailed: return "device_failed";
+  }
+  return "?";
+}
+
 }  // namespace sst

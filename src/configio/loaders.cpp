@@ -18,6 +18,31 @@ bool has_prefix(const Config& cfg, std::string_view prefix) {
   return false;
 }
 
+/// Split `text` on `sep`, dropping empty fields.
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    const auto field = text.substr(start, end == std::string_view::npos
+                                              ? std::string_view::npos
+                                              : end - start);
+    if (!field.empty()) out.emplace_back(field);
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+/// Parse a base-10 unsigned device index; errors instead of throwing.
+Result<std::uint32_t> parse_index(const std::string& text) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos ||
+      text.size() > 9) {
+    return make_error("expected a device index, got '" + text + "'");
+  }
+  return static_cast<std::uint32_t>(std::stoul(text));
+}
+
 }  // namespace
 
 Result<disk::DiskParams> load_disk_params(const Config& cfg) {
@@ -125,6 +150,79 @@ Result<node::NodeConfig> load_node_config(const Config& cfg) {
   return n;
 }
 
+Result<fault::FaultParams> load_fault_params(const Config& cfg) {
+  fault::FaultParams p;
+  if (cfg.contains("fault.seed")) {
+    p.seed = static_cast<std::uint64_t>(cfg.get_int("fault.seed", 0));
+  }
+  p.media_error_rate = cfg.get_double("fault.media_error_rate", p.media_error_rate);
+  p.persistent_fraction =
+      cfg.get_double("fault.persistent_fraction", p.persistent_fraction);
+  p.transient_failures = static_cast<std::uint32_t>(
+      cfg.get_int("fault.transient_failures", p.transient_failures));
+  p.hang_prob = cfg.get_double("fault.hang_prob", p.hang_prob);
+  p.spike_prob = cfg.get_double("fault.spike_prob", p.spike_prob);
+  p.spike_delay = cfg.get_duration("fault.spike", p.spike_delay);
+  if (cfg.contains("fault.bad_range")) {
+    // dev:offset:length[,dev:offset:length...]; offset/length take size
+    // suffixes (e.g. "0:1G:64K").
+    for (const std::string& entry :
+         split(cfg.get_string("fault.bad_range", ""), ',')) {
+      const auto fields = split(entry, ':');
+      if (fields.size() != 3) {
+        return make_error("fault.bad_range entry must be dev:offset:length, got '" +
+                          entry + "'");
+      }
+      fault::BadRange range;
+      const auto device = parse_index(fields[0]);
+      if (!device.ok()) return device.error();
+      range.device = device.value();
+      const auto offset = Config::parse_bytes(fields[1]);
+      if (!offset.ok()) return offset.error();
+      range.offset = offset.value();
+      const auto length = Config::parse_bytes(fields[2]);
+      if (!length.ok()) return length.error();
+      range.length = length.value();
+      p.bad_ranges.push_back(range);
+    }
+  }
+  if (cfg.contains("fault.devices")) {
+    for (const std::string& entry : split(cfg.get_string("fault.devices", ""), ',')) {
+      const auto device = parse_index(entry);
+      if (!device.ok()) return device.error();
+      p.devices.push_back(device.value());
+    }
+  }
+  const Status valid = p.validate();
+  if (!valid.ok()) return valid.error();
+  return p;
+}
+
+Result<core::RetryParams> load_retry_params(const Config& cfg) {
+  core::RetryParams p;
+  p.command_timeout = cfg.get_duration("retry.timeout", p.command_timeout);
+  p.max_retries = static_cast<std::uint32_t>(cfg.get_int("retry.retries", p.max_retries));
+  p.backoff_base = cfg.get_duration("retry.backoff", p.backoff_base);
+  p.backoff_cap = cfg.get_duration("retry.backoff_cap", p.backoff_cap);
+  const Status valid = p.validate();
+  if (!valid.ok()) return valid.error();
+  return p;
+}
+
+Result<net::LinkParams> load_link_params(const Config& cfg) {
+  net::LinkParams p;
+  p.latency = cfg.get_duration("net.latency", p.latency);
+  p.bandwidth_bps = cfg.get_double("net.bandwidth_mbps", p.bandwidth_bps / 1e6) * 1e6;
+  p.per_message_overhead = cfg.get_duration("net.overhead", p.per_message_overhead);
+  p.header_bytes = cfg.get_bytes("net.header", p.header_bytes);
+  p.responses_carry_data =
+      cfg.get_bool("net.responses_carry_data", p.responses_carry_data);
+  if (p.bandwidth_bps <= 0.0) {
+    return make_error("net.bandwidth_mbps must be > 0");
+  }
+  return p;
+}
+
 Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
   experiment::ExperimentConfig ec;
   auto node_config = load_node_config(cfg);
@@ -158,6 +256,33 @@ Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
   }
   ec.warmup = cfg.get_duration("run.warmup", ec.warmup);
   ec.measure = cfg.get_duration("run.measure", ec.measure);
+
+  auto fault = load_fault_params(cfg);
+  if (!fault.ok()) return fault.error();
+  ec.fault = fault.value();
+  for (const fault::BadRange& r : ec.fault.bad_ranges) {
+    if (r.device >= ec.node.total_disks()) {
+      return make_error("fault.bad_range device " + std::to_string(r.device) +
+                        " out of range (node has " +
+                        std::to_string(ec.node.total_disks()) + " disks)");
+    }
+  }
+  const bool retry_enabled = cfg.get_bool("retry.enable", has_prefix(cfg, "retry."));
+  if (retry_enabled) {
+    auto retry = load_retry_params(cfg);
+    if (!retry.ok()) return retry.error();
+    ec.retry = retry.value();
+  }
+  const bool net_enabled = cfg.get_bool("net.enable", has_prefix(cfg, "net."));
+  if (net_enabled) {
+    auto link = load_link_params(cfg);
+    if (!link.ok()) return link.error();
+    ec.network = link.value();
+  }
+  if (cfg.contains("sched.fail_threshold") && ec.scheduler.has_value()) {
+    ec.scheduler->device_fail_threshold = static_cast<std::uint32_t>(
+        cfg.get_int("sched.fail_threshold", ec.scheduler->device_fail_threshold));
+  }
   return ec;
 }
 

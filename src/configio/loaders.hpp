@@ -20,8 +20,10 @@
 #include "common/result.hpp"
 #include "controller/params.hpp"
 #include "core/params.hpp"
+#include "core/reliable_device.hpp"
 #include "disk/params.hpp"
 #include "experiment/runner.hpp"
+#include "fault/params.hpp"
 #include "node/storage_node.hpp"
 
 namespace sst::configio {
@@ -48,10 +50,26 @@ namespace sst::configio {
 /// disk.* and ctrl.* keys.
 [[nodiscard]] Result<node::NodeConfig> load_node_config(const Config& cfg);
 
+/// Keys: fault.seed, fault.media_error_rate, fault.persistent_fraction,
+/// fault.transient_failures, fault.hang_prob, fault.spike_prob,
+/// fault.spike (delay), fault.bad_range ("dev:offset:length[,...]"; offset
+/// and length accept size suffixes), fault.devices ("0,2,5"; empty = all).
+[[nodiscard]] Result<fault::FaultParams> load_fault_params(const Config& cfg);
+
+/// Keys: retry.timeout (0 disables the per-command timer), retry.retries,
+/// retry.backoff, retry.backoff_cap.
+[[nodiscard]] Result<core::RetryParams> load_retry_params(const Config& cfg);
+
+/// Keys: net.latency, net.bandwidth_mbps, net.overhead, net.header,
+/// net.responses_carry_data.
+[[nodiscard]] Result<net::LinkParams> load_link_params(const Config& cfg);
+
 /// Keys: all of the above plus workload.streams, workload.request,
 /// workload.outstanding, workload.think, workload.issue_period,
-/// run.warmup, run.measure, and sched.enable (default: true when any
-/// sched.* key is present).
+/// run.warmup, run.measure, sched.enable (default: true when any sched.*
+/// key is present), all fault.* keys, retry.enable (default: true when
+/// any retry.* key is present; faults alone enable default retries), and
+/// net.enable (default: true when any net.* key is present).
 [[nodiscard]] Result<experiment::ExperimentConfig> load_experiment(const Config& cfg);
 
 }  // namespace sst::configio

@@ -80,6 +80,9 @@ struct SchedulerParams {
   SimTime stream_timeout = sec(30);
   /// Period of the garbage-collection sweep (paper §4.3's periodic thread).
   SimTime gc_period = msec(500);
+  /// Failed read-ahead completions (post-retry) after which a device is
+  /// declared failed and its streams are evicted.
+  std::uint32_t device_fail_threshold = 1;
 
   /// Effective dispatch-set size after the memory constraint (paper §4.2:
   /// "the maximum number of streams in the dispatch set is limited by the
@@ -115,6 +118,9 @@ struct SchedulerParams {
     if (classifier.block_bytes == 0 || classifier.offset_blocks == 0 ||
         classifier.detect_threshold == 0) {
       return make_error("classifier parameters must be positive");
+    }
+    if (device_fail_threshold == 0) {
+      return make_error("device_fail_threshold must be > 0");
     }
     return Status::success();
   }

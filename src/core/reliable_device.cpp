@@ -1,0 +1,111 @@
+#include "core/reliable_device.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace sst::core {
+
+ReliableDevice::ReliableDevice(sim::Simulator& simulator, blockdev::BlockDevice& inner,
+                               RetryParams params, std::uint32_t device_index)
+    : sim_(simulator), inner_(inner), params_(params), device_index_(device_index) {
+  const Status valid = params_.validate();
+  assert(valid.ok());
+  (void)valid;
+}
+
+void ReliableDevice::submit(blockdev::BlockRequest request) {
+  ++stats_.commands;
+  auto p = std::make_shared<Pending>();
+  p->offset = request.offset;
+  p->length = request.length;
+  p->op = request.op;
+  p->id = request.id;
+  p->data = request.data;
+  p->cb = std::move(request.on_complete);
+  start_attempt(p);
+}
+
+void ReliableDevice::start_attempt(const std::shared_ptr<Pending>& p) {
+  if (params_.command_timeout > 0) {
+    p->timer = sim_.schedule_after(
+        params_.command_timeout, [this, p, attempt = p->attempt]() {
+          if (p->settled || p->attempt != attempt) return;  // stale timer
+          ++stats_.timeouts;
+          if (tracer_ != nullptr) {
+            tracer_->instant(obs::request_track(device_index_), "retry",
+                             "command_timeout", sim_.now(), "attempt",
+                             static_cast<double>(attempt));
+          }
+          attempt_failed(p, IoStatus::kTimeout);
+        });
+  }
+
+  blockdev::BlockRequest attempt;
+  attempt.offset = p->offset;
+  attempt.length = p->length;
+  attempt.op = p->op;
+  attempt.id = p->id;
+  // Reads into a caller buffer go through a per-attempt bounce buffer: a
+  // timed-out attempt may still complete (and fill its target) inside the
+  // inner device long after the caller gave up and released its memory.
+  // Only an accepted completion copies into the caller's pointer, while the
+  // command is still live.
+  std::shared_ptr<std::vector<std::byte>> bounce;
+  if (p->data != nullptr && p->op == IoOp::kRead) {
+    bounce = std::make_shared<std::vector<std::byte>>(p->length);
+    attempt.data = bounce->data();
+  } else {
+    attempt.data = p->data;
+  }
+  attempt.on_complete = [this, p, bounce,
+                         attempt_no = p->attempt](SimTime, IoStatus status) {
+    // A completion from an attempt the timer already abandoned: drop it.
+    if (p->settled || p->attempt != attempt_no) return;
+    p->timer.cancel();
+    if (io_ok(status)) {
+      if (bounce) std::memcpy(p->data, bounce->data(), bounce->size());
+      if (attempt_no > 1) ++stats_.recovered;
+      settle(p, IoStatus::kOk);
+      return;
+    }
+    ++stats_.media_errors;
+    attempt_failed(p, status);
+  };
+  inner_.submit(std::move(attempt));
+}
+
+void ReliableDevice::attempt_failed(const std::shared_ptr<Pending>& p, IoStatus status) {
+  p->timer.cancel();
+  p->last_status = status;
+  if (p->attempt > params_.max_retries) {
+    ++stats_.giveups;
+    if (tracer_ != nullptr) {
+      tracer_->instant(obs::request_track(device_index_), "retry", "giveup", sim_.now(),
+                       "attempts", static_cast<double>(p->attempt));
+    }
+    settle(p, status);
+    return;
+  }
+  ++p->attempt;
+  ++stats_.retries_total;
+  const SimTime backoff = params_.backoff_for(p->attempt - 1);
+  stats_.backoff_time += backoff;
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::request_track(device_index_), "retry", "retry_backoff",
+                     sim_.now(), "attempt", static_cast<double>(p->attempt));
+  }
+  sim_.schedule_after(backoff, [this, p]() {
+    if (p->settled) return;
+    start_attempt(p);
+  });
+}
+
+void ReliableDevice::settle(const std::shared_ptr<Pending>& p, IoStatus status) {
+  p->settled = true;
+  p->timer.cancel();
+  if (p->cb) p->cb(sim_.now(), status);
+}
+
+}  // namespace sst::core

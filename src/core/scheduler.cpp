@@ -52,7 +52,8 @@ StreamScheduler::StreamScheduler(sim::Simulator& simulator,
       pool_(params.memory_budget, params.materialize_buffers),
       cpu_(simulator, params.host),
       policy_(make_policy(params.policy)),
-      index_(devices_.size()) {
+      index_(devices_.size()),
+      device_errors_(devices_.size(), 0) {
   assert(!devices_.empty());
   const Status valid = params_.validate();
   assert(valid.ok());
@@ -135,6 +136,12 @@ std::size_t StreamScheduler::buffered_count() const {
 void StreamScheduler::enqueue(Stream& stream, ClientRequest request) {
   assert(request.device == stream.device);
   assert(request.op == IoOp::kRead && "writes take the direct path in the server");
+  if (device_failed(stream.device)) {
+    // Fail fast: the retry hierarchy already exhausted itself against this
+    // device; queueing more work would only stall the client.
+    fail_request(request, IoStatus::kDeviceFailed);
+    return;
+  }
   stream.last_activity = sim_.now();
   ++stream.stats.client_requests;
 
@@ -294,8 +301,9 @@ bool StreamScheduler::issue_next(Stream& stream) {
     req.length = len;
     req.op = IoOp::kRead;
     req.data = data;
-    req.on_complete = [this, sid, issue_offset, issued_at = sim_.now()](SimTime) {
-      on_read_complete(sid, issue_offset, issued_at);
+    req.on_complete = [this, sid, issue_offset,
+                       issued_at = sim_.now()](SimTime, IoStatus status) {
+      on_read_complete(sid, issue_offset, issued_at, status);
     };
     devices_[dev]->submit(std::move(req));
   });
@@ -330,11 +338,43 @@ void StreamScheduler::rotate_out(Stream& stream) {
 }
 
 void StreamScheduler::on_read_complete(StreamId stream_id, ByteOffset buffer_offset,
-                                       SimTime issued_at) {
-  Stream& stream = stream_ref(stream_id);
-  assert(stream.inflight > 0);
-  --stream.inflight;
-  if (tracer_ != nullptr) {
+                                       SimTime issued_at, IoStatus status) {
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end()) {
+    // Completion for a stream already evicted and retired.
+    pump();
+    return;
+  }
+  Stream* stream = it->second.get();
+  assert(stream->inflight > 0);
+  --stream->inflight;
+
+  if (!io_ok(status)) {
+    ++stats_.prefetch_errors;
+    if (tracer_ != nullptr) {
+      tracer_->instant(obs::kSchedulerTrack, "scheduler", "prefetch_error", sim_.now(),
+                       "device", static_cast<double>(stream->device));
+    }
+    // The failed read-ahead's buffer never received data; drop it. The
+    // completion being delivered guarantees nothing below will write into
+    // it anymore (ReliableDevice bounces abandoned attempts).
+    const bool was = counts_as_buffered(*stream);
+    auto& bufs = stream->buffers;
+    bufs.erase(std::remove_if(bufs.begin(), bufs.end(),
+                              [buffer_offset](const std::unique_ptr<IoBuffer>& b) {
+                                return b->offset() == buffer_offset && !b->filled();
+                              }),
+               bufs.end());
+    note_buffered(*stream, was);
+    const std::uint32_t dev = stream->device;
+    note_device_error(dev, status);  // may evict and retire `stream`
+    const auto again = streams_.find(stream_id);
+    if (again == streams_.end()) {
+      pump();
+      return;
+    }
+    stream = again->second.get();
+  } else if (tracer_ != nullptr) {
     // Stage span: device submit -> data staged in the buffer pool. Emitted
     // as a complete ('X') event because stage spans from consecutive
     // residencies may overlap, which 'B'/'E' pairs cannot express.
@@ -342,22 +382,124 @@ void StreamScheduler::on_read_complete(StreamId stream_id, ByteOffset buffer_off
                       sim_.now(), "offset_mb",
                       static_cast<double>(buffer_offset) / static_cast<double>(MiB));
   }
-  for (auto& b : stream.buffers) {
-    if (b->offset() == buffer_offset && !b->filled()) {
-      b->mark_filled(b->capacity(), sim_.now());
-      break;
+
+  if (stream->evicted) {
+    // Zombie: parked only until in-flight completions drain.
+    if (stream->inflight == 0) {
+      stream->buffers.clear();
+      retire_stream(stream_id);
+    }
+    pump();
+    return;
+  }
+
+  if (io_ok(status)) {
+    for (auto& b : stream->buffers) {
+      if (b->offset() == buffer_offset && !b->filled()) {
+        b->mark_filled(b->capacity(), sim_.now());
+        break;
+      }
     }
   }
 
   // Issue path first (paper §4.2): keep the disks fed before unwinding
   // completions.
-  if (stream.state == StreamState::kDispatched) {
-    issue_next(stream);
+  if (stream->state == StreamState::kDispatched) {
+    issue_next(*stream);
   }
   pump();
 
-  drain_pending(stream);
-  reap_buffers(stream);
+  drain_pending(*stream);
+  reap_buffers(*stream);
+}
+
+void StreamScheduler::note_device_error(std::uint32_t device, IoStatus status) {
+  assert(device < device_errors_.size());
+  if (device_errors_[device] >= params_.device_fail_threshold) return;  // known bad
+  if (++device_errors_[device] < params_.device_fail_threshold) return;
+
+  // The device just crossed the failure threshold: evict every stream bound
+  // to it so healthy streams keep their dispatch slots and throughput
+  // instead of the pump stalling behind a dead disk.
+  LogMessage(LogLevel::kWarn, kLog, sim_.now())
+      << "device " << device << " declared failed (" << to_string(status) << ")";
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::kSchedulerTrack, "scheduler", "device_failed", sim_.now(),
+                     "device", static_cast<double>(device));
+  }
+  std::vector<StreamId> victims;
+  for (const auto& [id, s] : streams_) {
+    if (s->device == device && !s->evicted) victims.push_back(id);
+  }
+  for (const StreamId id : victims) {
+    const auto it = streams_.find(id);
+    if (it != streams_.end()) evict_stream(*it->second, status);
+  }
+  pump();  // freed slots refill with streams on healthy devices
+}
+
+std::size_t StreamScheduler::failed_device_count() const {
+  std::size_t n = 0;
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    if (device_failed(d)) ++n;
+  }
+  return n;
+}
+
+void StreamScheduler::fail_request(ClientRequest& request, IoStatus status) {
+  ++stats_.requests_failed;
+  if (request.on_complete) request.on_complete(sim_.now(), status);
+}
+
+void StreamScheduler::evict_stream(Stream& stream, IoStatus status) {
+  if (stream.evicted) return;
+  const bool was = counts_as_buffered(stream);
+  if (stream.state == StreamState::kDispatched) {
+    assert(dispatched_ > 0);
+    --dispatched_;
+  } else if (stream.state == StreamState::kCandidate) {
+    candidates_.erase(std::remove(candidates_.begin(), candidates_.end(), stream.id),
+                      candidates_.end());
+  }
+  stream.state = StreamState::kIdle;
+  stream.evicted = true;
+  note_buffered(stream, was);
+  ++stats_.streams_evicted;
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::kSchedulerTrack, "scheduler", "stream_evicted", sim_.now(),
+                     "stream", static_cast<double>(stream.id));
+  }
+  LogMessage(LogLevel::kWarn, kLog, sim_.now())
+      << "stream " << stream.id << " evicted from dev " << stream.device << " ("
+      << to_string(status) << ")";
+
+  // Queued client requests will never be served from this stream: fail them
+  // now rather than let them stall until the pending timeout.
+  for (auto& req : stream.pending) fail_request(req, status);
+  stream.pending.clear();
+
+  // Unclaim the range so fresh requests never match the zombie.
+  auto& idx = index_[stream.device];
+  const auto entry = idx.find(stream.range_start);
+  if (entry != idx.end() && entry->second == stream.id) idx.erase(entry);
+
+  if (stream.inflight == 0) {
+    // No completion can write into staged memory anymore: release it all.
+    stream.buffers.clear();
+    retire_stream(stream.id);
+    return;
+  }
+  // In-flight reads still hold pointers into unfilled materialized buffers;
+  // those must survive until their completions drain (hung commands under a
+  // disabled retry layer never complete — the zombie then lives until the
+  // scheduler is torn down, which is bounded and harmless). Timing-only and
+  // already-filled buffers carry no future writes and are freed now.
+  auto& bufs = stream.buffers;
+  bufs.erase(std::remove_if(bufs.begin(), bufs.end(),
+                            [](const std::unique_ptr<IoBuffer>& b) {
+                              return b->data() == nullptr || b->filled();
+                            }),
+             bufs.end());
 }
 
 void StreamScheduler::drain_pending(Stream& stream) {

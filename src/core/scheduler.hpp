@@ -43,6 +43,15 @@ struct SchedulerStats {
   /// Parked requests that waited past the buffer timeout and were bailed
   /// out with a direct device read (memory-starvation escape hatch).
   std::uint64_t escalated_reads = 0;
+  /// Read-ahead completions that reported failure (the retry hierarchy
+  /// below the scheduler already gave up on them).
+  std::uint64_t prefetch_errors = 0;
+  /// Streams evicted from the dispatch/candidate/buffered sets because
+  /// their backing device was declared failed.
+  std::uint64_t streams_evicted = 0;
+  /// Client requests completed with an error status (evicted stream or
+  /// failed device fail-fast).
+  std::uint64_t requests_failed = 0;
 };
 
 class StreamScheduler {
@@ -92,6 +101,16 @@ class StreamScheduler {
   [[nodiscard]] std::size_t buffered_count() const;
   [[nodiscard]] const Stream* stream_by_id(StreamId id) const;
 
+  /// Device health as seen from the host: a device whose read-aheads keep
+  /// failing after the full retry hierarchy is declared failed; its streams
+  /// are evicted (pending requests complete with an error) so healthy
+  /// streams keep their dispatch slots and throughput.
+  [[nodiscard]] bool device_failed(std::uint32_t device) const {
+    return device < device_errors_.size() &&
+           device_errors_[device] >= params_.device_fail_threshold;
+  }
+  [[nodiscard]] std::size_t failed_device_count() const;
+
  private:
   Stream& stream_ref(StreamId id);
   /// Move a stream into the candidate queue if not already scheduled.
@@ -110,7 +129,16 @@ class StreamScheduler {
   /// `issued_at` is when the read-ahead hit the device (traced as the
   /// prefetch span's start; 0 before the first trace-aware issue).
   void on_read_complete(StreamId stream_id, ByteOffset buffer_offset,
-                        SimTime issued_at);
+                        SimTime issued_at, IoStatus status);
+  /// Record a failed read-ahead against the device; past the threshold the
+  /// device is declared failed and every stream on it is evicted.
+  void note_device_error(std::uint32_t device, IoStatus status);
+  /// Remove the stream from whichever set holds it, fail its pending
+  /// requests with `status`, release its staged data, and retire it (or
+  /// park it as an inert zombie until in-flight completions drain).
+  void evict_stream(Stream& stream, IoStatus status);
+  /// Complete `request` with a failure status (counted in requests_failed).
+  void fail_request(ClientRequest& request, IoStatus status);
   /// Serve every pending request that staged data now covers.
   void drain_pending(Stream& stream);
   /// Serve one request from the staged buffers covering it (CPU-charged
@@ -151,6 +179,8 @@ class StreamScheduler {
   std::size_t dispatched_ = 0;
   std::size_t buffered_count_ = 0;
   std::map<std::uint32_t, ByteOffset> last_issue_pos_;
+  /// Failed read-ahead count per device; >= device_fail_threshold = failed.
+  std::vector<std::uint32_t> device_errors_;
   StreamId next_stream_id_ = 1;
   sim::EventHandle gc_event_;
   SchedulerStats stats_;

@@ -28,9 +28,10 @@ void StorageServer::set_tracer(obs::Tracer* tracer) {
 void StorageServer::trace_request(ClientRequest& request, const char* kind) {
   const auto tid = obs::request_track(request.device);
   request.on_complete = [this, tid, kind, start = sim_.now(),
-                         prev = std::move(request.on_complete)](SimTime done) {
+                         prev = std::move(request.on_complete)](SimTime done,
+                                                                IoStatus status) {
     tracer_->complete(tid, "request", kind, start, done);
-    if (prev) prev(done);
+    if (prev) prev(done, status);
   };
 }
 
@@ -44,6 +45,15 @@ void StorageServer::submit(ClientRequest request) {
   // sweep on a deterministic request cadence to avoid a second timer.
   if ((stats_.requests & 0x3FF) == 0) {
     classifier_.collect_garbage(sim_.now());
+  }
+
+  // Fail fast against a device the retry hierarchy already declared dead:
+  // complete with an error instead of queueing work that cannot finish.
+  if (scheduler_.device_failed(request.device)) {
+    ++stats_.rejected_requests;
+    if (tracer_ != nullptr) trace_request(request, "rejected");
+    if (request.on_complete) request.on_complete(sim_.now(), IoStatus::kDeviceFailed);
+    return;
   }
 
   if (request.op == IoOp::kWrite) {

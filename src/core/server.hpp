@@ -23,6 +23,8 @@ struct ServerStats {
   std::uint64_t sequential_requests = 0;  ///< routed to a stream
   std::uint64_t direct_reads = 0;
   std::uint64_t direct_writes = 0;
+  /// Requests failed on arrival because their device was declared failed.
+  std::uint64_t rejected_requests = 0;
 };
 
 class StorageServer {

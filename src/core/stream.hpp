@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/completion.hpp"
 #include "common/types.hpp"
 #include "core/buffer_pool.hpp"
 
@@ -24,7 +25,7 @@ struct ClientRequest {
   IoOp op = IoOp::kRead;
   /// Optional destination buffer (filled when the scheduler materializes).
   std::byte* data = nullptr;
-  std::function<void(SimTime)> on_complete;
+  IoCompletion on_complete;
   SimTime arrival = 0;
 };
 
@@ -72,6 +73,10 @@ struct Stream {
   std::uint32_t issued_in_residency = 0;
   std::uint32_t inflight = 0;  ///< disk requests outstanding
   bool at_device_end = false;  ///< prefetch reached the end of the device
+  /// Evicted because its backing device failed: out of every scheduling set
+  /// and unclaimed from the index, kept only until in-flight completions
+  /// drain (a zombie), then retired.
+  bool evicted = false;
   SimTime last_activity = 0;
   SimTime dispatched_at = 0;  ///< start of the current residency (for tracing)
 

@@ -50,11 +50,36 @@ std::string ExperimentResult::to_json() const {
   reg.counter("scheduler.gc_streams_retired", scheduler_stats.gc_streams_retired);
   reg.counter("scheduler.fallback_direct_reads", scheduler_stats.fallback_direct_reads);
   reg.counter("scheduler.escalated_reads", scheduler_stats.escalated_reads);
+  reg.counter("scheduler.prefetch_errors", scheduler_stats.prefetch_errors);
+  reg.counter("scheduler.streams_evicted", scheduler_stats.streams_evicted);
+  reg.counter("scheduler.requests_failed", scheduler_stats.requests_failed);
+  reg.counter("scheduler.devices_failed", devices_failed);
 
   reg.counter("server.requests", server_stats.requests);
   reg.counter("server.sequential_requests", server_stats.sequential_requests);
   reg.counter("server.direct_reads", server_stats.direct_reads);
   reg.counter("server.direct_writes", server_stats.direct_writes);
+  reg.counter("server.rejected_requests", server_stats.rejected_requests);
+
+  reg.counter("fault.commands_seen", fault_stats.commands_seen);
+  reg.counter("fault.media_errors", fault_stats.media_errors);
+  reg.counter("fault.persistent_errors", fault_stats.persistent_errors);
+  reg.counter("fault.hangs", fault_stats.hangs);
+  reg.counter("fault.spikes", fault_stats.spikes);
+
+  reg.counter("net.dropped_requests", net_fault_stats.dropped);
+  reg.counter("net.spiked_requests", net_fault_stats.spiked);
+  reg.counter("net.transport_errors", net_fault_stats.transport_errors);
+
+  reg.counter("retry.commands", retry_stats.commands);
+  reg.counter("retry.retries_total", retry_stats.retries_total);
+  reg.counter("retry.timeouts", retry_stats.timeouts);
+  reg.counter("retry.media_errors", retry_stats.media_errors);
+  reg.counter("retry.recovered", retry_stats.recovered);
+  reg.counter("retry.giveups", retry_stats.giveups);
+  reg.gauge("retry.backoff_time_ms", to_millis(retry_stats.backoff_time));
+
+  reg.counter("workload.client_errors", client_errors);
 
   reg.counter("classifier.requests_seen", classifier_stats.requests_seen);
   reg.counter("classifier.regions_allocated", classifier_stats.regions_allocated);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/faulty_device.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -14,21 +15,49 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim::Simulator simulator;
   node::StorageNode node(simulator, config.node);
 
+  // Device stack, bottom up: SimBlockDevice -> FaultyDevice (when fault
+  // injection is on) -> ReliableDevice (when the retry layer is on) ->
+  // server/clients. Fault-free runs keep the bare devices: no wrapper, no
+  // per-request allocation, identical to the pre-fault hot path.
+  std::vector<blockdev::BlockDevice*> devices = node.devices();
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::vector<std::unique_ptr<fault::FaultyDevice>> faulty;
+  std::vector<std::unique_ptr<core::ReliableDevice>> reliable;
+  if (config.fault.enabled()) {
+    injector = std::make_unique<fault::FaultInjector>(config.fault);
+    faulty.reserve(devices.size());
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      faulty.push_back(std::make_unique<fault::FaultyDevice>(
+          simulator, *devices[i], *injector, static_cast<std::uint32_t>(i)));
+      devices[i] = faulty.back().get();
+    }
+  }
+  if (config.retry_enabled()) {
+    const core::RetryParams retry_params = config.retry.value_or(core::RetryParams{});
+    reliable.reserve(devices.size());
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      reliable.push_back(std::make_unique<core::ReliableDevice>(
+          simulator, *devices[i], retry_params, static_cast<std::uint32_t>(i)));
+      devices[i] = reliable.back().get();
+    }
+  }
+
   std::unique_ptr<core::StorageServer> server;
   if (config.scheduler.has_value()) {
-    server = node.make_server(*config.scheduler);
+    server = std::make_unique<core::StorageServer>(simulator, devices, *config.scheduler);
   }
 
   if (config.tracer != nullptr) {
     node.attach_tracer(config.tracer);
     if (server) server->set_tracer(config.tracer);
+    for (auto& dev : faulty) dev->set_tracer(config.tracer);
+    for (auto& dev : reliable) dev->set_tracer(config.tracer);
   }
 
   workload::RequestSink sink;
   if (server) {
     sink = [srv = server.get()](core::ClientRequest req) { srv->submit(std::move(req)); };
   } else {
-    auto devices = node.devices();
     sink = [devices](core::ClientRequest req) {
       blockdev::BlockRequest io;
       io.offset = req.offset;
@@ -44,6 +73,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::unique_ptr<net::RemoteSink> remote;
   if (config.network.has_value()) {
     remote = std::make_unique<net::RemoteSink>(simulator, std::move(sink), *config.network);
+    if (injector) {
+      // The link is one more faultable device, keyed just past the disks.
+      remote->set_fault_injector(injector.get(),
+                                 static_cast<std::uint32_t>(devices.size()));
+    }
     sink = remote->sink();
   }
 
@@ -84,6 +118,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       sampler.add_gauge("pool_mb", [&sched]() {
         return static_cast<double>(sched.pool().committed()) / 1e6;
       });
+      sampler.add_gauge("degraded_disks", [&sched]() {
+        return static_cast<double>(sched.failed_device_count());
+      });
     }
     for (std::size_t i = 0; i < node.device_count(); ++i) {
       sampler.add_gauge("disk" + std::to_string(i) + ".queue_depth", [&node, i]() {
@@ -111,6 +148,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     min_mbps = std::min(min_mbps, mbps);
     max_mbps = std::max(max_mbps, mbps);
     result.requests_completed += cs.completed;
+    result.client_errors += cs.errors;
     result.latency.merge(cs.latency);
   }
   result.min_stream_mbps = clients.empty() ? 0.0 : min_mbps;
@@ -124,6 +162,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.host_cpu_utilization =
         server->scheduler().cpu().stats().utilization(t1);
     result.peak_buffer_memory = server->scheduler().pool().stats().peak_committed;
+    result.devices_failed = server->scheduler().failed_device_count();
+  }
+  if (injector) result.fault_stats = injector->stats();
+  if (remote) result.net_fault_stats = remote->fault_stats();
+  for (const auto& dev : reliable) {
+    const core::RetryStats& rs = dev->stats();
+    result.retry_stats.commands += rs.commands;
+    result.retry_stats.retries_total += rs.retries_total;
+    result.retry_stats.timeouts += rs.timeouts;
+    result.retry_stats.media_errors += rs.media_errors;
+    result.retry_stats.recovered += rs.recovered;
+    result.retry_stats.giveups += rs.giveups;
+    result.retry_stats.backoff_time += rs.backoff_time;
   }
   if (config.sample_interval > 0) {
     sampler.stop();

@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "core/reliable_device.hpp"
+#include "fault/injector.hpp"
+#include "fault/params.hpp"
 #include "net/network.hpp"
 #include "core/scheduler.hpp"
 #include "core/server.hpp"
@@ -42,6 +45,17 @@ struct ExperimentConfig {
   /// per-disk queue depth, windowed MB/s) every `sample_interval` of sim
   /// time into ExperimentResult::timeseries.
   SimTime sample_interval = 0;
+  /// Fault injection (disabled by default). When enabled, every device is
+  /// wrapped in a fault::FaultyDevice fed by one deterministic injector.
+  fault::FaultParams fault;
+  /// Per-command timeout/retry layer stacked above the (faulty) devices.
+  /// Absent = defaults whenever fault injection is enabled, no layer
+  /// otherwise (keeping the fault-free hot path wrapper-free).
+  std::optional<core::RetryParams> retry;
+
+  [[nodiscard]] bool retry_enabled() const {
+    return retry.has_value() || fault.enabled();
+  }
 };
 
 struct ExperimentResult {
@@ -59,6 +73,11 @@ struct ExperimentResult {
   core::ClassifierStats classifier_stats;  ///< zeros when no scheduler
   double host_cpu_utilization = 0.0;
   Bytes peak_buffer_memory = 0;
+  fault::FaultStats fault_stats;     ///< zeros when fault injection is off
+  core::RetryStats retry_stats;      ///< summed over devices; zeros when off
+  net::NetFaultStats net_fault_stats;  ///< zeros without network faults
+  std::uint64_t devices_failed = 0;  ///< declared failed by the scheduler
+  std::uint64_t client_errors = 0;   ///< client requests completed in error
   /// Sampled gauges; empty unless ExperimentConfig::sample_interval > 0.
   obs::TimeSeries timeseries;
 

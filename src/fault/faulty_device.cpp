@@ -1,0 +1,57 @@
+#include "fault/faulty_device.hpp"
+
+#include <utility>
+
+namespace sst::fault {
+
+FaultyDevice::FaultyDevice(sim::Simulator& simulator, blockdev::BlockDevice& inner,
+                           FaultInjector& injector, std::uint32_t device_index)
+    : sim_(simulator), inner_(inner), injector_(injector), device_index_(device_index) {}
+
+void FaultyDevice::submit(blockdev::BlockRequest request) {
+  const FaultDecision d =
+      injector_.decide(device_index_, request.offset, request.length, request.op);
+
+  switch (d.action) {
+    case FaultAction::kNone:
+      break;
+
+    case FaultAction::kHang:
+      // Lost in the device: drop the whole command, completion included.
+      if (tracer_ != nullptr) {
+        tracer_->instant(obs::request_track(device_index_), "fault", "hang", sim_.now(),
+                         "offset_mb",
+                         static_cast<double>(request.offset) / static_cast<double>(MiB));
+      }
+      return;
+
+    case FaultAction::kMediaError:
+      if (tracer_ != nullptr) {
+        tracer_->instant(obs::request_track(device_index_), "fault", "media_error",
+                         sim_.now(), "offset_mb",
+                         static_cast<double>(request.offset) / static_cast<double>(MiB));
+      }
+      request.on_complete = [cb = std::move(request.on_complete)](SimTime t,
+                                                                  IoStatus) mutable {
+        if (cb) cb(t, IoStatus::kMediaError);
+      };
+      break;
+
+    case FaultAction::kSpike:
+      if (tracer_ != nullptr) {
+        tracer_->instant(obs::request_track(device_index_), "fault", "latency_spike",
+                         sim_.now(), "delay_ms", to_millis(d.extra_delay));
+      }
+      request.on_complete = [this, delay = d.extra_delay,
+                             cb = std::move(request.on_complete)](SimTime,
+                                                                  IoStatus s) mutable {
+        sim_.schedule_after(delay, [cb = std::move(cb), s, this]() mutable {
+          if (cb) cb(sim_.now(), s);
+        });
+      };
+      break;
+  }
+  inner_.submit(std::move(request));
+}
+
+}  // namespace sst::fault

@@ -1,0 +1,52 @@
+// BlockDevice wrapper that applies a FaultInjector's decisions to every
+// command crossing the host/device boundary:
+//
+//   kNone        -> forwarded untouched
+//   kSpike       -> forwarded; completion delayed by the spike
+//   kMediaError  -> forwarded for realistic timing (the drive spends the
+//                   mechanical effort before reporting failure), then the
+//                   completion is delivered with IoStatus::kMediaError
+//   kHang        -> swallowed whole: never submitted, never completed.
+//                   Only a timeout above (core::ReliableDevice or the
+//                   mirrored volume) recovers from this.
+//
+// Stacks anywhere a BlockDevice does: under the stream scheduler, under a
+// RAID volume member, or bare in a test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "blockdev/block_device.hpp"
+#include "fault/injector.hpp"
+#include "obs/tracer.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::fault {
+
+class FaultyDevice final : public blockdev::BlockDevice {
+ public:
+  /// `inner` and `injector` must outlive this wrapper; `device_index` is
+  /// the identity the injector keys its decisions on.
+  FaultyDevice(sim::Simulator& simulator, blockdev::BlockDevice& inner,
+               FaultInjector& injector, std::uint32_t device_index);
+
+  void submit(blockdev::BlockRequest request) override;
+
+  [[nodiscard]] Bytes capacity() const override { return inner_.capacity(); }
+  [[nodiscard]] std::string name() const override { return "faulty:" + inner_.name(); }
+  [[nodiscard]] std::uint32_t device_index() const { return device_index_; }
+
+  /// Attach a per-experiment tracer (nullptr detaches); every injected
+  /// fault lands as an instant on the wrapped device's request track.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  sim::Simulator& sim_;
+  blockdev::BlockDevice& inner_;
+  FaultInjector& injector_;
+  std::uint32_t device_index_;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace sst::fault

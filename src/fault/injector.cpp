@@ -1,0 +1,116 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace sst::fault {
+
+namespace {
+
+/// SplitMix64-style finalizer over a combined key.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kSaltMediaError = 0x4D45444941ULL;  // "MEDIA"
+constexpr std::uint64_t kSaltPersistent = 0x5045525349ULL;  // "PERSI"
+constexpr std::uint64_t kSaltHang = 0x48414E47ULL;          // "HANG"
+constexpr std::uint64_t kSaltSpike = 0x5350494BULL;         // "SPIK"
+
+std::uint64_t extent_key(std::uint32_t device, ByteOffset offset) {
+  return (static_cast<std::uint64_t>(device) << 48) ^ (offset / kSectorSize);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultParams params) : params_(std::move(params)) {
+  const Status valid = params_.validate();
+  (void)valid;  // loaders validate with an error message; here it is a bug
+  assert(valid.ok());
+}
+
+bool FaultInjector::targets(std::uint32_t device) const {
+  if (params_.devices.empty()) return true;
+  return std::find(params_.devices.begin(), params_.devices.end(), device) !=
+         params_.devices.end();
+}
+
+bool FaultInjector::in_bad_range(std::uint32_t device, ByteOffset offset,
+                                 Bytes length) const {
+  for (const BadRange& r : params_.bad_ranges) {
+    if (r.device == device && offset < r.offset + r.length && r.offset < offset + length) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::draw(std::uint64_t salt, std::uint32_t device,
+                           ByteOffset offset) const {
+  std::uint64_t key = params_.seed;
+  key = mix(key ^ salt);
+  key = mix(key ^ device);
+  key = mix(key ^ (offset / kSectorSize));
+  return static_cast<double>(key >> 11) * (1.0 / 9007199254740992.0);
+}
+
+FaultDecision FaultInjector::decide(std::uint32_t device, ByteOffset offset,
+                                    Bytes length, IoOp op) {
+  ++stats_.commands_seen;
+  FaultDecision d;
+
+  // Statically configured bad extents fail both reads and writes, always.
+  if (in_bad_range(device, offset, length)) {
+    d.action = FaultAction::kMediaError;
+    d.persistent = true;
+    ++stats_.media_errors;
+    ++stats_.persistent_errors;
+    return d;
+  }
+
+  if (!targets(device)) return d;
+
+  // Hung command: checked before media errors so a hang-prone extent stays
+  // a hang on every retry (the decision hash is per-offset).
+  if (params_.hang_prob > 0.0 && draw(kSaltHang, device, offset) < params_.hang_prob) {
+    d.action = FaultAction::kHang;
+    ++stats_.hangs;
+    return d;
+  }
+
+  if (params_.media_error_rate > 0.0 && op == IoOp::kRead &&
+      draw(kSaltMediaError, device, offset) < params_.media_error_rate) {
+    const bool persistent =
+        draw(kSaltPersistent, device, offset) < params_.persistent_fraction;
+    if (persistent) {
+      d.action = FaultAction::kMediaError;
+      d.persistent = true;
+      ++stats_.media_errors;
+      ++stats_.persistent_errors;
+      return d;
+    }
+    // Transient: fail the first `transient_failures` attempts at this
+    // extent, then clear for good.
+    const std::uint64_t key = extent_key(device, offset);
+    auto [it, fresh] = transient_left_.try_emplace(key, params_.transient_failures);
+    if (it->second > 0) {
+      --it->second;
+      d.action = FaultAction::kMediaError;
+      ++stats_.media_errors;
+      return d;
+    }
+    (void)fresh;  // cleared: fall through to the spike check
+  }
+
+  if (params_.spike_prob > 0.0 && draw(kSaltSpike, device, offset) < params_.spike_prob) {
+    d.action = FaultAction::kSpike;
+    d.extra_delay = params_.spike_delay;
+    ++stats_.spikes;
+  }
+  return d;
+}
+
+}  // namespace sst::fault

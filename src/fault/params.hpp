@@ -1,0 +1,82 @@
+// Fault-model parameters: what the FaultInjector may do to commands in
+// flight. All probabilities are per-command; every decision is a pure
+// function of (seed, device, offset) plus a bounded per-offset attempt
+// counter, so the same seed produces the same fault schedule regardless of
+// command interleaving, wall-clock time, or sweep worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace sst::fault {
+
+/// One persistent bad extent: every read or write touching it fails with a
+/// media error forever (a scratched platter region / grown defect without a
+/// spare sector).
+struct BadRange {
+  std::uint32_t device = 0;
+  ByteOffset offset = 0;
+  Bytes length = 0;
+};
+
+struct FaultParams {
+  /// Seed for the fault schedule; independent of the workload/device seeds
+  /// so the same faults can be replayed against different content.
+  std::uint64_t seed = 0xFA010CAFEULL;
+
+  /// Per-command probability of an injected media error. Whether a given
+  /// command errors depends only on (seed, device, offset), so retries of
+  /// the same extent see a consistent device.
+  double media_error_rate = 0.0;
+  /// Fraction of injected media errors that are persistent (fail forever).
+  /// The rest are transient: they clear after `transient_failures` attempts,
+  /// modelling a marginal sector that eventually reads on retry.
+  double persistent_fraction = 0.0;
+  /// Failed attempts before a transient media error clears.
+  std::uint32_t transient_failures = 1;
+
+  /// Per-command probability the command hangs: it is swallowed whole and
+  /// never completes (lost in a wedged firmware queue). Only a timeout in a
+  /// layer above ever recovers from this.
+  double hang_prob = 0.0;
+
+  /// Per-command probability of a latency spike of `spike_delay` added to
+  /// the completion (thermal recalibration, internal retries, SMR cleanup).
+  double spike_prob = 0.0;
+  SimTime spike_delay = msec(50);
+
+  /// Statically configured persistent bad extents.
+  std::vector<BadRange> bad_ranges;
+
+  /// Devices the probabilistic faults apply to; empty = every device.
+  /// (BadRange entries always name their device explicitly.)
+  std::vector<std::uint32_t> devices;
+
+  /// True when any fault source is configured.
+  [[nodiscard]] bool enabled() const {
+    return media_error_rate > 0.0 || hang_prob > 0.0 || spike_prob > 0.0 ||
+           !bad_ranges.empty();
+  }
+
+  [[nodiscard]] Status validate() const {
+    const auto is_prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+    if (!is_prob(media_error_rate)) return make_error("fault.media_error_rate must be in [0,1]");
+    if (!is_prob(persistent_fraction)) {
+      return make_error("fault.persistent_fraction must be in [0,1]");
+    }
+    if (!is_prob(hang_prob)) return make_error("fault.hang_prob must be in [0,1]");
+    if (!is_prob(spike_prob)) return make_error("fault.spike_prob must be in [0,1]");
+    if (transient_failures == 0) {
+      return make_error("fault.transient_failures must be >= 1");
+    }
+    for (const BadRange& r : bad_ranges) {
+      if (r.length == 0) return make_error("fault.bad_range length must be > 0");
+    }
+    return Status::success();
+  }
+};
+
+}  // namespace sst::fault

@@ -30,22 +30,59 @@ RemoteSink::RemoteSink(sim::Simulator& simulator, workload::RequestSink server,
 
 workload::RequestSink RemoteSink::sink() {
   return [this](core::ClientRequest req) {
+    SimTime spike_delay = 0;
+    if (fault_ != nullptr) {
+      const fault::FaultDecision decision =
+          fault_->decide(fault_device_, req.offset, req.length, req.op);
+      switch (decision.action) {
+        case fault::FaultAction::kHang:
+          // Lost in transit: no completion, ever.
+          ++fault_stats_.dropped;
+          return;
+        case fault::FaultAction::kMediaError: {
+          // Transport failure: the error response still crosses the wire.
+          ++fault_stats_.transport_errors;
+          auto cb = std::move(req.on_complete);
+          downlink_.send(0, [cb = std::move(cb), this]() {
+            if (cb) cb(sim_.now(), IoStatus::kTimeout);
+          });
+          return;
+        }
+        case fault::FaultAction::kSpike:
+          ++fault_stats_.spiked;
+          spike_delay = decision.extra_delay;
+          break;
+        case fault::FaultAction::kNone:
+          break;
+      }
+    }
+
     // Request descriptors are small; write payloads travel uplink.
     const Bytes up_payload = req.op == IoOp::kWrite ? req.length : 0;
     const Bytes down_payload =
         (req.op == IoOp::kRead && params_.responses_carry_data) ? req.length : 0;
 
-    // Splice the downlink hop into the completion path.
+    // Splice the downlink hop into the completion path (the I/O status
+    // travels back across the wire with the response).
     req.on_complete = [this, down_payload,
-                       cb = std::move(req.on_complete)](SimTime) mutable {
-      downlink_.send(down_payload, [cb = std::move(cb), this]() {
-        if (cb) cb(sim_.now());
+                       cb = std::move(req.on_complete)](SimTime,
+                                                        IoStatus status) mutable {
+      downlink_.send(down_payload, [cb = std::move(cb), status, this]() {
+        if (cb) cb(sim_.now(), status);
       });
     };
 
     // Carry the whole request across the uplink, then hand to the server.
+    // A spike stalls the message before it reaches the wire (switch queue,
+    // TCP retransmit), so the uplink only sees it after the delay.
     auto boxed = std::make_shared<core::ClientRequest>(std::move(req));
-    uplink_.send(up_payload, [this, boxed]() { server_(std::move(*boxed)); });
+    if (spike_delay > 0) {
+      sim_.schedule_after(spike_delay, [this, boxed, up_payload]() {
+        uplink_.send(up_payload, [this, boxed]() { server_(std::move(*boxed)); });
+      });
+    } else {
+      uplink_.send(up_payload, [this, boxed]() { server_(std::move(*boxed)); });
+    }
   };
 }
 

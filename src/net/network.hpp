@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "common/types.hpp"
+#include "fault/injector.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
 
@@ -39,6 +40,13 @@ struct LinkStats {
   std::uint64_t messages = 0;
   Bytes bytes_transferred = 0;
   SimTime busy_time = 0;  ///< aggregate over both directions
+};
+
+/// Faults the link itself injected (see RemoteSink::set_fault_injector).
+struct NetFaultStats {
+  std::uint64_t dropped = 0;           ///< requests lost in transit (hangs)
+  std::uint64_t spiked = 0;            ///< requests delayed by a spike
+  std::uint64_t transport_errors = 0;  ///< failed without reaching the server
 };
 
 /// One direction of a full-duplex link: serializes message transmissions.
@@ -74,12 +82,29 @@ class RemoteSink {
   [[nodiscard]] const LinkStats& uplink_stats() const { return uplink_.stats(); }
   [[nodiscard]] const LinkStats& downlink_stats() const { return downlink_.stats(); }
 
+  /// Let the link consult a fault injector, keyed as `device_index` (the
+  /// experiment runner uses the first index past the disks — the "NIC").
+  /// A media-error decision fails the request in transport (error
+  /// completion, never reaches the server); a hang drops it outright (no
+  /// completion — a lost RPC with no client timeout starves that stream's
+  /// outstanding slot, exactly like a real lost request); a spike delays
+  /// the uplink by the decision's extra delay. `injector` must outlive the
+  /// sink; nullptr detaches.
+  void set_fault_injector(fault::FaultInjector* injector, std::uint32_t device_index) {
+    fault_ = injector;
+    fault_device_ = device_index;
+  }
+  [[nodiscard]] const NetFaultStats& fault_stats() const { return fault_stats_; }
+
  private:
   sim::Simulator& sim_;
   workload::RequestSink server_;
   LinkParams params_;
   Channel uplink_;
   Channel downlink_;
+  fault::FaultInjector* fault_ = nullptr;
+  std::uint32_t fault_device_ = 0;
+  NetFaultStats fault_stats_;
 };
 
 }  // namespace sst::net

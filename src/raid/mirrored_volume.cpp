@@ -10,9 +10,15 @@ namespace {
 constexpr Bytes kAffinityRegion = 64 * MiB;
 }
 
-MirroredVolume::MirroredVolume(std::vector<blockdev::BlockDevice*> members, ReadPolicy policy)
-    : members_(std::move(members)), policy_(policy) {
+MirroredVolume::MirroredVolume(std::vector<blockdev::BlockDevice*> members,
+                               ReadPolicy policy, MirrorParams params)
+    : members_(std::move(members)),
+      policy_(policy),
+      params_(params),
+      health_(members_.size()) {
   assert(!members_.empty());
+  assert(members_.size() <= 64 && "failover mask is a 64-bit bitmask");
+  assert(params_.fail_threshold > 0);
   capacity_ = members_.front()->capacity();
   for (const auto* m : members_) capacity_ = std::min(capacity_, m->capacity());
 }
@@ -35,35 +41,160 @@ std::size_t MirroredVolume::route_read(ByteOffset offset) {
   return static_cast<std::size_t>(x % members_.size());
 }
 
+std::size_t MirroredVolume::failed_member_count() const {
+  std::size_t n = 0;
+  for (const Member& m : health_) {
+    if (m.state == MemberHealth::kFailed) ++n;
+  }
+  return n;
+}
+
+int MirroredVolume::pick_member(std::size_t preferred, std::uint64_t tried) const {
+  // Walk replicas starting from the policy's pick so healthy routing keeps
+  // the policy's locality properties.
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const std::size_t m = (preferred + i) % members_.size();
+    if ((tried >> m) & 1) continue;
+    if (health_[m].state == MemberHealth::kFailed) continue;
+    return static_cast<int>(m);
+  }
+  return -1;
+}
+
+void MirroredVolume::note_error(std::size_t member, IoStatus status, SimTime when) {
+  ++stats_.member_errors;
+  Member& m = health_[member];
+  if (m.state == MemberHealth::kFailed) return;
+  ++m.consecutive_errors;
+  const MemberHealth before = m.state;
+  m.state = m.consecutive_errors >= params_.fail_threshold ? MemberHealth::kFailed
+                                                           : MemberHealth::kSuspect;
+  if (tracer_ != nullptr && m.state != before) {
+    tracer_->instant(obs::request_track(static_cast<std::uint32_t>(member)), "raid",
+                     m.state == MemberHealth::kFailed ? "member_failed"
+                                                      : "member_suspect",
+                     when, "status", static_cast<double>(status));
+  }
+}
+
+void MirroredVolume::note_success(std::size_t member) {
+  Member& m = health_[member];
+  if (m.state == MemberHealth::kFailed) return;  // failed is sticky
+  m.consecutive_errors = 0;
+  m.state = MemberHealth::kUp;
+}
+
 void MirroredVolume::submit(blockdev::BlockRequest request) {
   assert(request.length > 0);
   assert(request.offset + request.length <= capacity_);
   if (request.op == IoOp::kRead) {
-    members_[route_read(request.offset)]->submit(std::move(request));
+    submit_read(std::move(request));
     return;
   }
-  // Write: replicate; complete at the slowest replica.
+  // Write: replicate to every member still taking writes; complete at the
+  // slowest replica, ok as long as at least one copy landed.
+  ++stats_.writes;
   struct Join {
     std::size_t remaining = 0;
+    std::size_t landed = 0;
     SimTime last = 0;
-    std::function<void(SimTime)> cb;
+    IoStatus worst = IoStatus::kOk;
+    IoCompletion cb;
   };
   auto join = std::make_shared<Join>();
-  join->remaining = members_.size();
   join->cb = std::move(request.on_complete);
-  for (auto* member : members_) {
+  std::vector<std::size_t> targets;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (health_[m].state == MemberHealth::kFailed) {
+      ++stats_.degraded_writes;
+      continue;
+    }
+    targets.push_back(m);
+  }
+  if (targets.empty()) {
+    ++stats_.write_failures;
+    if (join->cb) join->cb(0, IoStatus::kDeviceFailed);
+    return;
+  }
+  join->remaining = targets.size();
+  for (const std::size_t m : targets) {
     blockdev::BlockRequest copy;
     copy.offset = request.offset;
     copy.length = request.length;
     copy.op = IoOp::kWrite;
     copy.id = request.id;
     copy.data = request.data;
-    copy.on_complete = [join](SimTime t) {
+    copy.on_complete = [this, join, m](SimTime t, IoStatus s) {
       join->last = std::max(join->last, t);
-      if (--join->remaining == 0 && join->cb) join->cb(join->last);
+      if (io_ok(s)) {
+        ++join->landed;
+        note_success(m);
+      } else {
+        join->worst = s;
+        note_error(m, s, t);
+      }
+      if (--join->remaining == 0 && join->cb) {
+        if (join->landed == 0) ++stats_.write_failures;
+        join->cb(join->last, join->landed > 0 ? IoStatus::kOk : join->worst);
+      }
     };
-    member->submit(std::move(copy));
+    members_[m]->submit(std::move(copy));
   }
+}
+
+void MirroredVolume::submit_read(blockdev::BlockRequest request) {
+  ++stats_.reads;
+  auto attempt = std::make_shared<ReadAttempt>();
+  attempt->offset = request.offset;
+  attempt->length = request.length;
+  attempt->id = request.id;
+  attempt->data = request.data;
+  attempt->cb = std::move(request.on_complete);
+  attempt->preferred = route_read(request.offset);
+  try_read(attempt, /*is_failover=*/false);
+}
+
+void MirroredVolume::try_read(const std::shared_ptr<ReadAttempt>& attempt,
+                              bool is_failover) {
+  const int pick = pick_member(attempt->preferred, attempt->tried);
+  if (pick < 0) {
+    // Every replica tried or failed: surface the last error. Completes
+    // inline; callers treat completion time 0 as "never got to a device".
+    ++stats_.read_failures;
+    if (attempt->cb) attempt->cb(0, attempt->last_status);
+    return;
+  }
+  const auto member = static_cast<std::size_t>(pick);
+  // The policy's preferred replica being routed around = degraded mode.
+  if (!is_failover && member != attempt->preferred &&
+      health_[attempt->preferred].state == MemberHealth::kFailed) {
+    ++stats_.degraded_reads;
+  }
+  attempt->tried |= std::uint64_t{1} << member;
+
+  blockdev::BlockRequest req;
+  req.offset = attempt->offset;
+  req.length = attempt->length;
+  req.op = IoOp::kRead;
+  req.id = attempt->id;
+  req.data = attempt->data;
+  req.on_complete = [this, attempt, member](SimTime t, IoStatus s) {
+    if (io_ok(s)) {
+      note_success(member);
+      if (attempt->cb) attempt->cb(t, IoStatus::kOk);
+      return;
+    }
+    attempt->last_status = s;
+    note_error(member, s, t);
+    ++stats_.failovers;
+    if (tracer_ != nullptr) {
+      tracer_->instant(obs::request_track(static_cast<std::uint32_t>(member)), "raid",
+                       "read_failover", t, "offset_mb",
+                       static_cast<double>(attempt->offset) / static_cast<double>(MiB));
+    }
+    try_read(attempt, /*is_failover=*/true);
+  };
+  members_[member]->submit(std::move(req));
 }
 
 }  // namespace sst::raid

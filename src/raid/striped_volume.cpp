@@ -40,7 +40,8 @@ void StripedVolume::submit(blockdev::BlockRequest request) {
   struct Join {
     std::size_t remaining = 0;
     SimTime last = 0;
-    std::function<void(SimTime)> cb;
+    IoStatus status = IoStatus::kOk;  ///< worst status across fragments
+    IoCompletion cb;
   };
   auto join = std::make_shared<Join>();
   join->cb = std::move(request.on_complete);
@@ -58,9 +59,10 @@ void StripedVolume::submit(blockdev::BlockRequest request) {
     frag.op = request.op;
     frag.id = request.id;
     frag.data = request.data == nullptr ? nullptr : request.data + (cursor - request.offset);
-    frag.on_complete = [join](SimTime t) {
+    frag.on_complete = [join](SimTime t, IoStatus s) {
       join->last = std::max(join->last, t);
-      if (--join->remaining == 0 && join->cb) join->cb(join->last);
+      if (!io_ok(s)) join->status = s;
+      if (--join->remaining == 0 && join->cb) join->cb(join->last, join->status);
     };
     fragments.push_back(std::move(frag));
     // Record the member alongside via parallel index computation below.

@@ -7,6 +7,13 @@
 
 namespace sst::workload {
 
+namespace {
+/// Delay before a closed-loop client re-issues after an error completion.
+/// Must be > 0: rejections complete synchronously, and an inline re-issue
+/// would spin without advancing simulated time.
+constexpr SimTime kErrorRetryDelay = msec(10);
+}  // namespace
+
 StreamClient::StreamClient(sim::Simulator& simulator, RequestSink sink, StreamSpec spec,
                            Bytes device_capacity)
     : sim_(simulator), sink_(std::move(sink)), spec_(spec), next_offset_(spec.start_offset) {
@@ -43,6 +50,7 @@ void StreamClient::begin_measurement() {
   stats_.throughput.reset();
   stats_.latency.reset();
   stats_.completed = 0;
+  stats_.errors = 0;
 }
 
 void StreamClient::issue_one() {
@@ -59,8 +67,9 @@ void StreamClient::issue_one() {
   req.op = spec_.op;
   req.arrival = sim_.now();
   const SimTime issued_at = sim_.now();
-  req.on_complete = [this, issued_at, length = spec_.request_size](SimTime) {
-    on_complete(issued_at, length);
+  req.on_complete = [this, issued_at,
+                     length = spec_.request_size](SimTime, IoStatus status) {
+    on_complete(issued_at, length, status);
   };
   next_offset_ += spec_.request_size + spec_.stride_gap;
   ++stats_.issued;
@@ -68,13 +77,25 @@ void StreamClient::issue_one() {
   sink_(std::move(req));
 }
 
-void StreamClient::on_complete(SimTime issued_at, Bytes length) {
-  ++stats_.completed;
-  stats_.throughput.add(length);
-  stats_.latency.add(sim_.now() - issued_at);
+void StreamClient::on_complete(SimTime issued_at, Bytes length, IoStatus status) {
+  if (io_ok(status)) {
+    ++stats_.completed;
+    stats_.throughput.add(length);
+    stats_.latency.add(sim_.now() - issued_at);
+  } else {
+    // The closed loop keeps running on errors (a real client would skip or
+    // re-request); failed requests just never count as useful work.
+    ++stats_.errors;
+  }
   --in_flight_;
   if (spec_.issue_period > 0) return;  // paced: the tick loop issues
-  if (spec_.think_time > 0) {
+  if (!io_ok(status)) {
+    // Errors can complete synchronously (a server rejecting requests for a
+    // failed device). Re-issuing inline would recurse without advancing sim
+    // time; pace error recovery like a client noticing and backing off.
+    sim_.schedule_after(kErrorRetryDelay + spec_.think_time,
+                        [this]() { issue_one(); });
+  } else if (spec_.think_time > 0) {
     sim_.schedule_after(spec_.think_time, [this]() { issue_one(); });
   } else {
     issue_one();
@@ -103,6 +124,7 @@ void RandomClient::begin_measurement() {
   stats_.throughput.reset();
   stats_.latency.reset();
   stats_.completed = 0;
+  stats_.errors = 0;
 }
 
 void RandomClient::issue_one() {
@@ -116,10 +138,16 @@ void RandomClient::issue_one() {
   req.op = IoOp::kRead;
   req.arrival = sim_.now();
   const SimTime issued_at = sim_.now();
-  req.on_complete = [this, issued_at](SimTime) {
-    ++stats_.completed;
-    stats_.throughput.add(request_size_);
-    stats_.latency.add(sim_.now() - issued_at);
+  req.on_complete = [this, issued_at](SimTime, IoStatus status) {
+    if (io_ok(status)) {
+      ++stats_.completed;
+      stats_.throughput.add(request_size_);
+      stats_.latency.add(sim_.now() - issued_at);
+    } else {
+      ++stats_.errors;
+      sim_.schedule_after(kErrorRetryDelay, [this]() { issue_one(); });
+      return;
+    }
     issue_one();
   };
   sink_(std::move(req));

@@ -60,6 +60,9 @@ struct ClientStats {
   stats::LatencyHistogram latency;
   std::uint64_t completed = 0;
   std::uint64_t issued = 0;
+  /// Requests completed with an error status (evicted stream, failed
+  /// device); they count toward neither throughput nor latency.
+  std::uint64_t errors = 0;
 };
 
 /// Closed-loop sequential reader (one emulated stream).
@@ -84,7 +87,7 @@ class StreamClient {
  private:
   void issue_one();
   void paced_tick();
-  void on_complete(SimTime issued_at, Bytes length);
+  void on_complete(SimTime issued_at, Bytes length, IoStatus status);
 
   sim::Simulator& sim_;
   RequestSink sink_;

@@ -22,10 +22,10 @@ RequestSink TraceRecorder::sink() {
     record.op = req.op;
     records_.push_back(record);
     req.on_complete = [this, index, issued = sim_.now(),
-                       inner = std::move(req.on_complete)](SimTime t) {
+                       inner = std::move(req.on_complete)](SimTime t, IoStatus s) {
       records_[index].latency = t - issued;
       ++completed_;
-      if (inner) inner(t);
+      if (inner) inner(t, s);
     };
     downstream_(std::move(req));
   };

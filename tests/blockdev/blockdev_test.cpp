@@ -111,11 +111,11 @@ TEST(MemDevice, LatencyModel) {
   SimTime done = 0;
   BlockRequest req;
   req.offset = 0;
-  req.length = 100'000;  // 1 ms at 100 MB/s
+  req.length = 102'400;  // 200 sectors: 1.024 ms at 100 MB/s
   req.on_complete = [&done](SimTime t) { done = t; };
   dev.submit(std::move(req));
   sim.run();
-  EXPECT_NEAR(static_cast<double>(done), static_cast<double>(usec(1100)),
+  EXPECT_NEAR(static_cast<double>(done), static_cast<double>(usec(1124)),
               static_cast<double>(usec(10)));
 }
 

@@ -172,6 +172,134 @@ TEST(ExperimentLoader, EndToEndRuns) {
   EXPECT_GT(result.total_mbps, 0.0);
 }
 
+TEST(FaultLoader, DefaultsAreDisabled) {
+  const auto p = load_fault_params(Config{});
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p.value().enabled());
+}
+
+TEST(FaultLoader, KeysApply) {
+  const auto p = load_fault_params(make({{"fault.media_error_rate", "0.001"},
+                                         {"fault.persistent_fraction", "0.25"},
+                                         {"fault.transient_failures", "3"},
+                                         {"fault.hang_prob", "0.0001"},
+                                         {"fault.spike_prob", "0.01"},
+                                         {"fault.spike", "75ms"},
+                                         {"fault.seed", "99"},
+                                         {"fault.devices", "0,2"}}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().enabled());
+  EXPECT_DOUBLE_EQ(p.value().media_error_rate, 0.001);
+  EXPECT_DOUBLE_EQ(p.value().persistent_fraction, 0.25);
+  EXPECT_EQ(p.value().transient_failures, 3u);
+  EXPECT_EQ(p.value().spike_delay, msec(75));
+  EXPECT_EQ(p.value().seed, 99u);
+  EXPECT_EQ(p.value().devices, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(FaultLoader, BadRangeParsesSizesAndLists) {
+  const auto p = load_fault_params(make({{"fault.bad_range", "0:1G:64K,1:0:4K"}}));
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p.value().bad_ranges.size(), 2u);
+  EXPECT_EQ(p.value().bad_ranges[0].device, 0u);
+  EXPECT_EQ(p.value().bad_ranges[0].offset, 1 * GiB);
+  EXPECT_EQ(p.value().bad_ranges[0].length, 64 * KiB);
+  EXPECT_EQ(p.value().bad_ranges[1].device, 1u);
+}
+
+TEST(FaultLoader, ErrorPathsPropagate) {
+  // Malformed bad_range entries.
+  EXPECT_FALSE(load_fault_params(make({{"fault.bad_range", "0:1G"}})).ok());
+  EXPECT_FALSE(load_fault_params(make({{"fault.bad_range", "0:xyz:64K"}})).ok());
+  // Zero-length range rejected by validate().
+  EXPECT_FALSE(load_fault_params(make({{"fault.bad_range", "0:1G:0"}})).ok());
+  // Probabilities outside [0,1].
+  EXPECT_FALSE(load_fault_params(make({{"fault.media_error_rate", "1.5"}})).ok());
+  EXPECT_FALSE(load_fault_params(make({{"fault.hang_prob", "-0.1"}})).ok());
+  EXPECT_FALSE(load_fault_params(make({{"fault.persistent_fraction", "2"}})).ok());
+  // transient_failures must be >= 1.
+  EXPECT_FALSE(load_fault_params(make({{"fault.transient_failures", "0"}})).ok());
+  // Non-numeric device fields error instead of throwing.
+  EXPECT_FALSE(load_fault_params(make({{"fault.bad_range", "x:1G:64K"}})).ok());
+  EXPECT_FALSE(load_fault_params(make({{"fault.devices", "0,disk1"}})).ok());
+}
+
+TEST(RetryLoader, KeysApplyAndErrorsPropagate) {
+  const auto p = load_retry_params(make({{"retry.timeout", "100ms"},
+                                         {"retry.retries", "5"},
+                                         {"retry.backoff", "2ms"},
+                                         {"retry.backoff_cap", "64ms"}}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().command_timeout, msec(100));
+  EXPECT_EQ(p.value().max_retries, 5u);
+  EXPECT_EQ(p.value().backoff_base, msec(2));
+  EXPECT_EQ(p.value().backoff_cap, msec(64));
+  // cap < base rejected by validate().
+  EXPECT_FALSE(load_retry_params(make({{"retry.backoff", "10ms"},
+                                       {"retry.backoff_cap", "1ms"}}))
+                   .ok());
+}
+
+TEST(NetLoader, DefaultsAndKeysApply) {
+  const auto d = load_link_params(Config{});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().latency, usec(50));
+  EXPECT_FALSE(d.value().responses_carry_data);
+
+  const auto p = load_link_params(make({{"net.latency", "1ms"},
+                                        {"net.bandwidth_mbps", "1000"},
+                                        {"net.overhead", "5us"},
+                                        {"net.header", "256"},
+                                        {"net.responses_carry_data", "true"}}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().latency, msec(1));
+  EXPECT_DOUBLE_EQ(p.value().bandwidth_bps, 1e9);
+  EXPECT_EQ(p.value().per_message_overhead, usec(5));
+  EXPECT_EQ(p.value().header_bytes, 256u);
+  EXPECT_TRUE(p.value().responses_carry_data);
+
+  EXPECT_FALSE(load_link_params(make({{"net.bandwidth_mbps", "0"}})).ok());
+}
+
+TEST(ExperimentLoader, NetKeysEnableTheLink) {
+  EXPECT_FALSE(load_experiment(Config{}).value().network.has_value());
+  const auto e = load_experiment(make({{"net.latency", "200us"}}));
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e.value().network.has_value());
+  EXPECT_EQ(e.value().network->latency, usec(200));
+  // net.enable=false wins over other net.* keys.
+  const auto off = load_experiment(
+      make({{"net.latency", "200us"}, {"net.enable", "false"}}));
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.value().network.has_value());
+  // Errors propagate.
+  EXPECT_FALSE(load_experiment(make({{"net.bandwidth_mbps", "-1"}})).ok());
+}
+
+TEST(ExperimentLoader, FaultKeysEnableRetryLayerByDefault) {
+  const auto e = load_experiment(make({{"fault.media_error_rate", "0.001"}}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.value().fault.enabled());
+  EXPECT_TRUE(e.value().retry_enabled());
+  // No explicit retry.* keys: defaults are applied at run time, the
+  // optional stays empty.
+  EXPECT_FALSE(e.value().retry.has_value());
+}
+
+TEST(ExperimentLoader, BadRangeDeviceBoundsChecked) {
+  // Single-disk node: device 3 is out of range, and the loader must say so
+  // instead of letting the runner hit an invalid wrapper index.
+  const auto e = load_experiment(make({{"fault.bad_range", "3:0:64K"}}));
+  ASSERT_FALSE(e.ok());
+  EXPECT_NE(e.error().message.find("out of range"), std::string::npos);
+}
+
+TEST(ExperimentLoader, FaultErrorsPropagateThroughLoadExperiment) {
+  EXPECT_FALSE(load_experiment(make({{"fault.media_error_rate", "7"}})).ok());
+  EXPECT_FALSE(
+      load_experiment(make({{"retry.backoff", "0"}, {"retry.enable", "true"}})).ok());
+}
+
 TEST(ShippedConfigs, EveryExampleConfigLoads) {
   // The sample configuration files under examples/configs must stay valid.
   for (const char* name :

@@ -207,7 +207,8 @@ TEST(Disk, QueueDepthTracked) {
 
 TEST(Disk, BusyTimeWithinElapsed) {
   Harness h;
-  for (int i = 0; i < 10; ++i) h.read(static_cast<Lba>(i) * 500'000, 128);
+  // Stride keeps the last read inside the 2 GiB (4.2M-sector) test disk.
+  for (int i = 0; i < 10; ++i) h.read(static_cast<Lba>(i) * 400'000, 128);
   EXPECT_LE(h.disk.stats().busy_time, h.sim.now());
   EXPECT_GT(h.disk.stats().busy_time, 0u);
 }

@@ -8,6 +8,7 @@
 #include "blockdev/mem_block_device.hpp"
 #include "experiment/runner.hpp"
 #include "core/server.hpp"
+#include "fault/injector.hpp"
 #include "sim/simulator.hpp"
 
 namespace sst::net {
@@ -173,6 +174,119 @@ TEST(RemoteSink, ManyClientsShareTheLink) {
   h.sim.run_until(h.sim.now() + sec(5));
   EXPECT_EQ(remote.uplink_stats().messages, 60u);
   EXPECT_EQ(remote.downlink_stats().messages, 60u);
+}
+
+TEST(RemoteSink, FaultHangDropsRequestInTransit) {
+  // A hang decision on the link loses the request outright: nothing reaches
+  // the server and the completion never fires.
+  Harness h;
+  fault::FaultParams fp;
+  fp.hang_prob = 1.0;
+  fault::FaultInjector injector(fp);
+  RemoteSink remote(h.sim, [&](core::ClientRequest r) { h.server.submit(std::move(r)); },
+                    LinkParams{});
+  remote.set_fault_injector(&injector, 1);
+  auto sink = remote.sink();
+  int done = 0;
+  core::ClientRequest req;
+  req.device = 0;
+  req.offset = 0;
+  req.length = 16 * KiB;
+  req.on_complete = [&done](SimTime) { ++done; };
+  sink(std::move(req));
+  h.sim.run_until(h.sim.now() + sec(10));
+  EXPECT_EQ(done, 0);
+  EXPECT_EQ(remote.fault_stats().dropped, 1u);
+  EXPECT_EQ(remote.uplink_stats().messages, 0u);
+}
+
+TEST(RemoteSink, FaultMediaErrorFailsInTransportWithoutReachingServer) {
+  Harness h;
+  fault::FaultParams fp;
+  fp.media_error_rate = 1.0;
+  fp.persistent_fraction = 1.0;
+  fault::FaultInjector injector(fp);
+  RemoteSink remote(h.sim, [&](core::ClientRequest r) { h.server.submit(std::move(r)); },
+                    LinkParams{});
+  remote.set_fault_injector(&injector, 1);
+  auto sink = remote.sink();
+  IoStatus status = IoStatus::kOk;
+  int done = 0;
+  core::ClientRequest req;
+  req.device = 0;
+  req.offset = 0;
+  req.length = 16 * KiB;
+  req.on_complete = [&done, &status](SimTime, IoStatus s) {
+    ++done;
+    status = s;
+  };
+  sink(std::move(req));
+  h.sim.run_until(h.sim.now() + sec(1));
+  ASSERT_EQ(done, 1);
+  EXPECT_FALSE(io_ok(status));
+  EXPECT_EQ(remote.fault_stats().transport_errors, 1u);
+  // The error came back over the downlink; the server never saw the request.
+  EXPECT_EQ(remote.uplink_stats().messages, 0u);
+  EXPECT_EQ(remote.downlink_stats().messages, 1u);
+}
+
+TEST(RemoteSink, FaultSpikeDelaysButCompletes) {
+  const auto completion_time = [](fault::FaultInjector* injector) {
+    Harness h;
+    RemoteSink remote(h.sim,
+                      [&](core::ClientRequest r) { h.server.submit(std::move(r)); },
+                      LinkParams{});
+    if (injector != nullptr) remote.set_fault_injector(injector, 1);
+    auto sink = remote.sink();
+    SimTime done_at = 0;
+    core::ClientRequest req;
+    req.device = 0;
+    req.offset = 0;
+    req.length = 16 * KiB;
+    req.on_complete = [&done_at, &h](SimTime) { done_at = h.sim.now(); };
+    sink(std::move(req));
+    h.sim.run_until(h.sim.now() + sec(10));
+    EXPECT_GT(done_at, 0u);
+    return done_at;
+  };
+
+  fault::FaultParams fp;
+  fp.spike_prob = 1.0;
+  fp.spike_delay = msec(50);
+  fault::FaultInjector injector(fp);
+  const SimTime clean = completion_time(nullptr);
+  const SimTime spiked = completion_time(&injector);
+  EXPECT_GE(spiked, clean + msec(50));
+  EXPECT_EQ(injector.stats().spikes, 1u);
+}
+
+TEST(RemoteSink, FaultTargetsSkipTheLinkWhenNotListed) {
+  // fault.devices scoping applies to the link like any device: an injector
+  // aimed only at disk 0 leaves the NIC (keyed as device 1 here) untouched.
+  Harness h;
+  fault::FaultParams fp;
+  fp.media_error_rate = 1.0;
+  fp.devices = {0};
+  fault::FaultInjector injector(fp);
+  RemoteSink remote(h.sim, [&](core::ClientRequest r) { h.server.submit(std::move(r)); },
+                    LinkParams{});
+  remote.set_fault_injector(&injector, 1);
+  auto sink = remote.sink();
+  IoStatus status = IoStatus::kMediaError;
+  int done = 0;
+  core::ClientRequest req;
+  req.device = 0;
+  req.offset = 0;
+  req.length = 16 * KiB;
+  req.on_complete = [&done, &status](SimTime, IoStatus s) {
+    ++done;
+    status = s;
+  };
+  sink(std::move(req));
+  h.sim.run_until(h.sim.now() + sec(1));
+  ASSERT_EQ(done, 1);
+  EXPECT_TRUE(io_ok(status));
+  EXPECT_EQ(remote.fault_stats().transport_errors, 0u);
 }
 
 TEST(RemoteSink, ExperimentHarnessIntegration) {
