@@ -23,7 +23,7 @@ SweepCache& nearseq_cache() {
 
         node::NodeConfig cfg;  // 1 disk
         experiment::ExperimentConfig ec;
-        ec.node = cfg;
+        ec.topology.node = cfg;
         ec.warmup = sec(2);
         ec.measure = sec(10);
         ec.streams = workload::make_uniform_streams(kStreams, 1,

@@ -16,11 +16,11 @@ constexpr std::uint32_t kStreams = 64;
 SweepCache& policy_cache() {
   static SweepCache cache(
       "ablation_policy",
-      sweep_grid({{static_cast<std::int64_t>(core::ReplacementPolicyKind::kRoundRobin),
-                   static_cast<std::int64_t>(core::ReplacementPolicyKind::kNearestOffset)},
+      sweep_grid({{static_cast<std::int64_t>(core::DispatchPolicyKind::kRoundRobin),
+                   static_cast<std::int64_t>(core::DispatchPolicyKind::kNearestOffset)},
                   {128, 512, 2048}}),
       [](const SweepKey& key) -> std::optional<experiment::ExperimentConfig> {
-        const auto policy = static_cast<core::ReplacementPolicyKind>(key[0]);
+        const auto policy = static_cast<core::DispatchPolicyKind>(key[0]);
         const Bytes read_ahead = static_cast<Bytes>(key[1]) * KiB;
 
         node::NodeConfig cfg;  // 1 disk
@@ -39,7 +39,7 @@ SweepCache& policy_cache() {
 }
 
 void AblationPolicy(benchmark::State& state) {
-  const auto policy = static_cast<core::ReplacementPolicyKind>(state.range(0));
+  const auto policy = static_cast<core::DispatchPolicyKind>(state.range(0));
 
   const experiment::ExperimentResult* result = nullptr;
   for (auto _ : state) {
@@ -55,8 +55,8 @@ void AblationPolicy(benchmark::State& state) {
 
 BENCHMARK(AblationPolicy)
     ->ArgNames({"policy", "raKB"})
-    ->ArgsProduct({{static_cast<long>(core::ReplacementPolicyKind::kRoundRobin),
-                    static_cast<long>(core::ReplacementPolicyKind::kNearestOffset)},
+    ->ArgsProduct({{static_cast<long>(core::DispatchPolicyKind::kRoundRobin),
+                    static_cast<long>(core::DispatchPolicyKind::kNearestOffset)},
                    {128, 512, 2048}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);

@@ -5,85 +5,40 @@
 // disk now sees S interleaved near-random fragment streams instead of S/8
 // long sequential ones, multiplying the positioning overhead — unless the
 // stripe unit is large enough to amortize a seek by itself.
-#include <map>
-#include <memory>
-#include <vector>
-
 #include "bench_common.hpp"
-#include "raid/striped_volume.hpp"
-#include "sim/simulator.hpp"
 
 namespace {
 
 using namespace sstbench;
 
-double run_striped(std::uint32_t streams, Bytes stripe_unit, Bytes request) {
-  sim::Simulator simulator;
-  node::NodeConfig cfg = node::NodeConfig::medium();  // 8 disks
-  node::StorageNode node(simulator, cfg);
-  raid::StripedVolume volume(node.devices(), stripe_unit);
-
-  auto specs = workload::make_uniform_streams(streams, 1, volume.capacity(), request);
-  workload::RequestSink sink = [&volume](core::ClientRequest req) {
-    blockdev::BlockRequest io;
-    io.offset = req.offset;
-    io.length = req.length;
-    io.op = req.op;
-    io.data = req.data;
-    io.on_complete = std::move(req.on_complete);
-    volume.submit(std::move(io));
-  };
-  std::vector<std::unique_ptr<workload::StreamClient>> clients;
-  for (const auto& spec : specs) {
-    clients.push_back(std::make_unique<workload::StreamClient>(simulator, sink, spec,
-                                                               volume.capacity()));
+// Both series build through the declarative topology: stripeKB == 0 keeps
+// the flat device view, anything else stacks a RAID-0 volume over all 8
+// disks. raw_config sizes the stream population against the logical view
+// (one striped volume gets every stream).
+std::optional<experiment::ExperimentConfig> striping_config(const SweepKey& key) {
+  const auto streams = static_cast<std::uint32_t>(key[0]);
+  const Bytes stripe_kb = static_cast<Bytes>(key[1]);
+  io::StackSpec stack;
+  if (stripe_kb != 0) {
+    stack.raid.kind = io::RaidSpec::Kind::kStripe;
+    stack.raid.stripe_unit = stripe_kb * KiB;
   }
-  for (auto& c : clients) c->start();
-  simulator.run_until(sec(2));
-  for (auto& c : clients) c->begin_measurement();
-  const SimTime t0 = simulator.now();
-  const SimTime t1 = t0 + sec(10);
-  simulator.run_until(t1);
-  double total = 0.0;
-  for (const auto& c : clients) total += c->stats().throughput.mbps(t0, t1);
-  return total;
+  return raw_config(node::NodeConfig::medium(), streams, 64 * KiB, sec(2), sec(10),
+                    stack);
 }
 
-// Mixed harness (the striped series bypasses ExperimentConfig), so the
-// whole grid fans out through run_sweep_jobs with the scalar throughput
-// carried in ExperimentResult::total_mbps.
-const std::map<SweepKey, double>& striping_results() {
-  static const std::map<SweepKey, double> results = [] {
-    const std::vector<SweepKey> keys = sweep_grid({{80, 240}, {0, 64, 512, 4096}});
-    std::vector<std::function<experiment::ExperimentResult()>> jobs;
-    jobs.reserve(keys.size());
-    for (const SweepKey& key : keys) {
-      jobs.push_back([key] {
-        const auto streams = static_cast<std::uint32_t>(key[0]);
-        const Bytes stripe_kb = static_cast<Bytes>(key[1]);
-        if (stripe_kb == 0) {
-          // Per-spindle placement (the paper's deployment).
-          return experiment::run_experiment(
-              raw_config(node::NodeConfig::medium(), streams, 64 * KiB));
-        }
-        experiment::ExperimentResult r;
-        r.total_mbps = run_striped(streams, stripe_kb * KiB, 64 * KiB);
-        return r;
-      });
-    }
-    const auto raw = experiment::run_sweep_jobs(jobs);
-    std::map<SweepKey, double> out;
-    for (std::size_t i = 0; i < keys.size(); ++i) out.emplace(keys[i], raw[i].total_mbps);
-    return out;
-  }();
-  return results;
+SweepCache& striping_cache() {
+  static SweepCache cache("ablation_striping",
+                          sweep_grid({{80, 240}, {0, 64, 512, 4096}}),
+                          striping_config);
+  return cache;
 }
 
 void AblationStriping(benchmark::State& state) {
   const Bytes stripe_kb = static_cast<Bytes>(state.range(1));
   double mbps = 0.0;
   for (auto _ : state) {
-    mbps = striping_results().at({state.range(0), state.range(1)});
+    mbps = striping_cache().result({state.range(0), state.range(1)})->total_mbps;
   }
   state.SetLabel(stripe_kb == 0 ? "per-spindle"
                                 : "raid0/" + std::to_string(stripe_kb) + "K");

@@ -25,24 +25,29 @@
 
 #include "experiment/runner.hpp"
 #include "experiment/sweep.hpp"
-#include "node/storage_node.hpp"
+#include "node/topology.hpp"
 #include "workload/generator.hpp"
 
 namespace sstbench {
 
 using namespace sst;  // NOLINT(google-build-using-namespace) — bench-local
 
-/// Baseline config: clients talk to the block devices directly.
+/// Baseline config: clients talk to the (stacked) devices directly. The
+/// optional StackSpec layers fault/retry/raid/network declaratively; the
+/// stream population is sized against the stack's logical device view.
 inline experiment::ExperimentConfig raw_config(const node::NodeConfig& node,
                                                std::uint32_t total_streams, Bytes request_size,
                                                SimTime warmup = sec(2),
-                                               SimTime measure = sec(10)) {
+                                               SimTime measure = sec(10),
+                                               const io::StackSpec& stack = {}) {
   experiment::ExperimentConfig cfg;
-  cfg.node = node;
+  cfg.topology.node = node;
+  cfg.topology.stack = stack;
   cfg.warmup = warmup;
   cfg.measure = measure;
-  cfg.streams = workload::make_uniform_streams(total_streams, node.total_disks(),
-                                               node.disk.geometry.capacity, request_size);
+  cfg.streams = workload::make_uniform_streams(
+      total_streams, cfg.topology.logical_device_count(),
+      cfg.topology.logical_device_capacity(), request_size);
   return cfg;
 }
 
@@ -51,9 +56,10 @@ inline experiment::ExperimentConfig sched_config(const node::NodeConfig& node,
                                                  const core::SchedulerParams& params,
                                                  std::uint32_t total_streams,
                                                  Bytes request_size, SimTime warmup = sec(2),
-                                                 SimTime measure = sec(10)) {
+                                                 SimTime measure = sec(10),
+                                                 const io::StackSpec& stack = {}) {
   experiment::ExperimentConfig cfg = raw_config(node, total_streams, request_size,
-                                                warmup, measure);
+                                                warmup, measure, stack);
   cfg.scheduler = params;
   return cfg;
 }

@@ -22,9 +22,9 @@ using namespace sst;
 double run_streams(std::uint32_t streams, Bytes request, bool with_scheduler, Bytes read_ahead,
                    Bytes memory) {
   experiment::ExperimentConfig cfg;
-  cfg.node = node::NodeConfig::base();
+  cfg.topology.node = node::NodeConfig::base();
   cfg.streams = workload::make_uniform_streams(
-      streams, 1, cfg.node.disk.geometry.capacity, request);
+      streams, 1, cfg.topology.node.disk.geometry.capacity, request);
   if (with_scheduler) {
     core::SchedulerParams sched;
     sched.read_ahead = read_ahead;

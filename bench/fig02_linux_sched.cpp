@@ -104,7 +104,7 @@ std::optional<experiment::ExperimentConfig> fig02_sched_config(const SweepKey& k
   params.classifier.block_bytes = 4 * KiB;
 
   experiment::ExperimentConfig ec;
-  ec.node = cfg;
+  ec.topology.node = cfg;
   ec.warmup = sec(3);
   ec.measure = sec(12);
   ec.scheduler = params;

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "blockdev/block_device.hpp"
+#include "core/scheduler.hpp"
 #include "experiment/sweep.hpp"
 #include "node/storage_node.hpp"
 #include "obs/tracer.hpp"
@@ -154,12 +156,73 @@ BenchResult bench_tracer_record() {
           "events/sec", allocs};
 }
 
+/// Storage-free device: the find_stream bench only exercises the stream
+/// index, so requests never reach the device.
+class NullDevice final : public blockdev::BlockDevice {
+ public:
+  void submit(blockdev::BlockRequest request) override {
+    if (request.on_complete) request.on_complete(0, IoStatus::kOk);
+  }
+  [[nodiscard]] Bytes capacity() const override { return Bytes{1} << 60; }
+  [[nodiscard]] std::string name() const override { return "null"; }
+};
+
+/// ns per find_stream lookup with `streams` live streams on one device.
+double time_find_stream(std::uint32_t streams) {
+  constexpr Bytes kSpacing = 4 * MiB;
+  constexpr std::uint64_t kLookups = 1 << 20;
+
+  sim::Simulator simulator;
+  NullDevice dev;
+  core::SchedulerParams params;
+  core::StreamScheduler sched(simulator, {&dev}, params);
+  for (std::uint32_t i = 0; i < streams; ++i) {
+    const ByteOffset start = static_cast<ByteOffset>(i) * kSpacing;
+    sched.create_stream(0, start, start);
+  }
+
+  // Deterministic pseudo-random probe sequence over the claimed ranges.
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  std::uint64_t hits = 0;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < kLookups; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const ByteOffset offset = (x % streams) * kSpacing;
+    hits += sched.find_stream(0, offset) != nullptr;
+  }
+  const double elapsed = seconds_since(start);
+  if (hits != kLookups) {
+    std::fprintf(stderr, "find_stream: lost streams (%llu/%llu hits)\n",
+                 static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(kLookups));
+    std::exit(1);
+  }
+  return elapsed / static_cast<double>(kLookups) * 1e9;
+}
+
+/// Regression guard for the O(log n) stream index: growing the stream
+/// population 32x must not scale the per-lookup cost anywhere near
+/// linearly. The algorithmic log factor is ~1.5x; the 10x bound leaves
+/// room for the larger map falling out of cache while still sitting far
+/// below the >100x a linear scan costs at 32k streams.
+void bench_find_stream(std::vector<BenchResult>& results, bool& scaling_ok) {
+  const double ns_small = time_find_stream(1024);
+  const double ns_large = time_find_stream(32768);
+  const double ratio = ns_small > 0 ? ns_large / ns_small : 0.0;
+  results.push_back({"find_stream_1k", ns_small, "ns/lookup", 0});
+  results.push_back({"find_stream_32k", ns_large, "ns/lookup", 0});
+  results.push_back({"find_stream_scaling", ratio, "x", 0});
+  scaling_ok = ratio < 10.0;
+}
+
 experiment::ExperimentConfig small_fig01_config(std::uint32_t streams) {
   node::NodeConfig node;
   node.num_controllers = 2;
   node.disks_per_controller = 2;
   experiment::ExperimentConfig cfg;
-  cfg.node = node;
+  cfg.topology.node = node;
   cfg.warmup = sec(1);
   cfg.measure = sec(4);
   cfg.streams = workload::make_uniform_streams(streams, node.total_disks(),
@@ -222,6 +285,8 @@ int main(int argc, char** argv) {
   results.push_back(bench_schedule_cancel());
   results.push_back(bench_tracer_record());
   results.push_back(bench_end_to_end());
+  bool find_stream_scaling_ok = true;
+  bench_find_stream(results, find_stream_scaling_ok);
   bench_sweep(results);
 
   bool alloc_free = true;
@@ -236,6 +301,11 @@ int main(int argc, char** argv) {
   }
   if (!alloc_free) {
     std::fprintf(stderr, "FAIL: steady-state event path performed heap allocations\n");
+    return 1;
+  }
+  if (!find_stream_scaling_ok) {
+    std::fprintf(stderr,
+                 "FAIL: find_stream lookup cost scales super-logarithmically\n");
     return 1;
   }
 

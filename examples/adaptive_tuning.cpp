@@ -40,7 +40,7 @@ void run_scenario(const Scenario& s) {
   const auto tuned = core::autotune(desc);
 
   experiment::ExperimentConfig ec;
-  ec.node = s.node;
+  ec.topology.node = s.node;
   ec.warmup = sec(2);
   ec.measure = sec(10);
   ec.streams = workload::make_uniform_streams(64 * desc.num_disks, desc.num_disks,

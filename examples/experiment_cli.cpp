@@ -176,11 +176,11 @@ void print_single(const experiment::ExperimentConfig& ec,
                   const experiment::ExperimentResult& result) {
   stats::Table table("experiment result");
   table.set_note(std::to_string(ec.streams.size()) + " streams on " +
-                 std::to_string(ec.node.total_disks()) + " disk(s), " +
+                 std::to_string(ec.topology.node.total_disks()) + " disk(s), " +
                  (ec.scheduler ? "stream scheduler" : "raw devices"));
   table.set_columns({"metric", "value"});
   table.add_row({std::string("aggregate MB/s"), result.total_mbps});
-  table.add_row({std::string("per-disk MB/s"), result.per_disk_mbps(ec.node.total_disks())});
+  table.add_row({std::string("per-disk MB/s"), result.per_disk_mbps(ec.topology.node.total_disks())});
   table.add_row({std::string("requests completed"),
                  static_cast<std::int64_t>(result.requests_completed)});
   table.add_row({std::string("mean latency ms"), result.latency.mean_ms()});
@@ -205,7 +205,7 @@ void print_single(const experiment::ExperimentConfig& ec,
                    static_cast<double>(result.peak_buffer_memory) / 1e6});
     table.add_row({std::string("host CPU utilization"), result.host_cpu_utilization});
   }
-  if (ec.fault.enabled()) {
+  if (ec.topology.stack.fault.enabled()) {
     table.add_row({std::string("faults injected"),
                    static_cast<std::int64_t>(result.fault_stats.media_errors +
                                              result.fault_stats.hangs +
@@ -303,7 +303,7 @@ int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes,
     std::vector<stats::Cell> row;
     for (const auto& [key, value] : points[i]) row.emplace_back(value);
     row.emplace_back(result.total_mbps);
-    row.emplace_back(result.per_disk_mbps(configs[i].node.total_disks()));
+    row.emplace_back(result.per_disk_mbps(configs[i].topology.node.total_disks()));
     row.emplace_back(static_cast<std::int64_t>(result.requests_completed));
     row.emplace_back(result.latency.mean_ms());
     row.emplace_back(result.latency.p95_ms());

@@ -30,11 +30,11 @@ struct SlaResult {
 
 SlaResult run_admission(std::uint32_t streams, double bitrate_bps, bool with_scheduler) {
   experiment::ExperimentConfig ec;
-  ec.node = node::NodeConfig::medium();  // 2 controllers x 4 disks
+  ec.topology.node = node::NodeConfig::medium();  // 2 controllers x 4 disks
   ec.warmup = sec(3);
   ec.measure = sec(12);
   ec.streams = workload::make_uniform_streams(
-      streams, ec.node.total_disks(), ec.node.disk.geometry.capacity, 64 * KiB);
+      streams, ec.topology.node.total_disks(), ec.topology.node.disk.geometry.capacity, 64 * KiB);
   // CBR pacing: one 64 KB chunk per period, up to 8 chunks buffered.
   const SimTime period = from_seconds(static_cast<double>(64 * KiB) / bitrate_bps);
   for (auto& spec : ec.streams) {
@@ -49,7 +49,7 @@ SlaResult run_admission(std::uint32_t streams, double bitrate_bps, bool with_sch
     // testbed's 1 GB of buffer memory. This is the (D, R, N, M) tuning
     // story of the paper applied to a paced workload.
     core::SchedulerParams p;
-    p.dispatch_set_size = ec.node.total_disks();
+    p.dispatch_set_size = ec.topology.node.total_disks();
     p.read_ahead = 1 * MiB;
     p.requests_per_residency = 2;
     p.memory_budget = 1 * GiB;

@@ -31,10 +31,10 @@ int main(int argc, char** argv) {
   const SimTime measure = cfg.get_duration("seconds", sec(10));
 
   experiment::ExperimentConfig ec;
-  ec.node = node::NodeConfig::base();  // 1 controller x 1 disk
+  ec.topology.node = node::NodeConfig::base();  // 1 controller x 1 disk
   ec.measure = measure;
   ec.streams = workload::make_uniform_streams(streams, 1,
-                                              ec.node.disk.geometry.capacity, request);
+                                              ec.topology.node.disk.geometry.capacity, request);
 
   // Baseline: clients talk to the disk directly.
   const auto baseline = experiment::run_experiment(ec);

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare clang-tidy output against the committed warning baseline.
+
+Usage:
+    clang-tidy ... > tidy.log           # or run-clang-tidy
+    python3 scripts/check_clang_tidy.py tidy.log
+    python3 scripts/check_clang_tidy.py --update tidy.log   # refresh baseline
+
+The baseline (scripts/clang_tidy_baseline.txt) records tolerated warning
+counts per check. The checker exits non-zero when a check produces more
+warnings than the baseline allows, listing each offending diagnostic so
+the CI log is actionable. The CI job runs with continue-on-error, so this
+reports rather than blocks; driving a count down then updating the
+baseline ratchets the debt monotonically.
+"""
+
+import argparse
+import collections
+import re
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).with_name("clang_tidy_baseline.txt")
+
+# "path:line:col: warning: message [check-name]"
+WARNING_RE = re.compile(r"^(?P<loc>[^\s:][^:]*:\d+:\d+): warning: .* \[(?P<check>[\w.,-]+)\]$")
+
+
+def parse_tidy_output(path):
+    """check name -> list of 'file:line:col' locations."""
+    warnings = collections.defaultdict(list)
+    for line in Path(path).read_text(errors="replace").splitlines():
+        match = WARNING_RE.match(line.strip())
+        if not match:
+            continue
+        # A diagnostic can belong to several aliased checks ("a,b"): count
+        # it under the first so totals match the warning count.
+        check = match.group("check").split(",")[0]
+        warnings[check].append(match.group("loc"))
+    return warnings
+
+
+def read_baseline():
+    allowed = {}
+    if not BASELINE.exists():
+        return allowed
+    for line in BASELINE.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        check, _, count = line.rpartition(" ")
+        allowed[check] = int(count)
+    return allowed
+
+
+def write_baseline(warnings):
+    header = [
+        line
+        for line in BASELINE.read_text().splitlines()
+        if line.startswith("#")
+    ] if BASELINE.exists() else []
+    body = [f"{check} {len(locs)}" for check, locs in sorted(warnings.items())]
+    BASELINE.write_text("\n".join(header + body) + "\n")
+    print(f"baseline updated: {len(body)} checks, "
+          f"{sum(len(l) for l in warnings.values())} warnings")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("tidy_log", help="captured clang-tidy stdout")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this log")
+    args = parser.parse_args()
+
+    warnings = parse_tidy_output(args.tidy_log)
+    if args.update:
+        write_baseline(warnings)
+        return 0
+
+    allowed = read_baseline()
+    total = sum(len(locs) for locs in warnings.values())
+    print(f"clang-tidy: {total} warnings across {len(warnings)} checks "
+          f"(baseline tolerates {sum(allowed.values())})")
+
+    failed = False
+    for check, locs in sorted(warnings.items()):
+        budget = allowed.get(check, 0)
+        if len(locs) <= budget:
+            continue
+        failed = True
+        print(f"\nNEW: {check}: {len(locs)} warnings (baseline {budget})")
+        for loc in locs:
+            print(f"  {loc}")
+    for check, budget in sorted(allowed.items()):
+        have = len(warnings.get(check, []))
+        if have < budget:
+            print(f"note: {check} improved to {have} (baseline {budget}) — "
+                  f"consider ratcheting the baseline down")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

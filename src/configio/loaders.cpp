@@ -109,8 +109,8 @@ Result<core::SchedulerParams> load_scheduler_params(const Config& cfg) {
   p.memory_budget = cfg.get_bytes("sched.memory", p.memory_budget);
   if (cfg.contains("sched.policy")) {
     const auto name = cfg.get_string("sched.policy", "round-robin");
-    if (name == "round-robin") p.policy = core::ReplacementPolicyKind::kRoundRobin;
-    else if (name == "nearest-offset") p.policy = core::ReplacementPolicyKind::kNearestOffset;
+    if (name == "round-robin") p.policy = core::DispatchPolicyKind::kRoundRobin;
+    else if (name == "nearest-offset") p.policy = core::DispatchPolicyKind::kNearestOffset;
     else return make_error("unknown sched.policy: '" + name + "'");
   }
   p.classifier.block_bytes =
@@ -223,11 +223,94 @@ Result<net::LinkParams> load_link_params(const Config& cfg) {
   return p;
 }
 
+Result<io::StackSpec> load_stack_spec(const Config& cfg) {
+  io::StackSpec spec;
+  auto fault = load_fault_params(cfg);
+  if (!fault.ok()) return fault.error();
+  spec.fault = fault.value();
+  const bool retry_enabled = cfg.get_bool("retry.enable", has_prefix(cfg, "retry."));
+  if (retry_enabled) {
+    auto retry = load_retry_params(cfg);
+    if (!retry.ok()) return retry.error();
+    spec.retry = retry.value();
+  }
+  if (cfg.contains("stack.raid")) {
+    const auto name = cfg.get_string("stack.raid", "none");
+    if (name == "none") spec.raid.kind = io::RaidSpec::Kind::kNone;
+    else if (name == "mirror") spec.raid.kind = io::RaidSpec::Kind::kMirror;
+    else if (name == "stripe") spec.raid.kind = io::RaidSpec::Kind::kStripe;
+    else return make_error("unknown stack.raid: '" + name + "'");
+  }
+  spec.raid.mirror_ways =
+      static_cast<std::uint32_t>(cfg.get_int("stack.mirror.ways", spec.raid.mirror_ways));
+  if (cfg.contains("stack.mirror.policy")) {
+    const auto name = cfg.get_string("stack.mirror.policy", "region-affine");
+    if (name == "round-robin") spec.raid.mirror_policy = raid::ReadPolicy::kRoundRobin;
+    else if (name == "region-affine") spec.raid.mirror_policy = raid::ReadPolicy::kRegionAffine;
+    else return make_error("unknown stack.mirror.policy: '" + name + "'");
+  }
+  spec.raid.mirror.fail_threshold = static_cast<std::uint32_t>(
+      cfg.get_int("stack.mirror.fail_threshold", spec.raid.mirror.fail_threshold));
+  spec.raid.stripe_unit = cfg.get_bytes("stack.stripe_unit", spec.raid.stripe_unit);
+  const bool net_enabled = cfg.get_bool("net.enable", has_prefix(cfg, "net."));
+  if (net_enabled) {
+    auto link = load_link_params(cfg);
+    if (!link.ok()) return link.error();
+    spec.network = link.value();
+  }
+  return spec;
+}
+
+Result<node::TopologySpec> load_topology_spec(const Config& cfg) {
+  node::TopologySpec spec;
+  if (cfg.contains("topology.preset")) {
+    const auto name = cfg.get_string("topology.preset", "base");
+    if (name == "base") spec.node = node::NodeConfig{};
+    else if (name == "medium") spec.node = node::NodeConfig::medium();
+    else if (name == "large") spec.node = node::NodeConfig::large();
+    else return make_error("unknown topology.preset: '" + name + "'");
+  }
+  // topology.* spellings alias the historical node.* keys; both work, with
+  // the topology.* form winning when both are present.
+  spec.node.num_controllers = static_cast<std::uint32_t>(cfg.get_int(
+      "topology.controllers",
+      cfg.get_int("node.controllers", spec.node.num_controllers)));
+  spec.node.disks_per_controller = static_cast<std::uint32_t>(cfg.get_int(
+      "topology.disks_per_controller",
+      cfg.get_int("node.disks_per_controller", spec.node.disks_per_controller)));
+  const auto seed = static_cast<std::uint64_t>(
+      cfg.get_int("topology.seed", cfg.get_int("node.seed", 0)));
+  if (seed != 0) spec.node.seed = seed;
+  if (spec.node.num_controllers == 0 || spec.node.disks_per_controller == 0) {
+    return make_error("node topology must have at least one controller and disk");
+  }
+  auto disk_params = load_disk_params(cfg);
+  if (!disk_params.ok()) return disk_params.error();
+  spec.node.disk = disk_params.value();
+  auto ctrl_params = load_controller_params(cfg);
+  if (!ctrl_params.ok()) return ctrl_params.error();
+  spec.node.controller = ctrl_params.value();
+
+  auto stack = load_stack_spec(cfg);
+  if (!stack.ok()) return stack.error();
+  spec.stack = stack.value();
+  for (const fault::BadRange& r : spec.stack.fault.bad_ranges) {
+    if (r.device >= spec.node.total_disks()) {
+      return make_error("fault.bad_range device " + std::to_string(r.device) +
+                        " out of range (node has " +
+                        std::to_string(spec.node.total_disks()) + " disks)");
+    }
+  }
+  const Status valid = spec.validate();
+  if (!valid.ok()) return valid.error();
+  return spec;
+}
+
 Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
   experiment::ExperimentConfig ec;
-  auto node_config = load_node_config(cfg);
-  if (!node_config.ok()) return node_config.error();
-  ec.node = node_config.value();
+  auto topology = load_topology_spec(cfg);
+  if (!topology.ok()) return topology.error();
+  ec.topology = topology.value();
 
   const bool sched_enabled = cfg.get_bool("sched.enable", has_prefix(cfg, "sched."));
   if (sched_enabled) {
@@ -243,8 +326,10 @@ Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
   if (request == 0 || request % kSectorSize != 0) {
     return make_error("workload.request must be a positive multiple of 512");
   }
-  ec.streams = workload::make_uniform_streams(streams, ec.node.total_disks(),
-                                              ec.node.disk.geometry.capacity, request);
+  // Streams spread over the stack's logical device view: one striped volume
+  // gets every stream, mirror groups share them like plain disks.
+  ec.streams = workload::make_uniform_streams(streams, ec.topology.logical_device_count(),
+                                              ec.topology.logical_device_capacity(), request);
   const auto outstanding =
       static_cast<std::uint32_t>(cfg.get_int("workload.outstanding", 1));
   const SimTime think = cfg.get_duration("workload.think", 0);
@@ -256,29 +341,6 @@ Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
   }
   ec.warmup = cfg.get_duration("run.warmup", ec.warmup);
   ec.measure = cfg.get_duration("run.measure", ec.measure);
-
-  auto fault = load_fault_params(cfg);
-  if (!fault.ok()) return fault.error();
-  ec.fault = fault.value();
-  for (const fault::BadRange& r : ec.fault.bad_ranges) {
-    if (r.device >= ec.node.total_disks()) {
-      return make_error("fault.bad_range device " + std::to_string(r.device) +
-                        " out of range (node has " +
-                        std::to_string(ec.node.total_disks()) + " disks)");
-    }
-  }
-  const bool retry_enabled = cfg.get_bool("retry.enable", has_prefix(cfg, "retry."));
-  if (retry_enabled) {
-    auto retry = load_retry_params(cfg);
-    if (!retry.ok()) return retry.error();
-    ec.retry = retry.value();
-  }
-  const bool net_enabled = cfg.get_bool("net.enable", has_prefix(cfg, "net."));
-  if (net_enabled) {
-    auto link = load_link_params(cfg);
-    if (!link.ok()) return link.error();
-    ec.network = link.value();
-  }
   if (cfg.contains("sched.fail_threshold") && ec.scheduler.has_value()) {
     ec.scheduler->device_fail_threshold = static_cast<std::uint32_t>(
         cfg.get_int("sched.fail_threshold", ec.scheduler->device_fail_threshold));

@@ -24,7 +24,9 @@
 #include "disk/params.hpp"
 #include "experiment/runner.hpp"
 #include "fault/params.hpp"
+#include "node/device_stack.hpp"
 #include "node/storage_node.hpp"
+#include "node/topology.hpp"
 
 namespace sst::configio {
 
@@ -64,12 +66,26 @@ namespace sst::configio {
 /// net.responses_carry_data.
 [[nodiscard]] Result<net::LinkParams> load_link_params(const Config& cfg);
 
+/// The declarative device stack above the node's disks. Keys: all fault.*
+/// keys, retry.enable (default: true when any retry.* key is present;
+/// faults alone enable default retries) + retry.* keys, net.enable
+/// (default: true when any net.* key is present) + net.* keys, and the
+/// raid aggregation: stack.raid (none|mirror|stripe), stack.mirror.ways,
+/// stack.mirror.policy (round-robin|region-affine),
+/// stack.mirror.fail_threshold, stack.stripe_unit.
+[[nodiscard]] Result<io::StackSpec> load_stack_spec(const Config& cfg);
+
+/// The whole deployment: node plus stack. Keys: topology.preset
+/// (base|medium|large), topology.controllers, topology.disks_per_controller
+/// and topology.seed (aliases of the node.* spellings, which stay
+/// supported), all disk.*/ctrl.* keys, and every stack key above.
+[[nodiscard]] Result<node::TopologySpec> load_topology_spec(const Config& cfg);
+
 /// Keys: all of the above plus workload.streams, workload.request,
 /// workload.outstanding, workload.think, workload.issue_period,
-/// run.warmup, run.measure, sched.enable (default: true when any sched.*
-/// key is present), all fault.* keys, retry.enable (default: true when
-/// any retry.* key is present; faults alone enable default retries), and
-/// net.enable (default: true when any net.* key is present).
+/// run.warmup, run.measure, and sched.enable (default: true when any
+/// sched.* key is present). Stream specs are sized against the topology's
+/// logical device view (e.g. one striped volume).
 [[nodiscard]] Result<experiment::ExperimentConfig> load_experiment(const Config& cfg);
 
 }  // namespace sst::configio

@@ -1,7 +1,6 @@
-#include "core/replacement_policy.hpp"
+#include "core/dispatch_policy.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <limits>
 
 namespace sst::core {
@@ -45,10 +44,10 @@ std::size_t NearestOffsetPolicy::pick(
   return best;
 }
 
-std::unique_ptr<ReplacementPolicy> make_policy(ReplacementPolicyKind kind) {
+std::unique_ptr<DispatchPolicy> make_policy(DispatchPolicyKind kind) {
   switch (kind) {
-    case ReplacementPolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
-    case ReplacementPolicyKind::kNearestOffset: return std::make_unique<NearestOffsetPolicy>();
+    case DispatchPolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
+    case DispatchPolicyKind::kNearestOffset: return std::make_unique<NearestOffsetPolicy>();
   }
   return std::make_unique<RoundRobinPolicy>();
 }

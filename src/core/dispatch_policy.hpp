@@ -1,8 +1,10 @@
-// Dispatch-set replacement policies (paper §4.2). The policy chooses which
-// candidate stream takes a freed dispatch slot. Round-robin is the paper's
-// default; nearest-offset implements the proximity idea the paper sketches
-// ("keep streams that access nearby areas of the disk in the dispatch set")
-// for the ablation bench.
+// Dispatch policies (paper §4.2). A DispatchPolicy chooses which candidate
+// stream takes a freed dispatch-set slot; it is the pluggable brain of the
+// DispatchSet stage. Round-robin is the paper's default; nearest-offset
+// implements the proximity idea the paper sketches ("keep streams that
+// access nearby areas of the disk in the dispatch set") for the ablation
+// bench. This hierarchy folds in what used to be called the replacement
+// policy — the two names described the same decision.
 #pragma once
 
 #include <cstddef>
@@ -17,9 +19,9 @@
 
 namespace sst::core {
 
-class ReplacementPolicy {
+class DispatchPolicy {
  public:
-  virtual ~ReplacementPolicy() = default;
+  virtual ~DispatchPolicy() = default;
 
   /// Pick the index (into `candidates`) of the stream to dispatch next.
   /// `lookup` maps a StreamId to its Stream; `last_issue_pos` gives the most
@@ -31,7 +33,7 @@ class ReplacementPolicy {
 };
 
 /// FIFO: always the head of the candidate queue.
-class RoundRobinPolicy final : public ReplacementPolicy {
+class RoundRobinPolicy final : public DispatchPolicy {
  public:
   [[nodiscard]] std::size_t pick(const std::deque<StreamId>&,
                                  const std::function<const Stream&(StreamId)>&,
@@ -46,7 +48,7 @@ class RoundRobinPolicy final : public ReplacementPolicy {
 /// so two guards bound the bypassing: only the oldest `kWindow` candidates
 /// compete, and a head-of-queue stream bypassed `kWindow` consecutive
 /// times is force-picked (strict aging).
-class NearestOffsetPolicy final : public ReplacementPolicy {
+class NearestOffsetPolicy final : public DispatchPolicy {
  public:
   static constexpr std::size_t kWindow = 8;
 
@@ -59,6 +61,6 @@ class NearestOffsetPolicy final : public ReplacementPolicy {
   std::size_t front_bypasses_ = 0;
 };
 
-[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_policy(ReplacementPolicyKind kind);
+[[nodiscard]] std::unique_ptr<DispatchPolicy> make_policy(DispatchPolicyKind kind);
 
 }  // namespace sst::core

@@ -1,0 +1,82 @@
+// The dispatch set (paper §4.2): the bounded set of at most D streams
+// actively issuing read-ahead, plus the FIFO candidate queue feeding it and
+// the pluggable DispatchPolicy that picks which candidate takes a freed
+// slot. Tracks the per-device last-issue position the proximity policy
+// consults. The facade drives residency begin/end; this class owns the
+// queue discipline.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/dispatch_policy.hpp"
+
+namespace sst::core {
+
+class DispatchSet {
+ public:
+  explicit DispatchSet(std::unique_ptr<DispatchPolicy> policy)
+      : policy_(std::move(policy)) {}
+  DispatchSet(const DispatchSet&) = delete;
+  DispatchSet& operator=(const DispatchSet&) = delete;
+
+  [[nodiscard]] bool has_free_slot(std::uint32_t slots) const {
+    return dispatched_ < slots;
+  }
+  [[nodiscard]] bool has_candidates() const { return !candidates_.empty(); }
+
+  /// Ask the policy for the next candidate, remove it from the queue and
+  /// return it. The queue must be non-empty.
+  [[nodiscard]] StreamId pop_next(
+      const std::function<const Stream&(StreamId)>& lookup) {
+    assert(!candidates_.empty());
+    const std::size_t choice = policy_->pick(candidates_, lookup, last_issue_pos_);
+    const StreamId id = candidates_[choice];
+    candidates_.erase(candidates_.begin() + static_cast<std::ptrdiff_t>(choice));
+    return id;
+  }
+
+  /// Round-robin tail (normal arrival / rotation with unmet demand).
+  void push_back(StreamId id) { candidates_.push_back(id); }
+  /// Head of the queue: a first-issue memory bounce retries first.
+  void push_front(StreamId id) { candidates_.push_front(id); }
+  /// Remove a stream from the candidate queue (eviction).
+  void remove(StreamId id) {
+    candidates_.erase(std::remove(candidates_.begin(), candidates_.end(), id),
+                      candidates_.end());
+  }
+
+  /// A stream took a dispatch slot.
+  void begin_residency() { ++dispatched_; }
+  /// A stream left the dispatch set (rotation, bounce, or eviction).
+  void end_residency() {
+    assert(dispatched_ > 0);
+    --dispatched_;
+  }
+
+  /// Record where read-ahead on `device` will resume (offset past the
+  /// extent just issued) — the proximity signal for NearestOffsetPolicy.
+  void note_issue(std::uint32_t device, ByteOffset next_pos) {
+    last_issue_pos_[device] = next_pos;
+  }
+
+  [[nodiscard]] std::size_t dispatched_count() const { return dispatched_; }
+  [[nodiscard]] std::size_t candidate_count() const { return candidates_.size(); }
+  [[nodiscard]] const std::map<std::uint32_t, ByteOffset>& last_issue_pos() const {
+    return last_issue_pos_;
+  }
+
+ private:
+  std::unique_ptr<DispatchPolicy> policy_;
+  std::deque<StreamId> candidates_;
+  std::size_t dispatched_ = 0;
+  std::map<std::uint32_t, ByteOffset> last_issue_pos_;
+};
+
+}  // namespace sst::core

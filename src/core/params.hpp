@@ -28,15 +28,19 @@ struct ClassifierParams {
 /// Candidate-selection policy for refilling the dispatch set (paper §4.2:
 /// "we currently use a simple round-robin policy"; the offset-proximity
 /// alternative is implemented for the ablation bench).
-enum class ReplacementPolicyKind : std::uint8_t {
+enum class DispatchPolicyKind : std::uint8_t {
   kRoundRobin,
   kNearestOffset,
 };
 
-[[nodiscard]] constexpr const char* to_string(ReplacementPolicyKind k) {
+/// Historic name, kept so configs/tests written against the pre-decomposition
+/// scheduler keep compiling.
+using ReplacementPolicyKind = DispatchPolicyKind;
+
+[[nodiscard]] constexpr const char* to_string(DispatchPolicyKind k) {
   switch (k) {
-    case ReplacementPolicyKind::kRoundRobin: return "round-robin";
-    case ReplacementPolicyKind::kNearestOffset: return "nearest-offset";
+    case DispatchPolicyKind::kRoundRobin: return "round-robin";
+    case DispatchPolicyKind::kNearestOffset: return "nearest-offset";
   }
   return "?";
 }
@@ -66,7 +70,7 @@ struct SchedulerParams {
   /// benches leave this off to model timing without allocating gigabytes.
   bool materialize_buffers = false;
 
-  ReplacementPolicyKind policy = ReplacementPolicyKind::kRoundRobin;
+  DispatchPolicyKind policy = DispatchPolicyKind::kRoundRobin;
   ClassifierParams classifier;
   HostOverheadParams host;
 

@@ -2,45 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstring>
 #include <string>
 
 #include "common/logging.hpp"
+#include "core/dispatch_policy.hpp"
 
 namespace sst::core {
 
 namespace {
 constexpr std::string_view kLog = "scheduler";
-
-/// Does the union of (optionally only filled) buffer ranges cover
-/// [off, off+len)? Buffers are kept sorted by offset and contiguous ranges
-/// may span several buffers. The scan binary-searches its starting buffer
-/// (the last one beginning at or before `off`, stepping back over rare
-/// overlapping extents) instead of walking the whole staged set.
-bool covered_by(const std::vector<std::unique_ptr<IoBuffer>>& buffers, ByteOffset off,
-                Bytes len, bool filled_only) {
-  auto first = std::upper_bound(
-      buffers.begin(), buffers.end(), off,
-      [](ByteOffset o, const std::unique_ptr<IoBuffer>& b) { return o < b->offset(); });
-  while (first != buffers.begin() &&
-         (*std::prev(first))->offset() + (*std::prev(first))->capacity() > off) {
-    --first;
-  }
-  ByteOffset cursor = off;
-  const ByteOffset end = off + len;
-  for (auto it = first; it != buffers.end(); ++it) {
-    const auto& b = *it;
-    const ByteOffset b_end = filled_only ? b->end() : b->offset() + b->capacity();
-    if (b->offset() > cursor) {
-      if (cursor >= end) break;
-      if (b->offset() >= end) break;
-      return false;  // gap before reaching `cursor`
-    }
-    if (b_end > cursor) cursor = b_end;
-    if (cursor >= end) return true;
-  }
-  return cursor >= end;
-}
 }  // namespace
 
 StreamScheduler::StreamScheduler(sim::Simulator& simulator,
@@ -49,9 +19,9 @@ StreamScheduler::StreamScheduler(sim::Simulator& simulator,
     : sim_(simulator),
       devices_(std::move(devices)),
       params_(params),
-      pool_(params.memory_budget, params.materialize_buffers),
+      staging_(params.memory_budget, params.materialize_buffers),
       cpu_(simulator, params.host),
-      policy_(make_policy(params.policy)),
+      dispatch_(make_policy(params.policy)),
       index_(devices_.size()),
       device_errors_(devices_.size(), 0) {
   assert(!devices_.empty());
@@ -76,14 +46,8 @@ void StreamScheduler::arm_gc() {
 }
 
 Stream* StreamScheduler::find_stream(std::uint32_t device, ByteOffset offset) {
-  assert(device < index_.size());
-  auto& idx = index_[device];
-  auto it = idx.upper_bound(offset);
-  if (it == idx.begin()) return nullptr;
-  --it;
-  Stream& s = stream_ref(it->second);
-  if (offset >= s.range_start && offset < s.match_end(params_.read_ahead)) return &s;
-  return nullptr;
+  return index_.find(device, offset, params_.read_ahead,
+                     [this](StreamId id) -> Stream& { return stream_ref(id); });
 }
 
 Stream& StreamScheduler::create_stream(std::uint32_t device, ByteOffset range_start,
@@ -97,7 +61,7 @@ Stream& StreamScheduler::create_stream(std::uint32_t device, ByteOffset range_st
   stream->served_upto = detection_end;
   stream->last_activity = sim_.now();
   Stream& ref = *stream;
-  index_[device].insert_or_assign(range_start, stream->id);
+  index_.claim(device, range_start, stream->id);
   streams_.emplace(stream->id, std::move(stream));
   ++stats_.streams_created;
   arm_gc();
@@ -126,11 +90,11 @@ std::size_t StreamScheduler::buffered_count() const {
 #ifndef NDEBUG
   std::size_t n = 0;
   for (const auto& [id, s] : streams_) {
-    if (counts_as_buffered(*s)) ++n;
+    if (StagingArea::counts_as_buffered(*s)) ++n;
   }
-  assert(n == buffered_count_ && "buffered-set counter out of sync");
+  assert(n == staging_.buffered_count() && "buffered-set counter out of sync");
 #endif
-  return buffered_count_;
+  return staging_.buffered_count();
 }
 
 void StreamScheduler::enqueue(Stream& stream, ClientRequest request) {
@@ -146,7 +110,8 @@ void StreamScheduler::enqueue(Stream& stream, ClientRequest request) {
   ++stream.stats.client_requests;
 
   // 1. Already staged? Serve immediately (a buffered-set or dispatch-set hit).
-  if (covered_by(stream.buffers, request.offset, request.length, /*filled_only=*/true)) {
+  if (StagingArea::covers(stream.buffers, request.offset, request.length,
+                          /*filled_only=*/true)) {
     ++stream.stats.buffer_hits;
     ++stats_.buffer_hits;
     serve_request(stream, std::move(request));
@@ -158,8 +123,8 @@ void StreamScheduler::enqueue(Stream& stream, ClientRequest request) {
   //    cursor: park it; it completes when data lands. A request merely
   //    *straddling* the cursor would never be fully covered by future
   //    read-ahead, so it must not be parked (it falls through to 3).
-  const bool inflight_covers =
-      covered_by(stream.buffers, request.offset, request.length, /*filled_only=*/false);
+  const bool inflight_covers = StagingArea::covers(stream.buffers, request.offset,
+                                                   request.length, /*filled_only=*/false);
   const bool ahead = request.offset >= stream.prefetch_pos;
   if (inflight_covers || (ahead && !stream.at_device_end)) {
     request.arrival = sim_.now();  // parking time governs escalation
@@ -203,20 +168,17 @@ void StreamScheduler::make_candidate(Stream& stream) {
   if (stream.state == StreamState::kDispatched || stream.state == StreamState::kCandidate) {
     return;
   }
-  const bool was = counts_as_buffered(stream);
+  const bool was = StagingArea::counts_as_buffered(stream);
   stream.state = StreamState::kCandidate;
-  note_buffered(stream, was);
-  candidates_.push_back(stream.id);
+  staging_.note_buffered(stream, was);
+  dispatch_.push_back(stream.id);
 }
 
 void StreamScheduler::pump() {
   const std::uint32_t slots = params_.effective_dispatch_size();
-  while (dispatched_ < slots && !candidates_.empty()) {
-    const std::size_t choice = policy_->pick(
-        candidates_, [this](StreamId id) -> const Stream& { return stream_ref(id); },
-        last_issue_pos_);
-    const StreamId id = candidates_[choice];
-    candidates_.erase(candidates_.begin() + static_cast<std::ptrdiff_t>(choice));
+  while (dispatch_.has_free_slot(slots) && dispatch_.has_candidates()) {
+    const StreamId id = dispatch_.pop_next(
+        [this](StreamId sid) -> const Stream& { return stream_ref(sid); });
     if (!dispatch(stream_ref(id))) {
       // Dispatch bounced on memory; retry later when buffers free up.
       break;
@@ -227,7 +189,7 @@ void StreamScheduler::pump() {
 bool StreamScheduler::dispatch(Stream& stream) {
   assert(stream.state == StreamState::kCandidate);
   stream.state = StreamState::kDispatched;
-  ++dispatched_;
+  dispatch_.begin_residency();
   stream.issued_in_residency = 0;
   ++stream.stats.residencies;
   stream.dispatched_at = sim_.now();
@@ -248,8 +210,8 @@ bool StreamScheduler::issue_next(Stream& stream) {
   }
   const Bytes len = std::min<Bytes>(params_.read_ahead, capacity - stream.prefetch_pos);
 
-  auto buffer = pool_.allocate(stream.device, stream.prefetch_pos, len, sim_.now());
-  if (buffer == nullptr) {
+  IoBuffer* raw = staging_.stage(stream, stream.prefetch_pos, len, sim_.now());
+  if (raw == nullptr) {
     ++stats_.dispatch_stalls;
     if (tracer_ != nullptr) {
       tracer_->instant(obs::kSchedulerTrack, "scheduler", "dispatch_stall", sim_.now(),
@@ -258,28 +220,15 @@ bool StreamScheduler::issue_next(Stream& stream) {
     const bool first_issue = stream.issued_in_residency == 0;
     // Leave the dispatch set; on a first-issue bounce go back to the head
     // of the candidate queue and stall the pump until memory frees.
-    --dispatched_;
+    dispatch_.end_residency();
     ++stats_.rotations;
     stream.state = StreamState::kCandidate;
     if (first_issue) {
-      candidates_.push_front(stream.id);
+      dispatch_.push_front(stream.id);
     } else {
-      candidates_.push_back(stream.id);
+      dispatch_.push_back(stream.id);
     }
     return false;
-  }
-
-  IoBuffer* raw = buffer.get();
-  // Keep buffers sorted by offset. Allocations are monotone per stream, so
-  // the new extent almost always belongs at the tail; a rewind re-aim can
-  // land it mid-sequence, handled by a binary-searched insertion.
-  if (stream.buffers.empty() || stream.buffers.back()->offset() <= raw->offset()) {
-    stream.buffers.push_back(std::move(buffer));
-  } else {
-    auto pos = std::upper_bound(
-        stream.buffers.begin(), stream.buffers.end(), raw->offset(),
-        [](ByteOffset off, const std::unique_ptr<IoBuffer>& b) { return off < b->offset(); });
-    stream.buffers.insert(pos, std::move(buffer));
   }
 
   const ByteOffset issue_offset = stream.prefetch_pos;
@@ -290,12 +239,12 @@ bool StreamScheduler::issue_next(Stream& stream) {
   stream.stats.bytes_prefetched += len;
   ++stats_.disk_reads;
   stats_.bytes_prefetched += len;
-  last_issue_pos_[stream.device] = issue_offset + len;
+  dispatch_.note_issue(stream.device, issue_offset + len);
 
   const StreamId sid = stream.id;
   const std::uint32_t dev = stream.device;
-  cpu_.execute(cpu_.issue_cost(pool_.live_buffers()), [this, sid, dev, issue_offset, len,
-                                                       data = raw->data()]() {
+  cpu_.execute(cpu_.issue_cost(staging_.live_buffers()), [this, sid, dev, issue_offset,
+                                                          len, data = raw->data()]() {
     blockdev::BlockRequest req;
     req.offset = issue_offset;
     req.length = len;
@@ -312,8 +261,7 @@ bool StreamScheduler::issue_next(Stream& stream) {
 
 void StreamScheduler::rotate_out(Stream& stream) {
   assert(stream.state == StreamState::kDispatched);
-  assert(dispatched_ > 0);
-  --dispatched_;
+  dispatch_.end_residency();
   ++stats_.rotations;
   if (tracer_ != nullptr) {
     tracer_->complete(obs::stream_track(stream.id), "scheduler", "residency",
@@ -326,14 +274,15 @@ void StreamScheduler::rotate_out(Stream& stream) {
   // tail); satisfied streams park in the buffered set.
   const bool unmet = std::any_of(
       stream.pending.begin(), stream.pending.end(), [&stream](const ClientRequest& r) {
-        return !covered_by(stream.buffers, r.offset, r.length, /*filled_only=*/false);
+        return !StagingArea::covers(stream.buffers, r.offset, r.length,
+                                    /*filled_only=*/false);
       });
   if (unmet && !stream.at_device_end) {
     stream.state = StreamState::kCandidate;
-    candidates_.push_back(stream.id);
+    dispatch_.push_back(stream.id);
   } else {
     stream.state = StreamState::kBuffered;
-    note_buffered(stream, /*was=*/false);  // was kDispatched
+    staging_.note_buffered(stream, /*was=*/false);  // was kDispatched
   }
 }
 
@@ -358,14 +307,7 @@ void StreamScheduler::on_read_complete(StreamId stream_id, ByteOffset buffer_off
     // The failed read-ahead's buffer never received data; drop it. The
     // completion being delivered guarantees nothing below will write into
     // it anymore (ReliableDevice bounces abandoned attempts).
-    const bool was = counts_as_buffered(*stream);
-    auto& bufs = stream->buffers;
-    bufs.erase(std::remove_if(bufs.begin(), bufs.end(),
-                              [buffer_offset](const std::unique_ptr<IoBuffer>& b) {
-                                return b->offset() == buffer_offset && !b->filled();
-                              }),
-               bufs.end());
-    note_buffered(*stream, was);
+    staging_.drop_unfilled(*stream, buffer_offset);
     const std::uint32_t dev = stream->device;
     note_device_error(dev, status);  // may evict and retire `stream`
     const auto again = streams_.find(stream_id);
@@ -386,7 +328,7 @@ void StreamScheduler::on_read_complete(StreamId stream_id, ByteOffset buffer_off
   if (stream->evicted) {
     // Zombie: parked only until in-flight completions drain.
     if (stream->inflight == 0) {
-      stream->buffers.clear();
+      staging_.release_all(*stream);
       retire_stream(stream_id);
     }
     pump();
@@ -394,12 +336,7 @@ void StreamScheduler::on_read_complete(StreamId stream_id, ByteOffset buffer_off
   }
 
   if (io_ok(status)) {
-    for (auto& b : stream->buffers) {
-      if (b->offset() == buffer_offset && !b->filled()) {
-        b->mark_filled(b->capacity(), sim_.now());
-        break;
-      }
-    }
+    staging_.mark_filled(*stream, buffer_offset, sim_.now());
   }
 
   // Issue path first (paper §4.2): keep the disks fed before unwinding
@@ -453,17 +390,15 @@ void StreamScheduler::fail_request(ClientRequest& request, IoStatus status) {
 
 void StreamScheduler::evict_stream(Stream& stream, IoStatus status) {
   if (stream.evicted) return;
-  const bool was = counts_as_buffered(stream);
+  const bool was = StagingArea::counts_as_buffered(stream);
   if (stream.state == StreamState::kDispatched) {
-    assert(dispatched_ > 0);
-    --dispatched_;
+    dispatch_.end_residency();
   } else if (stream.state == StreamState::kCandidate) {
-    candidates_.erase(std::remove(candidates_.begin(), candidates_.end(), stream.id),
-                      candidates_.end());
+    dispatch_.remove(stream.id);
   }
   stream.state = StreamState::kIdle;
   stream.evicted = true;
-  note_buffered(stream, was);
+  staging_.note_buffered(stream, was);
   ++stats_.streams_evicted;
   if (tracer_ != nullptr) {
     tracer_->instant(obs::kSchedulerTrack, "scheduler", "stream_evicted", sim_.now(),
@@ -479,13 +414,11 @@ void StreamScheduler::evict_stream(Stream& stream, IoStatus status) {
   stream.pending.clear();
 
   // Unclaim the range so fresh requests never match the zombie.
-  auto& idx = index_[stream.device];
-  const auto entry = idx.find(stream.range_start);
-  if (entry != idx.end() && entry->second == stream.id) idx.erase(entry);
+  index_.unclaim(stream.device, stream.range_start, stream.id);
 
   if (stream.inflight == 0) {
     // No completion can write into staged memory anymore: release it all.
-    stream.buffers.clear();
+    staging_.release_all(stream);
     retire_stream(stream.id);
     return;
   }
@@ -494,17 +427,13 @@ void StreamScheduler::evict_stream(Stream& stream, IoStatus status) {
   // disabled retry layer never complete — the zombie then lives until the
   // scheduler is torn down, which is bounded and harmless). Timing-only and
   // already-filled buffers carry no future writes and are freed now.
-  auto& bufs = stream.buffers;
-  bufs.erase(std::remove_if(bufs.begin(), bufs.end(),
-                            [](const std::unique_ptr<IoBuffer>& b) {
-                              return b->data() == nullptr || b->filled();
-                            }),
-             bufs.end());
+  staging_.drop_inert_buffers(stream);
 }
 
 void StreamScheduler::drain_pending(Stream& stream) {
   for (auto it = stream.pending.begin(); it != stream.pending.end();) {
-    if (covered_by(stream.buffers, it->offset, it->length, /*filled_only=*/true)) {
+    if (StagingArea::covers(stream.buffers, it->offset, it->length,
+                            /*filled_only=*/true)) {
       ClientRequest req = std::move(*it);
       it = stream.pending.erase(it);
       serve_request(stream, std::move(req));
@@ -515,19 +444,8 @@ void StreamScheduler::drain_pending(Stream& stream) {
 }
 
 void StreamScheduler::serve_request(Stream& stream, ClientRequest request) {
-  // Consume across every overlapping buffer (a request may straddle two
-  // read-ahead extents) and copy data when both sides are materialized.
+  staging_.consume(stream, request.offset, request.length, request.data, sim_.now());
   const ByteOffset req_end = request.offset + request.length;
-  for (auto& b : stream.buffers) {
-    const ByteOffset lo = std::max(request.offset, b->offset());
-    const ByteOffset hi = std::min(req_end, b->end());
-    if (lo >= hi) continue;
-    b->consume(lo, hi - lo, sim_.now());
-    if (request.data != nullptr && b->data() != nullptr) {
-      std::memcpy(request.data + (lo - request.offset), b->data() + (lo - b->offset()),
-                  hi - lo);
-    }
-  }
   if (req_end > stream.served_upto) stream.served_upto = req_end;
   stream.stats.bytes_served += request.length;
   stats_.bytes_served += request.length;
@@ -537,23 +455,16 @@ void StreamScheduler::serve_request(Stream& stream, ClientRequest request) {
                      "bytes", static_cast<double>(request.length));
   }
 
-  cpu_.execute(cpu_.complete_cost(pool_.live_buffers()),
+  cpu_.execute(cpu_.complete_cost(staging_.live_buffers()),
                [cb = std::move(request.on_complete), this]() {
                  if (cb) cb(sim_.now());
                });
 }
 
 void StreamScheduler::reap_buffers(Stream& stream) {
-  auto& buffers = stream.buffers;
-  const bool was = counts_as_buffered(stream);
-  buffers.erase(std::remove_if(buffers.begin(), buffers.end(),
-                               [](const std::unique_ptr<IoBuffer>& b) {
-                                 return b->fully_consumed();
-                               }),
-                buffers.end());
-  note_buffered(stream, was);
+  staging_.reap(stream);
   // Memory freed: streams stalled on allocation may proceed now.
-  if (!candidates_.empty()) pump();
+  if (dispatch_.has_candidates()) pump();
 }
 
 void StreamScheduler::collect_garbage() {
@@ -594,32 +505,10 @@ void StreamScheduler::collect_garbage() {
         ++it;
       }
     }
-    auto& buffers = stream->buffers;
-    // A buffer that overlaps a parked request must survive: the request is
-    // waiting for the rest of its range to be prefetched, and the cursor
-    // will never revisit a reclaimed range (it only moves forward).
-    const auto needed_by_pending = [&stream](const IoBuffer& b) {
-      for (const ClientRequest& r : stream->pending) {
-        if (r.offset < b.offset() + b.capacity() && b.offset() < r.offset + r.length) {
-          return true;
-        }
-      }
-      return false;
-    };
-    const bool was_buffered = counts_as_buffered(*stream);
-    for (auto it = buffers.begin(); it != buffers.end();) {
-      IoBuffer& b = **it;
-      // Never reclaim in-flight reads; filled-and-idle buffers whose data
-      // nobody consumed within the timeout are the paper's leak case.
-      if (b.filled() && b.last_touch() < buffer_horizon && !needed_by_pending(b)) {
-        stats_.gc_bytes_wasted += b.valid() - b.consumed_upto();
-        ++stats_.gc_buffers_reclaimed;
-        it = buffers.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    note_buffered(*stream, was_buffered);
+    const StagingArea::ReclaimResult reclaimed =
+        staging_.reclaim_expired(*stream, buffer_horizon);
+    stats_.gc_buffers_reclaimed += reclaimed.buffers_reclaimed;
+    stats_.gc_bytes_wasted += reclaimed.bytes_wasted;
     const bool inert = stream->state == StreamState::kIdle ||
                        stream->state == StreamState::kBuffered;
     if (inert && stream->inflight == 0 && stream->pending.empty() &&
@@ -636,7 +525,7 @@ void StreamScheduler::collect_garbage() {
         obs::kSchedulerTrack, "scheduler", "gc_reclaim", sim_.now(), "buffers",
         static_cast<double>(stats_.gc_buffers_reclaimed - reclaimed_before));
   }
-  if (!candidates_.empty()) pump();
+  if (dispatch_.has_candidates()) pump();
 }
 
 void StreamScheduler::retire_stream(StreamId id) {
@@ -644,10 +533,8 @@ void StreamScheduler::retire_stream(StreamId id) {
   if (it == streams_.end()) return;
   Stream& s = *it->second;
   assert(s.inflight == 0 && s.pending.empty());
-  if (counts_as_buffered(s)) --buffered_count_;
-  auto& idx = index_[s.device];
-  const auto entry = idx.find(s.range_start);
-  if (entry != idx.end() && entry->second == id) idx.erase(entry);
+  staging_.on_retire(s);
+  index_.unclaim(s.device, s.range_start, id);
   streams_.erase(it);
   ++stats_.streams_retired;
 }

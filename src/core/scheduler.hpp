@@ -1,15 +1,16 @@
-// The stream scheduler (paper §4.2-4.4): maintains the dispatch set of at
-// most D streams that actively issue R-sized read-ahead requests to their
-// disks (each stream for N requests per residency, replaced by the
-// configured policy), and the buffered set of staged prefetched data that
-// rotated-out streams leave behind until clients consume it or a timeout
-// reclaims it. Client requests are served from staged buffers when
-// possible; the completion path gives priority to the issue path so the
-// disks never idle while completions drain.
+// The stream scheduler (paper §4.2-4.4), now a thin facade over the staged
+// pipeline: a StreamIndex matches incoming requests to streams, the
+// DispatchSet holds the at-most-D streams actively issuing R-sized
+// read-ahead (each for N requests per residency, replaced by the configured
+// DispatchPolicy), and the StagingArea owns the memory budget M and the
+// buffered set of staged data that rotated-out streams leave behind until
+// clients consume it or a timeout reclaims it. The facade keeps all
+// cross-component orchestration: client requests are served from staged
+// buffers when possible, and the completion path gives priority to the
+// issue path so the disks never idle while completions drain.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -17,10 +18,12 @@
 #include "blockdev/block_device.hpp"
 #include "common/types.hpp"
 #include "core/buffer_pool.hpp"
+#include "core/dispatch_set.hpp"
 #include "core/host_cpu.hpp"
 #include "core/params.hpp"
-#include "core/replacement_policy.hpp"
+#include "core/staging_area.hpp"
 #include "core/stream.hpp"
+#include "core/stream_index.hpp"
 #include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 
@@ -65,6 +68,7 @@ class StreamScheduler {
   StreamScheduler& operator=(const StreamScheduler&) = delete;
 
   /// Find the stream that claims `offset` on `device`, or nullptr.
+  /// One predecessor search in the per-device interval map — O(log n).
   [[nodiscard]] Stream* find_stream(std::uint32_t device, ByteOffset offset);
 
   /// Create a stream from a classifier detection: read-ahead will start at
@@ -90,11 +94,15 @@ class StreamScheduler {
 
   [[nodiscard]] const SchedulerParams& params() const { return params_; }
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
-  [[nodiscard]] const BufferPool& pool() const { return pool_; }
+  [[nodiscard]] const BufferPool& pool() const { return staging_.pool(); }
   [[nodiscard]] HostCpu& cpu() { return cpu_; }
   [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
-  [[nodiscard]] std::size_t dispatched_count() const { return dispatched_; }
-  [[nodiscard]] std::size_t candidate_count() const { return candidates_.size(); }
+  [[nodiscard]] std::size_t dispatched_count() const {
+    return dispatch_.dispatched_count();
+  }
+  [[nodiscard]] std::size_t candidate_count() const {
+    return dispatch_.candidate_count();
+  }
   /// Streams holding staged data while not dispatched (the buffered set).
   /// Maintained incrementally at every state/buffer transition, so the
   /// query is O(1) even with thousands of streams.
@@ -150,35 +158,15 @@ class StreamScheduler {
   void retire_stream(StreamId id);
   void arm_gc();
 
-  /// Membership predicate for the maintained buffered-set counter.
-  [[nodiscard]] static bool counts_as_buffered(const Stream& s) {
-    return s.state == StreamState::kBuffered && !s.buffers.empty();
-  }
-  /// Re-evaluate `stream`'s buffered-set membership after a mutation;
-  /// `was` is counts_as_buffered() captured before the mutation.
-  void note_buffered(const Stream& stream, bool was) {
-    const bool now = counts_as_buffered(stream);
-    if (was && !now) {
-      --buffered_count_;
-    } else if (!was && now) {
-      ++buffered_count_;
-    }
-  }
-
   sim::Simulator& sim_;
   std::vector<blockdev::BlockDevice*> devices_;
   SchedulerParams params_;
-  BufferPool pool_;
+  StagingArea staging_;
   HostCpu cpu_;
-  std::unique_ptr<ReplacementPolicy> policy_;
+  DispatchSet dispatch_;
+  StreamIndex index_;
 
   std::map<StreamId, std::unique_ptr<Stream>> streams_;
-  /// Per device: range_start -> stream, for claiming incoming requests.
-  std::vector<std::map<ByteOffset, StreamId>> index_;
-  std::deque<StreamId> candidates_;
-  std::size_t dispatched_ = 0;
-  std::size_t buffered_count_ = 0;
-  std::map<std::uint32_t, ByteOffset> last_issue_pos_;
   /// Failed read-ahead count per device; >= device_fail_threshold = failed.
   std::vector<std::uint32_t> device_errors_;
   StreamId next_stream_id_ = 1;

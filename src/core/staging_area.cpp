@@ -1,0 +1,142 @@
+#include "core/staging_area.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sst::core {
+
+bool StagingArea::covers(const std::vector<std::unique_ptr<IoBuffer>>& buffers,
+                         ByteOffset off, Bytes len, bool filled_only) {
+  // Buffers are kept sorted by offset and contiguous ranges may span
+  // several buffers. Find the last buffer beginning at or before `off`,
+  // stepping back over rare overlapping extents.
+  auto first = std::upper_bound(
+      buffers.begin(), buffers.end(), off,
+      [](ByteOffset o, const std::unique_ptr<IoBuffer>& b) { return o < b->offset(); });
+  while (first != buffers.begin() &&
+         (*std::prev(first))->offset() + (*std::prev(first))->capacity() > off) {
+    --first;
+  }
+  ByteOffset cursor = off;
+  const ByteOffset end = off + len;
+  for (auto it = first; it != buffers.end(); ++it) {
+    const auto& b = *it;
+    const ByteOffset b_end = filled_only ? b->end() : b->offset() + b->capacity();
+    if (b->offset() > cursor) {
+      if (cursor >= end) break;
+      if (b->offset() >= end) break;
+      return false;  // gap before reaching `cursor`
+    }
+    if (b_end > cursor) cursor = b_end;
+    if (cursor >= end) return true;
+  }
+  return cursor >= end;
+}
+
+IoBuffer* StagingArea::stage(Stream& stream, ByteOffset offset, Bytes len, SimTime now) {
+  auto buffer = pool_.allocate(stream.device, offset, len, now);
+  if (buffer == nullptr) return nullptr;
+  IoBuffer* raw = buffer.get();
+  // Keep buffers sorted by offset. Allocations are monotone per stream, so
+  // the new extent almost always belongs at the tail; a rewind re-aim can
+  // land it mid-sequence, handled by a binary-searched insertion.
+  if (stream.buffers.empty() || stream.buffers.back()->offset() <= raw->offset()) {
+    stream.buffers.push_back(std::move(buffer));
+  } else {
+    auto pos = std::upper_bound(
+        stream.buffers.begin(), stream.buffers.end(), raw->offset(),
+        [](ByteOffset off, const std::unique_ptr<IoBuffer>& b) { return off < b->offset(); });
+    stream.buffers.insert(pos, std::move(buffer));
+  }
+  return raw;
+}
+
+void StagingArea::mark_filled(Stream& stream, ByteOffset offset, SimTime now) {
+  for (auto& b : stream.buffers) {
+    if (b->offset() == offset && !b->filled()) {
+      b->mark_filled(b->capacity(), now);
+      break;
+    }
+  }
+}
+
+void StagingArea::drop_unfilled(Stream& stream, ByteOffset offset) {
+  const bool was = counts_as_buffered(stream);
+  auto& bufs = stream.buffers;
+  bufs.erase(std::remove_if(bufs.begin(), bufs.end(),
+                            [offset](const std::unique_ptr<IoBuffer>& b) {
+                              return b->offset() == offset && !b->filled();
+                            }),
+             bufs.end());
+  note_buffered(stream, was);
+}
+
+void StagingArea::consume(Stream& stream, ByteOffset offset, Bytes length,
+                          std::byte* data, SimTime now) {
+  // Consume across every overlapping buffer (a request may straddle two
+  // read-ahead extents) and copy data when both sides are materialized.
+  const ByteOffset req_end = offset + length;
+  for (auto& b : stream.buffers) {
+    const ByteOffset lo = std::max(offset, b->offset());
+    const ByteOffset hi = std::min(req_end, b->end());
+    if (lo >= hi) continue;
+    b->consume(lo, hi - lo, now);
+    if (data != nullptr && b->data() != nullptr) {
+      std::memcpy(data + (lo - offset), b->data() + (lo - b->offset()), hi - lo);
+    }
+  }
+}
+
+void StagingArea::reap(Stream& stream) {
+  auto& buffers = stream.buffers;
+  const bool was = counts_as_buffered(stream);
+  buffers.erase(std::remove_if(
+                    buffers.begin(), buffers.end(),
+                    [](const std::unique_ptr<IoBuffer>& b) { return b->fully_consumed(); }),
+                buffers.end());
+  note_buffered(stream, was);
+}
+
+StagingArea::ReclaimResult StagingArea::reclaim_expired(Stream& stream, SimTime horizon) {
+  ReclaimResult result;
+  auto& buffers = stream.buffers;
+  // A buffer that overlaps a parked request must survive: the request is
+  // waiting for the rest of its range to be prefetched, and the cursor
+  // will never revisit a reclaimed range (it only moves forward).
+  const auto needed_by_pending = [&stream](const IoBuffer& b) {
+    for (const ClientRequest& r : stream.pending) {
+      if (r.offset < b.offset() + b.capacity() && b.offset() < r.offset + r.length) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const bool was = counts_as_buffered(stream);
+  for (auto it = buffers.begin(); it != buffers.end();) {
+    IoBuffer& b = **it;
+    // Never reclaim in-flight reads; filled-and-idle buffers whose data
+    // nobody consumed within the timeout are the paper's leak case.
+    if (b.filled() && b.last_touch() < horizon && !needed_by_pending(b)) {
+      result.bytes_wasted += b.valid() - b.consumed_upto();
+      ++result.buffers_reclaimed;
+      it = buffers.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  note_buffered(stream, was);
+  return result;
+}
+
+void StagingArea::drop_inert_buffers(Stream& stream) {
+  auto& bufs = stream.buffers;
+  bufs.erase(std::remove_if(bufs.begin(), bufs.end(),
+                            [](const std::unique_ptr<IoBuffer>& b) {
+                              return b->data() == nullptr || b->filled();
+                            }),
+             bufs.end());
+}
+
+void StagingArea::release_all(Stream& stream) { stream.buffers.clear(); }
+
+}  // namespace sst::core

@@ -71,6 +71,22 @@ std::string ExperimentResult::to_json() const {
   reg.counter("net.spiked_requests", net_fault_stats.spiked);
   reg.counter("net.transport_errors", net_fault_stats.transport_errors);
 
+  // The raid group only appears when a raid layer was stacked, keeping the
+  // export byte-identical for the (default) flat device view.
+  if (raid_kind != io::RaidSpec::Kind::kNone) {
+    reg.text("raid.kind", to_string(raid_kind));
+    if (raid_kind == io::RaidSpec::Kind::kMirror) {
+      reg.counter("raid.reads", mirror_stats.reads);
+      reg.counter("raid.writes", mirror_stats.writes);
+      reg.counter("raid.member_errors", mirror_stats.member_errors);
+      reg.counter("raid.failovers", mirror_stats.failovers);
+      reg.counter("raid.degraded_reads", mirror_stats.degraded_reads);
+      reg.counter("raid.degraded_writes", mirror_stats.degraded_writes);
+      reg.counter("raid.read_failures", mirror_stats.read_failures);
+      reg.counter("raid.write_failures", mirror_stats.write_failures);
+    }
+  }
+
   reg.counter("retry.commands", retry_stats.commands);
   reg.counter("retry.retries_total", retry_stats.retries_total);
   reg.counter("retry.timeouts", retry_stats.timeouts);

@@ -5,42 +5,20 @@
 #include <memory>
 #include <string>
 
-#include "fault/faulty_device.hpp"
-#include "net/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace sst::experiment {
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim::Simulator simulator;
-  node::StorageNode node(simulator, config.node);
-
-  // Device stack, bottom up: SimBlockDevice -> FaultyDevice (when fault
-  // injection is on) -> ReliableDevice (when the retry layer is on) ->
-  // server/clients. Fault-free runs keep the bare devices: no wrapper, no
-  // per-request allocation, identical to the pre-fault hot path.
-  std::vector<blockdev::BlockDevice*> devices = node.devices();
-  std::unique_ptr<fault::FaultInjector> injector;
-  std::vector<std::unique_ptr<fault::FaultyDevice>> faulty;
-  std::vector<std::unique_ptr<core::ReliableDevice>> reliable;
-  if (config.fault.enabled()) {
-    injector = std::make_unique<fault::FaultInjector>(config.fault);
-    faulty.reserve(devices.size());
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      faulty.push_back(std::make_unique<fault::FaultyDevice>(
-          simulator, *devices[i], *injector, static_cast<std::uint32_t>(i)));
-      devices[i] = faulty.back().get();
-    }
-  }
-  if (config.retry_enabled()) {
-    const core::RetryParams retry_params = config.retry.value_or(core::RetryParams{});
-    reliable.reserve(devices.size());
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      reliable.push_back(std::make_unique<core::ReliableDevice>(
-          simulator, *devices[i], retry_params, static_cast<std::uint32_t>(i)));
-      devices[i] = reliable.back().get();
-    }
-  }
+  // The whole deployment — node plus the declarative device stack (sim
+  // disk -> fault -> retry -> raid -> network) — comes from the topology
+  // spec. Layers are only constructed when enabled: fault-free, raid-free
+  // runs keep the bare devices, identical to the unstacked hot path.
+  node::Topology topology(simulator, config.topology);
+  node::StorageNode& node = topology.node();
+  io::DeviceStack& stack = topology.stack();
+  const std::vector<blockdev::BlockDevice*>& devices = stack.devices();
 
   std::unique_ptr<core::StorageServer> server;
   if (config.scheduler.has_value()) {
@@ -50,15 +28,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.tracer != nullptr) {
     node.attach_tracer(config.tracer);
     if (server) server->set_tracer(config.tracer);
-    for (auto& dev : faulty) dev->set_tracer(config.tracer);
-    for (auto& dev : reliable) dev->set_tracer(config.tracer);
+    stack.attach_tracer(config.tracer);
   }
 
   workload::RequestSink sink;
   if (server) {
     sink = [srv = server.get()](core::ClientRequest req) { srv->submit(std::move(req)); };
   } else {
-    sink = [devices](core::ClientRequest req) {
+    sink = [&devices](core::ClientRequest req) {
       blockdev::BlockRequest io;
       io.offset = req.offset;
       io.length = req.length;
@@ -69,24 +46,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       devices.at(req.device)->submit(std::move(io));
     };
   }
-
-  std::unique_ptr<net::RemoteSink> remote;
-  if (config.network.has_value()) {
-    remote = std::make_unique<net::RemoteSink>(simulator, std::move(sink), *config.network);
-    if (injector) {
-      // The link is one more faultable device, keyed just past the disks.
-      remote->set_fault_injector(injector.get(),
-                                 static_cast<std::uint32_t>(devices.size()));
-    }
-    sink = remote->sink();
-  }
+  sink = stack.wrap_sink(std::move(sink));
 
   std::vector<std::unique_ptr<workload::StreamClient>> clients;
   clients.reserve(config.streams.size());
   for (const auto& spec : config.streams) {
-    assert(spec.device < node.device_count());
+    assert(spec.device < devices.size());
     clients.push_back(std::make_unique<workload::StreamClient>(
-        simulator, sink, spec, node.device(spec.device).capacity()));
+        simulator, sink, spec, topology.device_capacity(spec.device)));
   }
   for (auto& client : clients) client->start();
 
@@ -164,18 +131,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.peak_buffer_memory = server->scheduler().pool().stats().peak_committed;
     result.devices_failed = server->scheduler().failed_device_count();
   }
-  if (injector) result.fault_stats = injector->stats();
-  if (remote) result.net_fault_stats = remote->fault_stats();
-  for (const auto& dev : reliable) {
-    const core::RetryStats& rs = dev->stats();
-    result.retry_stats.commands += rs.commands;
-    result.retry_stats.retries_total += rs.retries_total;
-    result.retry_stats.timeouts += rs.timeouts;
-    result.retry_stats.media_errors += rs.media_errors;
-    result.retry_stats.recovered += rs.recovered;
-    result.retry_stats.giveups += rs.giveups;
-    result.retry_stats.backoff_time += rs.backoff_time;
-  }
+  if (stack.injector() != nullptr) result.fault_stats = stack.injector()->stats();
+  if (stack.remote() != nullptr) result.net_fault_stats = stack.remote()->fault_stats();
+  result.retry_stats = stack.retry_totals();
+  result.raid_kind = stack.raid_spec().kind;
+  result.mirror_stats = stack.mirror_totals();
   if (config.sample_interval > 0) {
     sampler.stop();
     result.timeseries = sampler.take();

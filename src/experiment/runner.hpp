@@ -12,28 +12,25 @@
 
 #include "core/params.hpp"
 #include "core/reliable_device.hpp"
-#include "fault/injector.hpp"
-#include "fault/params.hpp"
-#include "net/network.hpp"
 #include "core/scheduler.hpp"
 #include "core/server.hpp"
-#include "node/storage_node.hpp"
+#include "net/network.hpp"
+#include "node/topology.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
+#include "raid/mirrored_volume.hpp"
 #include "stats/histogram.hpp"
 #include "workload/generator.hpp"
 
 namespace sst::experiment {
 
 struct ExperimentConfig {
-  node::NodeConfig node;
+  /// The whole simulated deployment: the physical node plus the declarative
+  /// device stack above it (fault injection, retry, raid, network link).
+  node::TopologySpec topology;
   /// Present = route requests through the StorageServer (the paper's
   /// system); absent = clients hit the block devices directly (baseline).
   std::optional<core::SchedulerParams> scheduler;
-  /// Present = clients reach the node over a simulated network link (the
-  /// paper's GigE testbed; response-time measurements then include the
-  /// network hops, as in §5.5). Absent = clients are local.
-  std::optional<net::LinkParams> network;
   std::vector<workload::StreamSpec> streams;
   SimTime warmup = sec(4);
   SimTime measure = sec(20);
@@ -45,17 +42,6 @@ struct ExperimentConfig {
   /// per-disk queue depth, windowed MB/s) every `sample_interval` of sim
   /// time into ExperimentResult::timeseries.
   SimTime sample_interval = 0;
-  /// Fault injection (disabled by default). When enabled, every device is
-  /// wrapped in a fault::FaultyDevice fed by one deterministic injector.
-  fault::FaultParams fault;
-  /// Per-command timeout/retry layer stacked above the (faulty) devices.
-  /// Absent = defaults whenever fault injection is enabled, no layer
-  /// otherwise (keeping the fault-free hot path wrapper-free).
-  std::optional<core::RetryParams> retry;
-
-  [[nodiscard]] bool retry_enabled() const {
-    return retry.has_value() || fault.enabled();
-  }
 };
 
 struct ExperimentResult {
@@ -76,6 +62,10 @@ struct ExperimentResult {
   fault::FaultStats fault_stats;     ///< zeros when fault injection is off
   core::RetryStats retry_stats;      ///< summed over devices; zeros when off
   net::NetFaultStats net_fault_stats;  ///< zeros without network faults
+  /// Raid aggregation in effect for this run (kNone = flat device view; the
+  /// "raid" metrics group is only exported when a raid layer was active).
+  io::RaidSpec::Kind raid_kind = io::RaidSpec::Kind::kNone;
+  raid::MirrorStats mirror_stats;    ///< summed over groups; zeros without kMirror
   std::uint64_t devices_failed = 0;  ///< declared failed by the scheduler
   std::uint64_t client_errors = 0;   ///< client requests completed in error
   /// Sampled gauges; empty unless ExperimentConfig::sample_interval > 0.

@@ -1,0 +1,173 @@
+// Declarative composition of the device stack above a node's physical
+// block devices. Every experiment used to hand-wire the same ladder — sim
+// disk -> FaultyDevice -> ReliableDevice -> (mirror|stripe) -> network
+// sink — in runner.cpp, each bench, and the examples; DeviceStackBuilder
+// makes the ladder a value (StackSpec) so a topology is a config change,
+// not a code change. Layers are only constructed when enabled: a
+// fault-free, raid-free spec yields the bare devices with zero wrappers,
+// keeping the hot path identical to the unstacked one.
+//
+//   io::StackSpec spec;
+//   spec.fault.media_error_rate = 1e-4;          // wraps FaultyDevice
+//   spec.raid.kind = io::RaidSpec::Kind::kMirror; // pairs into RAID-1
+//   auto stack = io::DeviceStackBuilder(sim, node.devices()).apply(spec).build();
+//   server(stack->devices());                    // flat logical view
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "common/types.hpp"
+#include "core/reliable_device.hpp"
+#include "fault/faulty_device.hpp"
+#include "fault/injector.hpp"
+#include "fault/params.hpp"
+#include "net/network.hpp"
+#include "obs/tracer.hpp"
+#include "raid/mirrored_volume.hpp"
+#include "raid/striped_volume.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace sst::io {
+
+/// How the (possibly wrapped) physical devices aggregate into the flat
+/// logical view the host software sees.
+struct RaidSpec {
+  enum class Kind : std::uint8_t {
+    kNone,    ///< expose every device individually (the paper's deployment)
+    kMirror,  ///< RAID-1: consecutive groups of `mirror_ways` devices
+    kStripe,  ///< RAID-0: one volume striped over all devices
+  };
+
+  Kind kind = Kind::kNone;
+  /// Replicas per mirror group; the device count must divide evenly.
+  std::uint32_t mirror_ways = 2;
+  raid::ReadPolicy mirror_policy = raid::ReadPolicy::kRegionAffine;
+  raid::MirrorParams mirror;
+  /// RAID-0 chunk size (positive multiple of the sector size).
+  Bytes stripe_unit = 64 * KiB;
+
+  [[nodiscard]] bool enabled() const { return kind != Kind::kNone; }
+};
+
+[[nodiscard]] constexpr const char* to_string(RaidSpec::Kind k) {
+  switch (k) {
+    case RaidSpec::Kind::kNone: return "none";
+    case RaidSpec::Kind::kMirror: return "mirror";
+    case RaidSpec::Kind::kStripe: return "stripe";
+  }
+  return "?";
+}
+
+/// Everything stacked between the physical devices and the host software,
+/// as one declarative value (`stack.*` config keys).
+struct StackSpec {
+  /// Fault injection (disabled by default). When enabled, every device is
+  /// wrapped in a fault::FaultyDevice fed by one deterministic injector.
+  fault::FaultParams fault;
+  /// Per-command timeout/retry layer stacked above the (faulty) devices.
+  /// Absent = defaults whenever fault injection is enabled, no layer
+  /// otherwise (keeping the fault-free hot path wrapper-free).
+  std::optional<core::RetryParams> retry;
+  RaidSpec raid;
+  /// Present = the request sink sits behind a simulated network link (the
+  /// paper's GigE testbed; response times then include the network hops).
+  std::optional<net::LinkParams> network;
+
+  [[nodiscard]] bool retry_enabled() const {
+    return retry.has_value() || fault.enabled();
+  }
+};
+
+/// The built stack: owns every wrapper layer and exposes the flat logical
+/// device view. Construct through DeviceStackBuilder.
+class DeviceStack {
+ public:
+  DeviceStack(const DeviceStack&) = delete;
+  DeviceStack& operator=(const DeviceStack&) = delete;
+
+  /// Flat logical view (top of the stack): what servers and raw clients
+  /// submit to. One entry per physical device without raid, one per mirror
+  /// group with kMirror, a single entry with kStripe.
+  [[nodiscard]] const std::vector<blockdev::BlockDevice*>& devices() const {
+    return top_;
+  }
+  [[nodiscard]] std::size_t physical_device_count() const { return physical_count_; }
+
+  [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
+  [[nodiscard]] const fault::FaultInjector* injector() const { return injector_.get(); }
+
+  /// Wrap the server-facing request sink behind the network link when one
+  /// is configured (no-op pass-through otherwise). The link is one more
+  /// faultable device, keyed just past the physical disks.
+  [[nodiscard]] workload::RequestSink wrap_sink(workload::RequestSink sink);
+  [[nodiscard]] bool has_network() const { return network_.has_value(); }
+  [[nodiscard]] const net::RemoteSink* remote() const { return remote_.get(); }
+
+  /// Attach a per-experiment tracer to every stacked layer (nullptr
+  /// detaches). The tracer must outlive the stack.
+  void attach_tracer(obs::Tracer* tracer);
+
+  /// Retry counters summed over every ReliableDevice in the stack.
+  [[nodiscard]] core::RetryStats retry_totals() const;
+
+  [[nodiscard]] const RaidSpec& raid_spec() const { return raid_spec_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<raid::MirroredVolume>>& mirrors() const {
+    return mirrors_;
+  }
+  /// Mirror counters summed over every mirror group (zeros without kMirror).
+  [[nodiscard]] raid::MirrorStats mirror_totals() const;
+
+ private:
+  friend class DeviceStackBuilder;
+  DeviceStack() = default;
+
+  sim::Simulator* sim_ = nullptr;
+  std::size_t physical_count_ = 0;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<std::unique_ptr<fault::FaultyDevice>> faulty_;
+  std::vector<std::unique_ptr<core::ReliableDevice>> reliable_;
+  RaidSpec raid_spec_;
+  std::vector<std::unique_ptr<raid::MirroredVolume>> mirrors_;
+  std::unique_ptr<raid::StripedVolume> stripe_;
+  std::optional<net::LinkParams> network_;
+  std::unique_ptr<net::RemoteSink> remote_;
+  std::vector<blockdev::BlockDevice*> top_;
+};
+
+/// Builds a DeviceStack layer by layer (bottom-up). Either call the
+/// with_*() steps directly or apply() a declarative StackSpec.
+class DeviceStackBuilder {
+ public:
+  /// `base` are the physical devices, which must outlive the built stack.
+  DeviceStackBuilder(sim::Simulator& simulator,
+                     std::vector<blockdev::BlockDevice*> base);
+
+  /// Wrap every device in a FaultyDevice fed by one deterministic injector.
+  DeviceStackBuilder& with_fault(const fault::FaultParams& params);
+  /// Stack a per-command timeout/retry layer above the current devices.
+  DeviceStackBuilder& with_retry(const core::RetryParams& params);
+  /// Aggregate consecutive groups of `ways` devices into RAID-1 mirrors.
+  DeviceStackBuilder& with_mirror(std::uint32_t ways, raid::ReadPolicy policy,
+                                  raid::MirrorParams params = {});
+  /// Aggregate all devices into one RAID-0 volume.
+  DeviceStackBuilder& with_stripe(Bytes stripe_unit);
+  /// Put the request sink behind a simulated network link.
+  DeviceStackBuilder& with_network(const net::LinkParams& params);
+
+  /// Apply a whole declarative spec (fault -> retry -> raid -> network,
+  /// each layer only when enabled; retry defaults on under fault).
+  DeviceStackBuilder& apply(const StackSpec& spec);
+
+  [[nodiscard]] std::unique_ptr<DeviceStack> build();
+
+ private:
+  std::unique_ptr<DeviceStack> stack_;
+  bool built_ = false;
+};
+
+}  // namespace sst::io

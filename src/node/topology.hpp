@@ -1,0 +1,106 @@
+// A topology is the whole simulated deployment as one declarative value:
+// the physical node (controllers x disks, `topology.*` keys) plus the
+// device stack layered above it (`stack.*` keys). Constructing a Topology
+// builds the node and its stack together so every harness — the experiment
+// runner, benches, examples — composes devices the same way instead of
+// hand-wiring wrappers.
+//
+// TopologySpec is config-time only (no simulator needed), so workload
+// generators can size streams against the logical device view before
+// anything is built.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "node/device_stack.hpp"
+#include "node/storage_node.hpp"
+
+namespace sst::node {
+
+struct TopologySpec {
+  NodeConfig node;
+  io::StackSpec stack;
+
+  /// Devices in the flat logical view the host software sees (after raid
+  /// aggregation). Stream specs index into this view.
+  [[nodiscard]] std::uint32_t logical_device_count() const {
+    switch (stack.raid.kind) {
+      case io::RaidSpec::Kind::kNone: return node.total_disks();
+      case io::RaidSpec::Kind::kMirror:
+        return node.total_disks() / stack.raid.mirror_ways;
+      case io::RaidSpec::Kind::kStripe: return 1;
+    }
+    return node.total_disks();
+  }
+
+  /// Capacity of each logical device (uniform: all disks share DiskParams).
+  [[nodiscard]] Bytes logical_device_capacity() const {
+    const Bytes disk = node.disk.geometry.capacity;
+    switch (stack.raid.kind) {
+      case io::RaidSpec::Kind::kNone: return disk;
+      case io::RaidSpec::Kind::kMirror: return disk;  // replicas, not capacity
+      case io::RaidSpec::Kind::kStripe: return disk * node.total_disks();
+    }
+    return disk;
+  }
+
+  [[nodiscard]] Status validate() const {
+    if (node.total_disks() == 0) {
+      return make_error("topology must have at least one disk");
+    }
+    if (stack.raid.kind == io::RaidSpec::Kind::kMirror) {
+      if (stack.raid.mirror_ways < 2) {
+        return make_error("stack.mirror.ways must be >= 2");
+      }
+      if (node.total_disks() % stack.raid.mirror_ways != 0) {
+        return make_error("disk count must divide into mirror groups of " +
+                          std::to_string(stack.raid.mirror_ways));
+      }
+    }
+    if (stack.raid.kind == io::RaidSpec::Kind::kStripe) {
+      if (stack.raid.stripe_unit == 0 || stack.raid.stripe_unit % kSectorSize != 0) {
+        return make_error("stack.stripe_unit must be a positive multiple of 512");
+      }
+    }
+    return Status::success();
+  }
+};
+
+/// The built deployment: the storage node plus its device stack.
+class Topology {
+ public:
+  Topology(sim::Simulator& simulator, const TopologySpec& spec)
+      : node_(simulator, spec.node),
+        stack_(io::DeviceStackBuilder(simulator, node_.devices())
+                   .apply(spec.stack)
+                   .build()) {}
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  [[nodiscard]] StorageNode& node() { return node_; }
+  [[nodiscard]] const StorageNode& node() const { return node_; }
+  [[nodiscard]] io::DeviceStack& stack() { return *stack_; }
+  [[nodiscard]] const io::DeviceStack& stack() const { return *stack_; }
+
+  /// Flat logical device view (top of the stack).
+  [[nodiscard]] const std::vector<blockdev::BlockDevice*>& devices() const {
+    return stack_->devices();
+  }
+  [[nodiscard]] Bytes device_capacity(std::size_t index) const {
+    return stack_->devices().at(index)->capacity();
+  }
+
+  /// Attach a per-experiment tracer to the node and every stacked layer
+  /// (nullptr detaches). The tracer must outlive the topology.
+  void attach_tracer(obs::Tracer* tracer) {
+    node_.attach_tracer(tracer);
+    stack_->attach_tracer(tracer);
+  }
+
+ private:
+  StorageNode node_;
+  std::unique_ptr<io::DeviceStack> stack_;
+};
+
+}  // namespace sst::node

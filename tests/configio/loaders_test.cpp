@@ -98,10 +98,10 @@ TEST(SchedLoader, RejectsMemoryBelowDRN) {
 TEST(SchedLoader, PolicyNames) {
   auto rr = load_scheduler_params(make({{"sched.policy", "round-robin"}}));
   ASSERT_TRUE(rr.ok());
-  EXPECT_EQ(rr.value().policy, core::ReplacementPolicyKind::kRoundRobin);
+  EXPECT_EQ(rr.value().policy, core::DispatchPolicyKind::kRoundRobin);
   auto near = load_scheduler_params(make({{"sched.policy", "nearest-offset"}}));
   ASSERT_TRUE(near.ok());
-  EXPECT_EQ(near.value().policy, core::ReplacementPolicyKind::kNearestOffset);
+  EXPECT_EQ(near.value().policy, core::DispatchPolicyKind::kNearestOffset);
   EXPECT_FALSE(load_scheduler_params(make({{"sched.policy", "lifo"}})).ok());
 }
 
@@ -262,16 +262,16 @@ TEST(NetLoader, DefaultsAndKeysApply) {
 }
 
 TEST(ExperimentLoader, NetKeysEnableTheLink) {
-  EXPECT_FALSE(load_experiment(Config{}).value().network.has_value());
+  EXPECT_FALSE(load_experiment(Config{}).value().topology.stack.network.has_value());
   const auto e = load_experiment(make({{"net.latency", "200us"}}));
   ASSERT_TRUE(e.ok());
-  ASSERT_TRUE(e.value().network.has_value());
-  EXPECT_EQ(e.value().network->latency, usec(200));
+  ASSERT_TRUE(e.value().topology.stack.network.has_value());
+  EXPECT_EQ(e.value().topology.stack.network->latency, usec(200));
   // net.enable=false wins over other net.* keys.
   const auto off = load_experiment(
       make({{"net.latency", "200us"}, {"net.enable", "false"}}));
   ASSERT_TRUE(off.ok());
-  EXPECT_FALSE(off.value().network.has_value());
+  EXPECT_FALSE(off.value().topology.stack.network.has_value());
   // Errors propagate.
   EXPECT_FALSE(load_experiment(make({{"net.bandwidth_mbps", "-1"}})).ok());
 }
@@ -279,11 +279,85 @@ TEST(ExperimentLoader, NetKeysEnableTheLink) {
 TEST(ExperimentLoader, FaultKeysEnableRetryLayerByDefault) {
   const auto e = load_experiment(make({{"fault.media_error_rate", "0.001"}}));
   ASSERT_TRUE(e.ok());
-  EXPECT_TRUE(e.value().fault.enabled());
-  EXPECT_TRUE(e.value().retry_enabled());
+  EXPECT_TRUE(e.value().topology.stack.fault.enabled());
+  EXPECT_TRUE(e.value().topology.stack.retry_enabled());
   // No explicit retry.* keys: defaults are applied at run time, the
   // optional stays empty.
-  EXPECT_FALSE(e.value().retry.has_value());
+  EXPECT_FALSE(e.value().topology.stack.retry.has_value());
+}
+
+TEST(StackLoader, DefaultsAreLayerFree) {
+  const auto s = load_stack_spec(Config{});
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s.value().fault.enabled());
+  EXPECT_FALSE(s.value().retry_enabled());
+  EXPECT_FALSE(s.value().raid.enabled());
+  EXPECT_FALSE(s.value().network.has_value());
+}
+
+TEST(StackLoader, RaidKeysApply) {
+  const auto mirror = load_stack_spec(make({{"stack.raid", "mirror"},
+                                            {"stack.mirror.ways", "4"},
+                                            {"stack.mirror.policy", "round-robin"},
+                                            {"stack.mirror.fail_threshold", "5"}}));
+  ASSERT_TRUE(mirror.ok());
+  EXPECT_EQ(mirror.value().raid.kind, io::RaidSpec::Kind::kMirror);
+  EXPECT_EQ(mirror.value().raid.mirror_ways, 4u);
+  EXPECT_EQ(mirror.value().raid.mirror_policy, raid::ReadPolicy::kRoundRobin);
+  EXPECT_EQ(mirror.value().raid.mirror.fail_threshold, 5u);
+
+  const auto stripe =
+      load_stack_spec(make({{"stack.raid", "stripe"}, {"stack.stripe_unit", "512K"}}));
+  ASSERT_TRUE(stripe.ok());
+  EXPECT_EQ(stripe.value().raid.kind, io::RaidSpec::Kind::kStripe);
+  EXPECT_EQ(stripe.value().raid.stripe_unit, 512 * KiB);
+
+  EXPECT_FALSE(load_stack_spec(make({{"stack.raid", "raid6"}})).ok());
+  EXPECT_FALSE(load_stack_spec(make({{"stack.mirror.policy", "random"}})).ok());
+}
+
+TEST(TopologyLoader, PresetAndAliasesApply) {
+  const auto medium = load_topology_spec(make({{"topology.preset", "medium"}}));
+  ASSERT_TRUE(medium.ok());
+  EXPECT_EQ(medium.value().node.total_disks(), 8u);
+
+  // topology.* spellings alias node.* and win when both are present.
+  const auto aliased = load_topology_spec(make({{"topology.controllers", "2"},
+                                                {"topology.disks_per_controller", "3"},
+                                                {"node.controllers", "7"}}));
+  ASSERT_TRUE(aliased.ok());
+  EXPECT_EQ(aliased.value().node.num_controllers, 2u);
+  EXPECT_EQ(aliased.value().node.disks_per_controller, 3u);
+
+  const auto legacy = load_topology_spec(make({{"node.controllers", "2"},
+                                               {"node.disks_per_controller", "2"}}));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy.value().node.total_disks(), 4u);
+
+  EXPECT_FALSE(load_topology_spec(make({{"topology.preset", "huge"}})).ok());
+}
+
+TEST(TopologyLoader, ValidatesRaidAgainstTheNode) {
+  // 1-disk default node cannot mirror 2 ways.
+  EXPECT_FALSE(load_topology_spec(make({{"stack.raid", "mirror"}})).ok());
+  const auto ok = load_topology_spec(
+      make({{"topology.preset", "medium"}, {"stack.raid", "mirror"}}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().logical_device_count(), 4u);
+}
+
+TEST(ExperimentLoader, StripeTopologySizesStreamsAgainstTheLogicalView) {
+  const auto e = load_experiment(make({{"topology.preset", "medium"},
+                                       {"stack.raid", "stripe"},
+                                       {"workload.streams", "16"}}));
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e.value().streams.size(), 16u);
+  const Bytes volume =
+      e.value().topology.node.disk.geometry.capacity * 8;
+  for (const auto& spec : e.value().streams) {
+    EXPECT_EQ(spec.device, 0u);  // one striped volume
+    EXPECT_LT(spec.start_offset, volume);
+  }
 }
 
 TEST(ExperimentLoader, BadRangeDeviceBoundsChecked) {

@@ -84,14 +84,14 @@ TEST(AdmissionPlan, ModelValidatesAgainstSimulator) {
   const auto plan = plan_admission(req);
 
   experiment::ExperimentConfig ec;
-  ec.node = node::NodeConfig::base();
+  ec.topology.node = node::NodeConfig::base();
   ec.warmup = sec(2);
   ec.measure = sec(10);
   core::SchedulerParams params;
   params.read_ahead = 2 * MiB;
   params.memory_budget = 256 * MiB;
   ec.scheduler = params;
-  ec.streams = workload::make_uniform_streams(40, 1, ec.node.disk.geometry.capacity,
+  ec.streams = workload::make_uniform_streams(40, 1, ec.topology.node.disk.geometry.capacity,
                                               64 * KiB);
   const auto result = experiment::run_experiment(ec);
   EXPECT_NEAR(result.total_mbps, plan.effective_disk_bps / 1e6,
@@ -112,12 +112,12 @@ TEST(AdmissionPlan, AdmittedLoadActuallySustains) {
   ASSERT_GT(plan.admissible_streams, 10u);
 
   experiment::ExperimentConfig ec;
-  ec.node = node::NodeConfig::base();
+  ec.topology.node = node::NodeConfig::base();
   ec.warmup = sec(3);
   ec.measure = sec(10);
   ec.scheduler = plan.scheduler;
   ec.streams = workload::make_uniform_streams(plan.admissible_streams, 1,
-                                              ec.node.disk.geometry.capacity, 64 * KiB);
+                                              ec.topology.node.disk.geometry.capacity, 64 * KiB);
   const SimTime period = from_seconds(static_cast<double>(64 * KiB) / req.stream_rate_bps);
   for (auto& s : ec.streams) {
     s.issue_period = period;

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "blockdev/mem_block_device.hpp"
-#include "core/replacement_policy.hpp"
+#include "core/dispatch_policy.hpp"
 #include "sim/simulator.hpp"
 
 namespace sst::core {
@@ -439,7 +439,7 @@ TEST(Scheduler, PumpStallsOnMemoryBounceUnderNonFifoPolicy) {
   SchedulerParams p = small_params();
   p.dispatch_set_size = 0;       // derive D from M / (R*N) = 2
   p.memory_budget = 128 * KiB;   // two 64 KiB read-ahead buffers
-  p.policy = ReplacementPolicyKind::kNearestOffset;
+  p.policy = DispatchPolicyKind::kNearestOffset;
   Harness h(p);
   int done = 0;
   std::vector<Stream*> streams;
@@ -466,7 +466,7 @@ TEST(Scheduler, PumpStallsOnMemoryBounceUnderNonFifoPolicy) {
   EXPECT_EQ(done, 4);
 }
 
-TEST(ReplacementPolicy, RoundRobinPicksHead) {
+TEST(DispatchPolicy, RoundRobinPicksHead) {
   RoundRobinPolicy p;
   std::deque<StreamId> candidates{5, 6, 7};
   Stream dummy;
@@ -474,7 +474,7 @@ TEST(ReplacementPolicy, RoundRobinPicksHead) {
   EXPECT_EQ(p.pick(candidates, lookup, {}), 0u);
 }
 
-TEST(ReplacementPolicy, NearestOffsetPicksClosest) {
+TEST(DispatchPolicy, NearestOffsetPicksClosest) {
   NearestOffsetPolicy p;
   Stream a, b, c;
   a.device = b.device = c.device = 0;
@@ -488,7 +488,7 @@ TEST(ReplacementPolicy, NearestOffsetPicksClosest) {
   EXPECT_EQ(p.pick(candidates, lookup, last), 2u);  // stream c at 49 MiB
 }
 
-TEST(ReplacementPolicy, NearestOffsetFallsBackWithoutHistory) {
+TEST(DispatchPolicy, NearestOffsetFallsBackWithoutHistory) {
   NearestOffsetPolicy p;
   Stream a;
   auto lookup = [&a](StreamId) -> const Stream& { return a; };
@@ -496,12 +496,12 @@ TEST(ReplacementPolicy, NearestOffsetFallsBackWithoutHistory) {
   EXPECT_EQ(p.pick(candidates, lookup, {}), 0u);
 }
 
-TEST(ReplacementPolicy, FactoryCreatesKinds) {
+TEST(DispatchPolicy, FactoryCreatesKinds) {
   EXPECT_NE(dynamic_cast<RoundRobinPolicy*>(
-                make_policy(ReplacementPolicyKind::kRoundRobin).get()),
+                make_policy(DispatchPolicyKind::kRoundRobin).get()),
             nullptr);
   EXPECT_NE(dynamic_cast<NearestOffsetPolicy*>(
-                make_policy(ReplacementPolicyKind::kNearestOffset).get()),
+                make_policy(DispatchPolicyKind::kNearestOffset).get()),
             nullptr);
 }
 

@@ -1,0 +1,169 @@
+// StagingArea in isolation: buffer lifecycle (stage/fill/consume/reap),
+// timeout reclamation with the parked-request guard, and the incrementally
+// maintained buffered-set counter.
+#include <gtest/gtest.h>
+
+#include "core/staging_area.hpp"
+#include "core/stream.hpp"
+
+namespace sst::core {
+namespace {
+
+Stream make_stream(StreamId id = 1, std::uint32_t device = 0) {
+  Stream s;
+  s.id = id;
+  s.device = device;
+  return s;
+}
+
+TEST(StagingArea, StageKeepsBuffersSortedByOffset) {
+  StagingArea staging(16 * MiB, /*materialize=*/false);
+  Stream s = make_stream();
+  ASSERT_NE(staging.stage(s, 0, 64 * KiB, 0), nullptr);
+  ASSERT_NE(staging.stage(s, 128 * KiB, 64 * KiB, 0), nullptr);
+  // A rewind re-aim can stage behind the tail; it must insert mid-sequence.
+  ASSERT_NE(staging.stage(s, 64 * KiB, 64 * KiB, 0), nullptr);
+  ASSERT_EQ(s.buffers.size(), 3u);
+  EXPECT_EQ(s.buffers[0]->offset(), 0u);
+  EXPECT_EQ(s.buffers[1]->offset(), 64 * KiB);
+  EXPECT_EQ(s.buffers[2]->offset(), 128 * KiB);
+}
+
+TEST(StagingArea, StageFailsPastMemoryBudget) {
+  StagingArea staging(128 * KiB, /*materialize=*/false);
+  Stream s = make_stream();
+  EXPECT_NE(staging.stage(s, 0, 64 * KiB, 0), nullptr);
+  EXPECT_NE(staging.stage(s, 64 * KiB, 64 * KiB, 0), nullptr);
+  EXPECT_EQ(staging.stage(s, 128 * KiB, 64 * KiB, 0), nullptr);
+  EXPECT_EQ(s.buffers.size(), 2u);
+  // Releasing staged data frees budget again.
+  staging.release_all(s);
+  EXPECT_NE(staging.stage(s, 128 * KiB, 64 * KiB, 0), nullptr);
+}
+
+TEST(StagingArea, CoversRequiresContiguousFilledData) {
+  StagingArea staging(16 * MiB, /*materialize=*/false);
+  Stream s = make_stream();
+  ASSERT_NE(staging.stage(s, 0, 64 * KiB, 0), nullptr);
+  ASSERT_NE(staging.stage(s, 64 * KiB, 64 * KiB, 0), nullptr);
+  // Unfilled extents cover for allocation purposes but not for serving.
+  EXPECT_TRUE(StagingArea::covers(s.buffers, 0, 128 * KiB, /*filled_only=*/false));
+  EXPECT_FALSE(StagingArea::covers(s.buffers, 0, 128 * KiB, /*filled_only=*/true));
+  staging.mark_filled(s, 0, 1);
+  EXPECT_FALSE(StagingArea::covers(s.buffers, 0, 128 * KiB, /*filled_only=*/true));
+  staging.mark_filled(s, 64 * KiB, 2);
+  EXPECT_TRUE(StagingArea::covers(s.buffers, 0, 128 * KiB, /*filled_only=*/true));
+  // A range with a gap is never covered.
+  EXPECT_FALSE(StagingArea::covers(s.buffers, 64 * KiB, 128 * KiB, /*filled_only=*/true));
+}
+
+TEST(StagingArea, ConsumeThenReapReleasesFullyServedBuffers) {
+  StagingArea staging(16 * MiB, /*materialize=*/false);
+  Stream s = make_stream();
+  ASSERT_NE(staging.stage(s, 0, 64 * KiB, 0), nullptr);
+  staging.mark_filled(s, 0, 1);
+  staging.consume(s, 0, 32 * KiB, nullptr, 2);
+  staging.reap(s);
+  ASSERT_EQ(s.buffers.size(), 1u);  // half-consumed: survives
+  staging.consume(s, 32 * KiB, 32 * KiB, nullptr, 3);
+  staging.reap(s);
+  EXPECT_TRUE(s.buffers.empty());
+  EXPECT_EQ(staging.pool().committed(), 0u);
+}
+
+TEST(StagingArea, ConsumeCopiesAcrossBufferBoundary) {
+  StagingArea staging(16 * MiB, /*materialize=*/true);
+  Stream s = make_stream();
+  IoBuffer* a = staging.stage(s, 0, 4 * KiB, 0);
+  IoBuffer* b = staging.stage(s, 4 * KiB, 4 * KiB, 0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (Bytes i = 0; i < 4 * KiB; ++i) {
+    a->data()[i] = std::byte{0xAA};
+    b->data()[i] = std::byte{0xBB};
+  }
+  staging.mark_filled(s, 0, 1);
+  staging.mark_filled(s, 4 * KiB, 1);
+  std::vector<std::byte> out(4 * KiB);
+  staging.consume(s, 2 * KiB, 4 * KiB, out.data(), 2);
+  EXPECT_EQ(out[0], std::byte{0xAA});
+  EXPECT_EQ(out[2 * KiB - 1], std::byte{0xAA});
+  EXPECT_EQ(out[2 * KiB], std::byte{0xBB});
+  EXPECT_EQ(out[4 * KiB - 1], std::byte{0xBB});
+}
+
+TEST(StagingArea, ReclaimExpiredTakesIdleFilledBuffersOnly) {
+  StagingArea staging(16 * MiB, /*materialize=*/false);
+  Stream s = make_stream();
+  ASSERT_NE(staging.stage(s, 0, 64 * KiB, 0), nullptr);          // stale
+  ASSERT_NE(staging.stage(s, 64 * KiB, 64 * KiB, 0), nullptr);   // fresh
+  ASSERT_NE(staging.stage(s, 128 * KiB, 64 * KiB, 0), nullptr);  // in flight
+  staging.mark_filled(s, 0, /*now=*/10);
+  staging.mark_filled(s, 64 * KiB, /*now=*/100);
+  const auto result = staging.reclaim_expired(s, /*horizon=*/50);
+  EXPECT_EQ(result.buffers_reclaimed, 1u);
+  EXPECT_EQ(result.bytes_wasted, 64 * KiB);
+  ASSERT_EQ(s.buffers.size(), 2u);
+  EXPECT_EQ(s.buffers[0]->offset(), 64 * KiB);  // fresh survived
+  EXPECT_EQ(s.buffers[1]->offset(), 128 * KiB);  // unfilled survived
+}
+
+TEST(StagingArea, ReclaimSparesBuffersParkedRequestsNeed) {
+  StagingArea staging(16 * MiB, /*materialize=*/false);
+  Stream s = make_stream();
+  ASSERT_NE(staging.stage(s, 0, 64 * KiB, 0), nullptr);
+  staging.mark_filled(s, 0, /*now=*/10);
+  ClientRequest req;
+  req.offset = 32 * KiB;
+  req.length = 64 * KiB;  // overlaps the staged extent, waits for the rest
+  s.pending.push_back(std::move(req));
+  const auto result = staging.reclaim_expired(s, /*horizon=*/1000);
+  EXPECT_EQ(result.buffers_reclaimed, 0u);
+  EXPECT_EQ(s.buffers.size(), 1u);
+  // Once the request is gone the buffer expires normally.
+  s.pending.clear();
+  EXPECT_EQ(staging.reclaim_expired(s, /*horizon=*/1000).buffers_reclaimed, 1u);
+}
+
+TEST(StagingArea, BufferedCountTracksStateAndBufferTransitions) {
+  StagingArea staging(16 * MiB, /*materialize=*/false);
+  Stream s = make_stream();
+  EXPECT_EQ(staging.buffered_count(), 0u);
+
+  // Gaining staged data while kBuffered joins the buffered set.
+  s.state = StreamState::kBuffered;
+  bool was = StagingArea::counts_as_buffered(s);
+  ASSERT_NE(staging.stage(s, 0, 64 * KiB, 0), nullptr);
+  staging.note_buffered(s, was);
+  EXPECT_EQ(staging.buffered_count(), 1u);
+
+  // Losing the last buffer leaves it.
+  staging.mark_filled(s, 0, 1);
+  staging.consume(s, 0, 64 * KiB, nullptr, 2);
+  staging.reap(s);
+  EXPECT_EQ(staging.buffered_count(), 0u);
+
+  // Retiring a member stream decrements exactly once.
+  was = StagingArea::counts_as_buffered(s);
+  ASSERT_NE(staging.stage(s, 64 * KiB, 64 * KiB, 0), nullptr);
+  staging.note_buffered(s, was);
+  EXPECT_EQ(staging.buffered_count(), 1u);
+  staging.on_retire(s);
+  EXPECT_EQ(staging.buffered_count(), 0u);
+}
+
+TEST(StagingArea, DropUnfilledRemovesOnlyTheFailedExtent) {
+  StagingArea staging(16 * MiB, /*materialize=*/false);
+  Stream s = make_stream();
+  ASSERT_NE(staging.stage(s, 0, 64 * KiB, 0), nullptr);
+  ASSERT_NE(staging.stage(s, 64 * KiB, 64 * KiB, 0), nullptr);
+  staging.mark_filled(s, 0, 1);
+  staging.drop_unfilled(s, 0);  // filled: must survive
+  EXPECT_EQ(s.buffers.size(), 2u);
+  staging.drop_unfilled(s, 64 * KiB);  // never filled: dropped
+  ASSERT_EQ(s.buffers.size(), 1u);
+  EXPECT_EQ(s.buffers[0]->offset(), 0u);
+}
+
+}  // namespace
+}  // namespace sst::core

@@ -15,7 +15,7 @@ namespace {
 ExperimentConfig tiny_config(std::uint32_t streams, Bytes request) {
   node::NodeConfig node;  // 1 controller, 1 disk
   ExperimentConfig cfg;
-  cfg.node = node;
+  cfg.topology.node = node;
   cfg.warmup = msec(500);
   cfg.measure = sec(2);
   cfg.streams = workload::make_uniform_streams(streams, node.total_disks(),

@@ -367,20 +367,20 @@ TEST(Mirror, ReadFailsOnlyWhenEveryReplicaFails) {
 
 TEST(SchedulerDegradation, FailedDeviceEvictsStreamsAndHealthyDisksProgress) {
   experiment::ExperimentConfig config;
-  config.node.num_controllers = 1;
-  config.node.disks_per_controller = 2;
+  config.topology.node.num_controllers = 1;
+  config.topology.node.disks_per_controller = 2;
   config.scheduler = core::SchedulerParams{};
-  config.fault.media_error_rate = 1.0;
-  config.fault.persistent_fraction = 1.0;
-  config.fault.devices = {0};  // disk 0 is a brick; disk 1 is clean
+  config.topology.stack.fault.media_error_rate = 1.0;
+  config.topology.stack.fault.persistent_fraction = 1.0;
+  config.topology.stack.fault.devices = {0};  // disk 0 is a brick; disk 1 is clean
   core::RetryParams retry;
   retry.max_retries = 1;
   // Generous deadline: queued 1 MiB read-aheads on the healthy disk can
   // take hundreds of ms; only disk 0's (instant) media errors should fail.
   retry.command_timeout = sec(5);
-  config.retry = retry;
+  config.topology.stack.retry = retry;
   config.streams = workload::make_uniform_streams(
-      8, 2, config.node.disk.geometry.capacity, 64 * KiB);
+      8, 2, config.topology.node.disk.geometry.capacity, 64 * KiB);
   config.warmup = msec(500);
   config.measure = sec(2);
 
@@ -408,18 +408,18 @@ TEST(SchedulerDegradation, FailedDeviceEvictsStreamsAndHealthyDisksProgress) {
 
 experiment::ExperimentConfig faulted_config(double rate) {
   experiment::ExperimentConfig config;
-  config.node.num_controllers = 1;
-  config.node.disks_per_controller = 2;
+  config.topology.node.num_controllers = 1;
+  config.topology.node.disks_per_controller = 2;
   config.scheduler = core::SchedulerParams{};
   config.scheduler->device_fail_threshold = 1000;  // keep disks alive
-  config.fault.media_error_rate = rate;
-  config.fault.hang_prob = rate / 10.0;
-  config.fault.spike_prob = rate;
+  config.topology.stack.fault.media_error_rate = rate;
+  config.topology.stack.fault.hang_prob = rate / 10.0;
+  config.topology.stack.fault.spike_prob = rate;
   core::RetryParams retry;
   retry.command_timeout = msec(100);
-  config.retry = retry;
+  config.topology.stack.retry = retry;
   config.streams = workload::make_uniform_streams(
-      10, 2, config.node.disk.geometry.capacity, 64 * KiB);
+      10, 2, config.topology.node.disk.geometry.capacity, 64 * KiB);
   config.warmup = msec(500);
   config.measure = sec(2);
   return config;

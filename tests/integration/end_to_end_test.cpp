@@ -13,7 +13,7 @@ namespace {
 experiment::ExperimentResult raw_run(std::uint32_t streams, Bytes request,
                                      node::NodeConfig cfg = node::NodeConfig::base()) {
   experiment::ExperimentConfig ec;
-  ec.node = cfg;
+  ec.topology.node = cfg;
   ec.warmup = sec(2);
   ec.measure = sec(8);
   ec.streams = workload::make_uniform_streams(streams, cfg.total_disks(),
@@ -25,7 +25,7 @@ experiment::ExperimentResult sched_run(std::uint32_t streams, Bytes request, Byt
                                        Bytes memory,
                                        node::NodeConfig cfg = node::NodeConfig::base()) {
   experiment::ExperimentConfig ec;
-  ec.node = cfg;
+  ec.topology.node = cfg;
   ec.warmup = sec(2);
   ec.measure = sec(8);
   core::SchedulerParams p;
@@ -107,7 +107,7 @@ TEST(EndToEnd, EightDiskNodeScales) {
   // controllers' aggregate ceiling with a small dispatch set.
   node::NodeConfig cfg = node::NodeConfig::medium();
   experiment::ExperimentConfig ec;
-  ec.node = cfg;
+  ec.topology.node = cfg;
   ec.warmup = sec(2);
   ec.measure = sec(8);
   core::SchedulerParams p;
@@ -128,7 +128,7 @@ TEST(EndToEnd, SmallDispatchBeatsAllDispatchedOnCpuOverhead) {
   // D = S on the multi-disk node.
   node::NodeConfig cfg = node::NodeConfig::medium();
   experiment::ExperimentConfig ec;
-  ec.node = cfg;
+  ec.topology.node = cfg;
   ec.warmup = sec(2);
   ec.measure = sec(8);
   ec.streams = workload::make_uniform_streams(800, 8, cfg.disk.geometry.capacity, 64 * KiB);

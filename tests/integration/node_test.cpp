@@ -86,7 +86,7 @@ TEST(StorageNode, MakeServerRuns) {
 
 TEST(Runner, RawExperimentProducesThroughput) {
   experiment::ExperimentConfig cfg;
-  cfg.node.disk.geometry.capacity = 4 * GiB;
+  cfg.topology.node.disk.geometry.capacity = 4 * GiB;
   cfg.warmup = sec(1);
   cfg.measure = sec(4);
   cfg.streams = workload::make_uniform_streams(4, 1, 4 * GiB, 64 * KiB);
@@ -99,7 +99,7 @@ TEST(Runner, RawExperimentProducesThroughput) {
 
 TEST(Runner, DeterministicAcrossRuns) {
   experiment::ExperimentConfig cfg;
-  cfg.node.disk.geometry.capacity = 4 * GiB;
+  cfg.topology.node.disk.geometry.capacity = 4 * GiB;
   cfg.warmup = sec(1);
   cfg.measure = sec(3);
   cfg.streams = workload::make_uniform_streams(8, 1, 4 * GiB, 64 * KiB);
@@ -116,7 +116,7 @@ TEST(Runner, DeterministicAcrossRuns) {
 
 TEST(Runner, SchedulerStatspopulatedOnlyWithServer) {
   experiment::ExperimentConfig cfg;
-  cfg.node.disk.geometry.capacity = 4 * GiB;
+  cfg.topology.node.disk.geometry.capacity = 4 * GiB;
   cfg.warmup = sec(1);
   cfg.measure = sec(2);
   cfg.streams = workload::make_uniform_streams(2, 1, 4 * GiB, 64 * KiB);

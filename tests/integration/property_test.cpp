@@ -21,7 +21,7 @@ class PipelineProperty : public ::testing::TestWithParam<SweepPoint> {};
 TEST_P(PipelineProperty, ConservationAndSanity) {
   const SweepPoint pt = GetParam();
   experiment::ExperimentConfig ec;
-  ec.node.disk.geometry.capacity = 8 * GiB;  // small disk: faster sims
+  ec.topology.node.disk.geometry.capacity = 8 * GiB;  // small disk: faster sims
   ec.warmup = sec(1);
   ec.measure = sec(5);
   ec.streams = workload::make_uniform_streams(pt.streams, 1, 8 * GiB, pt.request);
@@ -83,8 +83,8 @@ class DiskSchedulerProperty : public ::testing::TestWithParam<disk::SchedulerKin
 
 TEST_P(DiskSchedulerProperty, AllRequestsCompleteUnderAnyDiskScheduler) {
   experiment::ExperimentConfig ec;
-  ec.node.disk.geometry.capacity = 8 * GiB;
-  ec.node.disk.scheduler = GetParam();
+  ec.topology.node.disk.geometry.capacity = 8 * GiB;
+  ec.topology.node.disk.scheduler = GetParam();
   ec.warmup = sec(1);
   ec.measure = sec(4);
   ec.streams = workload::make_uniform_streams(16, 1, 8 * GiB, 64 * KiB);
@@ -101,11 +101,11 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, DiskSchedulerProperty,
                            return disk::to_string(info.param);
                          });
 
-class PolicyProperty : public ::testing::TestWithParam<core::ReplacementPolicyKind> {};
+class PolicyProperty : public ::testing::TestWithParam<core::DispatchPolicyKind> {};
 
 TEST_P(PolicyProperty, BothPoliciesServeEveryStream) {
   experiment::ExperimentConfig ec;
-  ec.node.disk.geometry.capacity = 8 * GiB;
+  ec.topology.node.disk.geometry.capacity = 8 * GiB;
   ec.warmup = sec(1);
   ec.measure = sec(5);
   core::SchedulerParams p;
@@ -123,11 +123,11 @@ TEST_P(PolicyProperty, BothPoliciesServeEveryStream) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperty,
-                         ::testing::Values(core::ReplacementPolicyKind::kRoundRobin,
-                                           core::ReplacementPolicyKind::kNearestOffset),
-                         [](const ::testing::TestParamInfo<core::ReplacementPolicyKind>&
+                         ::testing::Values(core::DispatchPolicyKind::kRoundRobin,
+                                           core::DispatchPolicyKind::kNearestOffset),
+                         [](const ::testing::TestParamInfo<core::DispatchPolicyKind>&
                                 info) {
-                           return info.param == core::ReplacementPolicyKind::kRoundRobin
+                           return info.param == core::DispatchPolicyKind::kRoundRobin
                                       ? "roundrobin"
                                       : "nearest";
                          });

@@ -293,7 +293,7 @@ TEST(RemoteSink, ExperimentHarnessIntegration) {
   // The runner's optional network adds client-visible latency without
   // changing aggregate throughput (responses carry no payload).
   experiment::ExperimentConfig ec;
-  ec.node.disk.geometry.capacity = 4 * GiB;
+  ec.topology.node.disk.geometry.capacity = 4 * GiB;
   ec.warmup = sec(1);
   ec.measure = sec(4);
   core::SchedulerParams params;
@@ -305,7 +305,7 @@ TEST(RemoteSink, ExperimentHarnessIntegration) {
   const auto local = experiment::run_experiment(ec);
   LinkParams link;
   link.latency = usec(500);
-  ec.network = link;
+  ec.topology.stack.network = link;
   const auto remote = experiment::run_experiment(ec);
 
   EXPECT_GT(remote.total_mbps, 0.5 * local.total_mbps);

@@ -1,0 +1,143 @@
+// The declarative topology layer: logical device-view math on TopologySpec,
+// spec validation, and DeviceStackBuilder composing fault/retry/raid/network
+// layers only when enabled.
+#include <gtest/gtest.h>
+
+#include "node/device_stack.hpp"
+#include "node/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst {
+namespace {
+
+TEST(TopologySpec, LogicalViewMatchesRaidAggregation) {
+  node::TopologySpec spec;
+  spec.node = node::NodeConfig::medium();  // 8 disks
+  const Bytes disk = spec.node.disk.geometry.capacity;
+
+  EXPECT_EQ(spec.logical_device_count(), 8u);
+  EXPECT_EQ(spec.logical_device_capacity(), disk);
+
+  spec.stack.raid.kind = io::RaidSpec::Kind::kMirror;
+  spec.stack.raid.mirror_ways = 2;
+  EXPECT_EQ(spec.logical_device_count(), 4u);
+  EXPECT_EQ(spec.logical_device_capacity(), disk);  // replicas, not capacity
+
+  spec.stack.raid.kind = io::RaidSpec::Kind::kStripe;
+  EXPECT_EQ(spec.logical_device_count(), 1u);
+  EXPECT_EQ(spec.logical_device_capacity(), disk * 8);
+}
+
+TEST(TopologySpec, ValidateRejectsBadRaidShapes) {
+  node::TopologySpec spec;
+  spec.node = node::NodeConfig::medium();  // 8 disks
+  EXPECT_TRUE(spec.validate().ok());
+
+  spec.stack.raid.kind = io::RaidSpec::Kind::kMirror;
+  spec.stack.raid.mirror_ways = 3;  // 8 % 3 != 0
+  EXPECT_FALSE(spec.validate().ok());
+  spec.stack.raid.mirror_ways = 1;
+  EXPECT_FALSE(spec.validate().ok());
+  spec.stack.raid.mirror_ways = 4;
+  EXPECT_TRUE(spec.validate().ok());
+
+  spec.stack.raid.kind = io::RaidSpec::Kind::kStripe;
+  spec.stack.raid.stripe_unit = 100;  // not sector aligned
+  EXPECT_FALSE(spec.validate().ok());
+  spec.stack.raid.stripe_unit = 64 * KiB;
+  EXPECT_TRUE(spec.validate().ok());
+}
+
+TEST(Topology, DefaultSpecExposesBareDevices) {
+  sim::Simulator simulator;
+  node::TopologySpec spec;
+  spec.node = node::NodeConfig::medium();
+  node::Topology topology(simulator, spec);
+
+  ASSERT_EQ(topology.devices().size(), 8u);
+  EXPECT_EQ(topology.stack().physical_device_count(), 8u);
+  // No layer enabled: the logical view IS the node's devices, no wrappers.
+  for (std::size_t i = 0; i < topology.devices().size(); ++i) {
+    EXPECT_EQ(topology.devices()[i], topology.node().devices()[i]);
+  }
+  EXPECT_EQ(topology.stack().injector(), nullptr);
+  EXPECT_FALSE(topology.stack().has_network());
+  EXPECT_EQ(topology.stack().retry_totals().commands, 0u);
+}
+
+TEST(Topology, FaultSpecWrapsEveryDeviceAndEnablesDefaultRetry) {
+  sim::Simulator simulator;
+  node::TopologySpec spec;
+  spec.node = node::NodeConfig::medium();
+  spec.stack.fault.media_error_rate = 1e-4;
+  ASSERT_TRUE(spec.stack.retry_enabled());  // faults imply default retries
+  node::Topology topology(simulator, spec);
+
+  ASSERT_EQ(topology.devices().size(), 8u);
+  EXPECT_NE(topology.stack().injector(), nullptr);
+  for (std::size_t i = 0; i < topology.devices().size(); ++i) {
+    EXPECT_NE(topology.devices()[i], topology.node().devices()[i]);
+  }
+}
+
+TEST(Topology, MirrorSpecGroupsConsecutiveDevices) {
+  sim::Simulator simulator;
+  node::TopologySpec spec;
+  spec.node = node::NodeConfig::medium();
+  spec.stack.raid.kind = io::RaidSpec::Kind::kMirror;
+  spec.stack.raid.mirror_ways = 2;
+  node::Topology topology(simulator, spec);
+
+  ASSERT_EQ(topology.devices().size(), 4u);
+  EXPECT_EQ(topology.stack().mirrors().size(), 4u);
+  EXPECT_EQ(topology.device_capacity(0), spec.node.disk.geometry.capacity);
+  EXPECT_EQ(topology.stack().mirror_totals().reads, 0u);
+}
+
+TEST(Topology, StripeSpecAggregatesIntoOneVolume) {
+  sim::Simulator simulator;
+  node::TopologySpec spec;
+  spec.node = node::NodeConfig::medium();
+  spec.stack.raid.kind = io::RaidSpec::Kind::kStripe;
+  node::Topology topology(simulator, spec);
+
+  ASSERT_EQ(topology.devices().size(), 1u);
+  EXPECT_EQ(topology.device_capacity(0), spec.node.disk.geometry.capacity * 8);
+}
+
+TEST(DeviceStack, WrapSinkIsPassThroughWithoutNetwork) {
+  sim::Simulator simulator;
+  node::TopologySpec spec;
+  node::Topology topology(simulator, spec);
+
+  int delivered = 0;
+  workload::RequestSink sink = [&delivered](core::ClientRequest) { ++delivered; };
+  sink = topology.stack().wrap_sink(std::move(sink));
+  EXPECT_EQ(topology.stack().remote(), nullptr);
+  sink(core::ClientRequest{});
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(DeviceStack, NetworkSpecRoutesThroughTheLink) {
+  sim::Simulator simulator;
+  node::TopologySpec spec;
+  spec.stack.network = net::LinkParams{};
+  node::Topology topology(simulator, spec);
+
+  int delivered = 0;
+  workload::RequestSink sink = [&delivered](core::ClientRequest req) {
+    ++delivered;
+    if (req.on_complete) req.on_complete(0, IoStatus::kOk);
+  };
+  sink = topology.stack().wrap_sink(std::move(sink));
+  ASSERT_NE(topology.stack().remote(), nullptr);
+  core::ClientRequest req;
+  req.length = 64 * KiB;
+  sink(std::move(req));
+  EXPECT_EQ(delivered, 0);  // in flight on the simulated link
+  simulator.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace sst

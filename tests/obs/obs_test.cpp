@@ -28,7 +28,7 @@ experiment::ExperimentConfig traced_config(std::uint32_t streams, obs::Tracer* t
   node.num_controllers = 1;
   node.disks_per_controller = 2;
   experiment::ExperimentConfig cfg;
-  cfg.node = node;
+  cfg.topology.node = node;
   cfg.scheduler = core::SchedulerParams{};
   cfg.warmup = sec(1);
   cfg.measure = sec(2);
