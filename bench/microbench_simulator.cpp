@@ -17,6 +17,7 @@
 
 #include "blockdev/block_device.hpp"
 #include "core/scheduler.hpp"
+#include "core/staging_area.hpp"
 #include "experiment/sweep.hpp"
 #include "node/storage_node.hpp"
 #include "obs/tracer.hpp"
@@ -61,8 +62,10 @@ struct BenchResult {
 /// Self-rescheduling event chains: the steady-state firing path.
 /// Every fired event re-schedules itself, so slab slots and queue records
 /// are recycled continuously — the case the pooled slab optimizes for.
-BenchResult bench_event_throughput() {
-  constexpr std::uint32_t kChains = 64;
+/// Measured at two pending-set sizes: 64 chains (a single small config)
+/// and 8192 chains (the large-sweep regime, where comparison-based queues
+/// pay O(log n) with cache misses per event and the timer wheel stays O(1)).
+BenchResult bench_event_throughput(const char* name, std::uint32_t kChains) {
   constexpr std::uint64_t kWarmupEvents = 200'000;
   constexpr std::uint64_t kMeasureEvents = 2'000'000;
 
@@ -88,8 +91,8 @@ BenchResult bench_event_throughput() {
   const double elapsed = seconds_since(start);
   const std::uint64_t allocs = g_allocations.load() - allocs_before;
 
-  return {"event_throughput", static_cast<double>(kMeasureEvents) / elapsed,
-          "events/sec", allocs};
+  return {name, static_cast<double>(kMeasureEvents) / elapsed, "events/sec",
+          allocs};
 }
 
 /// Schedule-then-cancel churn: the timeout-maintenance path (buffer and
@@ -154,6 +157,50 @@ BenchResult bench_tracer_record() {
 
   return {"tracer_record", static_cast<double>(kMeasureEvents) / elapsed,
           "events/sec", allocs};
+}
+
+/// Steady-state staging churn: stage -> fill -> zero-copy consume -> reap,
+/// the scheduler's per-request data path. Extent recycling plus the pooled
+/// IoBuffer storage must make this allocation-free once warm, and the
+/// zero-copy serve path must move data without a single memcpy.
+void bench_staging(std::vector<BenchResult>& results) {
+  constexpr std::uint64_t kWarmupRounds = 1024;
+  constexpr std::uint64_t kMeasureRounds = 1 << 18;
+  constexpr Bytes kExtent = 64 * KiB;
+
+  core::StagingArea staging(16 * MiB, /*materialize=*/true);
+  core::Stream stream;
+  stream.id = 1;
+
+  core::StagedSlice slice;  // held across rounds: exercises refcount recycling
+  const core::DataSink sink = [&slice](core::StagedSlice s) { slice = std::move(s); };
+  auto round = [&](std::uint64_t r) {
+    const ByteOffset off = r * kExtent;
+    if (staging.stage(stream, off, kExtent, 0) == nullptr) {
+      std::fprintf(stderr, "staging_zero_copy: budget exhausted\n");
+      std::exit(1);
+    }
+    staging.mark_filled(stream, off, 1);
+    staging.consume(stream, off, kExtent, nullptr, 2, sink);
+    staging.reap(stream);
+  };
+
+  for (std::uint64_t r = 0; r < kWarmupRounds; ++r) round(r);
+
+  const Bytes copied_before = staging.stats().bytes_copied;
+  const std::uint64_t allocs_before = g_allocations.load();
+  const auto start = Clock::now();
+  for (std::uint64_t r = 0; r < kMeasureRounds; ++r) round(kWarmupRounds + r);
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = g_allocations.load() - allocs_before;
+  const Bytes copied = staging.stats().bytes_copied - copied_before;
+
+  results.push_back({"staging_zero_copy",
+                     static_cast<double>(kMeasureRounds) / elapsed, "consumes/sec",
+                     allocs});
+  results.push_back({"staging_copied_bytes_per_request",
+                     static_cast<double>(copied) / static_cast<double>(kMeasureRounds),
+                     "bytes", 0});
 }
 
 /// Storage-free device: the find_stream bench only exercises the stream
@@ -281,9 +328,11 @@ int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_simcore.json";
 
   std::vector<BenchResult> results;
-  results.push_back(bench_event_throughput());
+  results.push_back(bench_event_throughput("event_throughput", 64));
+  results.push_back(bench_event_throughput("event_throughput_8k", 8192));
   results.push_back(bench_schedule_cancel());
   results.push_back(bench_tracer_record());
+  bench_staging(results);
   results.push_back(bench_end_to_end());
   bool find_stream_scaling_ok = true;
   bench_find_stream(results, find_stream_scaling_ok);
@@ -294,14 +343,22 @@ int main(int argc, char** argv) {
     std::printf("%-20s %14.1f %-10s steady-state allocs: %llu\n", r.name.c_str(),
                 r.value, r.unit.c_str(),
                 static_cast<unsigned long long>(r.steady_state_allocations));
-    if (r.name == "event_throughput" || r.name == "schedule_cancel" ||
-        r.name == "tracer_record") {
+    if (r.name == "event_throughput" || r.name == "event_throughput_8k" ||
+        r.name == "schedule_cancel" || r.name == "tracer_record" ||
+        r.name == "staging_zero_copy") {
       if (r.steady_state_allocations != 0) alloc_free = false;
     }
   }
   if (!alloc_free) {
     std::fprintf(stderr, "FAIL: steady-state event path performed heap allocations\n");
     return 1;
+  }
+  for (const auto& r : results) {
+    if (r.name == "staging_copied_bytes_per_request" && r.value != 0.0) {
+      std::fprintf(stderr, "FAIL: zero-copy staging path copied %.1f bytes/request\n",
+                   r.value);
+      return 1;
+    }
   }
   if (!find_stream_scaling_ok) {
     std::fprintf(stderr,

@@ -16,7 +16,11 @@ Two classes of regression fail the gate:
     invariant, not a performance number), or the overall
     steady_state_alloc_free flag flips to false.
   * a rate-style benchmark (unit not in the timing/informational set)
-    drops more than --tolerance (default 15%) below the baseline value.
+    drops more than --tolerance (default 15%) below the baseline value,
+    or a lower-is-better benchmark ("bytes", "ns/lookup" — copy counts
+    and per-op latencies) rises more than --tolerance above it. A
+    lower-is-better baseline of exactly zero is a hard invariant: any
+    nonzero current value fails (the zero-copy path started copying).
 
 Wall-clock style results ("sec") and machine-dependent ones ("threads",
 speedup "x") are reported but never gated: CI runners are too noisy for
@@ -32,6 +36,8 @@ import sys
 
 # Units where a smaller/different value is not a regression signal.
 UNGATED_UNITS = {"sec", "s", "threads", "x"}
+# Units where the value growing (not shrinking) is the regression.
+LOWER_IS_BETTER_UNITS = {"bytes", "ns/lookup"}
 
 
 def load(path):
@@ -73,7 +79,25 @@ def main():
         unit = c.get("unit", "")
         b_val, c_val = float(b["value"]), float(c["value"])
         note = ""
-        if unit not in UNGATED_UNITS and b_val > 0:
+        if unit in LOWER_IS_BETTER_UNITS:
+            if b_val == 0:
+                if c_val > 0:
+                    failures.append(
+                        f"{name}: {c_val:.3f} {unit} regressed from a zero baseline "
+                        "(hard invariant)")
+                    note = "FAIL"
+                else:
+                    note = "=0"
+            else:
+                rise = (c_val - b_val) / b_val
+                if rise > args.tolerance:
+                    failures.append(
+                        f"{name}: {c_val:.3f} {unit} is {rise:.1%} above baseline "
+                        f"{b_val:.3f} (tolerance {args.tolerance:.0%})")
+                    note = "FAIL"
+                else:
+                    note = f"{rise:+.1%}"
+        elif unit not in UNGATED_UNITS and b_val > 0:
             drop = (b_val - c_val) / b_val
             if drop > args.tolerance:
                 failures.append(

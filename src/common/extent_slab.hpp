@@ -1,0 +1,146 @@
+// Refcounted extent allocator for zero-copy staging. An extent is a
+// pointer-stable block of bytes drawn from power-of-two size classes; a
+// free list per class recycles returned extents, so steady-state staging
+// churn never touches the heap. ExtentRef is the shared handle: copies
+// bump a refcount, and the memory goes back to its class free list only
+// when the last reference drops — which is what lets the staging area hand
+// prefetched data to clients by reference (the client's slice keeps the
+// extent alive after the staging buffer itself is reaped).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/slab.hpp"
+#include "common/types.hpp"
+
+namespace sst {
+
+class ExtentSlab;
+
+struct ExtentSlabStats {
+  std::uint64_t fresh_allocations = 0;  ///< extents backed by new memory
+  std::uint64_t recycles = 0;           ///< extents served from a free list
+  Bytes reserved_bytes = 0;             ///< memory held (live + free lists)
+  Bytes peak_reserved = 0;
+};
+
+/// Shared handle to a slab extent. Copyable (shares ownership), movable,
+/// empty-constructible (== no extent). Not thread-safe: the simulator is
+/// single-threaded per run, so a plain counter suffices.
+class ExtentRef {
+ public:
+  ExtentRef() = default;
+  ExtentRef(const ExtentRef& other) noexcept;
+  ExtentRef(ExtentRef&& other) noexcept
+      : slab_(other.slab_), index_(other.index_) {
+    other.slab_ = nullptr;
+  }
+  ExtentRef& operator=(const ExtentRef& other) noexcept;
+  ExtentRef& operator=(ExtentRef&& other) noexcept {
+    if (this != &other) {
+      reset();
+      slab_ = other.slab_;
+      index_ = other.index_;
+      other.slab_ = nullptr;
+    }
+    return *this;
+  }
+  ~ExtentRef() { reset(); }
+
+  /// Drop this reference (recycling the extent if it was the last one).
+  void reset();
+
+  [[nodiscard]] explicit operator bool() const { return slab_ != nullptr; }
+  [[nodiscard]] std::byte* data() const;
+  [[nodiscard]] Bytes capacity() const;
+  /// Number of live references to this extent (0 for an empty ref).
+  [[nodiscard]] std::uint32_t use_count() const;
+
+ private:
+  friend class ExtentSlab;
+  ExtentRef(ExtentSlab* slab, std::uint32_t index) : slab_(slab), index_(index) {}
+
+  ExtentSlab* slab_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// The allocator. Extent control blocks live in a flat vector (indexed, so
+/// ExtentRef survives vector growth); backing memory is never freed, only
+/// recycled through per-class free lists.
+class ExtentSlab {
+ public:
+  /// Smallest size class; requests round up to the next power of two.
+  static constexpr Bytes kMinExtent = 4 * KiB;
+
+  ExtentSlab() = default;
+  ExtentSlab(const ExtentSlab&) = delete;
+  ExtentSlab& operator=(const ExtentSlab&) = delete;
+
+  /// Allocate an extent of at least `size` bytes (refcount 1).
+  [[nodiscard]] ExtentRef allocate(Bytes size);
+
+  [[nodiscard]] const ExtentSlabStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_extents() const { return live_; }
+  [[nodiscard]] Bytes live_bytes() const { return live_bytes_; }
+
+ private:
+  friend class ExtentRef;
+
+  struct Extent {
+    std::unique_ptr<std::byte[]> mem;
+    Bytes capacity = 0;
+    std::uint32_t refs = 0;
+    std::uint32_t size_class = 0;
+  };
+
+  void retain(std::uint32_t index) { ++extents_[index].refs; }
+  void release(std::uint32_t index);
+  [[nodiscard]] static std::uint32_t class_of(Bytes size);
+
+  std::vector<Extent> extents_;
+  /// Free extents by size class (index = log2 of class capacity).
+  std::vector<std::vector<std::uint32_t>> free_lists_;
+  std::size_t live_ = 0;
+  Bytes live_bytes_ = 0;
+  ExtentSlabStats stats_;
+};
+
+inline ExtentRef::ExtentRef(const ExtentRef& other) noexcept
+    : slab_(other.slab_), index_(other.index_) {
+  if (slab_ != nullptr) slab_->retain(index_);
+}
+
+inline ExtentRef& ExtentRef::operator=(const ExtentRef& other) noexcept {
+  if (this != &other) {
+    if (other.slab_ != nullptr) other.slab_->retain(other.index_);
+    reset();
+    slab_ = other.slab_;
+    index_ = other.index_;
+  }
+  return *this;
+}
+
+inline void ExtentRef::reset() {
+  if (slab_ != nullptr) {
+    slab_->release(index_);
+    slab_ = nullptr;
+  }
+}
+
+inline std::byte* ExtentRef::data() const {
+  return slab_ != nullptr ? slab_->extents_[index_].mem.get() : nullptr;
+}
+
+inline Bytes ExtentRef::capacity() const {
+  return slab_ != nullptr ? slab_->extents_[index_].capacity : 0;
+}
+
+inline std::uint32_t ExtentRef::use_count() const {
+  return slab_ != nullptr ? slab_->extents_[index_].refs : 0;
+}
+
+}  // namespace sst

@@ -1,0 +1,51 @@
+// Pooled object slab: chunked, pointer-stable storage with a free list.
+// acquire()/release() recycle slots without touching the heap once the pool
+// is warm, and returned pointers stay valid for the slab's lifetime (chunks
+// are never moved or freed), so intrusive lists can thread through slots.
+// Slots keep their last state across recycling; callers reset what matters
+// (usually by move-assigning a fresh value on acquire).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace sst {
+
+template <typename T>
+class Slab {
+ public:
+  static constexpr std::size_t kChunkSize = 64;
+
+  Slab() = default;
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  [[nodiscard]] T* acquire() {
+    if (free_.empty()) grow();
+    T* slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+
+  void release(T* slot) { free_.push_back(slot); }
+
+  /// Slots handed out and not yet released.
+  [[nodiscard]] std::size_t live() const {
+    return chunks_.size() * kChunkSize - free_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return chunks_.size() * kChunkSize; }
+
+ private:
+  void grow() {
+    chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    T* const chunk = chunks_.back().get();
+    free_.reserve(free_.size() + kChunkSize);
+    for (std::size_t i = kChunkSize; i > 0; --i) free_.push_back(&chunk[i - 1]);
+  }
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<T*> free_;
+};
+
+}  // namespace sst

@@ -2,14 +2,48 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace sst::core {
 
-IoBuffer::IoBuffer(BufferPool& pool, std::uint32_t device, ByteOffset offset, Bytes capacity,
-                   bool materialize, SimTime now)
-    : pool_(pool), device_(device), offset_(offset), capacity_(capacity), last_touch_(now) {
-  if (materialize) data_.resize(capacity);
+namespace {
+
+/// Recycled IoBuffer storage. Owns whatever is parked on the free list at
+/// thread exit; live buffers always outlive their (per-run) thread.
+struct IoBufferStoragePool {
+  std::vector<void*> free;
+  ~IoBufferStoragePool() {
+    for (void* p : free) ::operator delete(p);
+  }
+};
+
+thread_local IoBufferStoragePool t_io_buffer_pool;
+
+}  // namespace
+
+void* IoBuffer::operator new(std::size_t size) {
+  assert(size == sizeof(IoBuffer));
+  auto& free = t_io_buffer_pool.free;
+  if (!free.empty()) {
+    void* const p = free.back();
+    free.pop_back();
+    return p;
+  }
+  return ::operator new(size);
 }
+
+void IoBuffer::operator delete(void* p) noexcept {
+  t_io_buffer_pool.free.push_back(p);
+}
+
+IoBuffer::IoBuffer(BufferPool& pool, std::uint32_t device, ByteOffset offset, Bytes capacity,
+                   ExtentRef extent, SimTime now)
+    : pool_(pool),
+      device_(device),
+      offset_(offset),
+      capacity_(capacity),
+      last_touch_(now),
+      extent_(std::move(extent)) {}
 
 IoBuffer::~IoBuffer() { pool_.release(capacity_); }
 
@@ -28,8 +62,9 @@ std::unique_ptr<IoBuffer> BufferPool::allocate(std::uint32_t device, ByteOffset 
   ++stats_.allocations;
   stats_.peak_committed = std::max(stats_.peak_committed, committed_);
   // Private constructor: can't use make_unique.
-  return std::unique_ptr<IoBuffer>(
-      new IoBuffer(*this, device, offset, capacity, materialize_, now));
+  return std::unique_ptr<IoBuffer>(new IoBuffer(
+      *this, device, offset, capacity,
+      materialize_ ? extents_.allocate(capacity) : ExtentRef{}, now));
 }
 
 void BufferPool::release(Bytes capacity) {

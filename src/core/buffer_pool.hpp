@@ -5,19 +5,39 @@
 //
 // Buffers optionally carry real memory (materialize=true) so devices can
 // fill them and tests can verify data integrity end to end; benches skip
-// the allocation and model accounting only.
+// the allocation and model accounting only. Materialized memory comes from
+// a refcounted ExtentSlab: clients can hold StagedSlice references into an
+// extent after the IoBuffer that staged it is reaped, and recycled extents
+// make steady-state staging allocation-free.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/extent_slab.hpp"
 #include "common/types.hpp"
 
 namespace sst::core {
 
 class BufferPool;
+
+/// A borrowed view of staged data handed to a client instead of a copy.
+/// `extent` shares ownership of the backing memory: the view stays valid —
+/// even after the staging buffer is reaped — until the slice is dropped.
+struct StagedSlice {
+  ByteOffset offset = 0;  ///< device offset this slice begins at
+  const std::byte* data = nullptr;
+  Bytes length = 0;
+  ExtentRef extent;
+};
+
+/// Per-request data sink: receives one StagedSlice per staged extent the
+/// request's range touches, in offset order. The slices borrow the staged
+/// memory by reference (no copy); holding the slice keeps it alive.
+using DataSink = std::function<void(StagedSlice)>;
 
 /// One staged read-ahead extent: [offset, offset + valid) of a device.
 class IoBuffer {
@@ -25,6 +45,13 @@ class IoBuffer {
   ~IoBuffer();
   IoBuffer(const IoBuffer&) = delete;
   IoBuffer& operator=(const IoBuffer&) = delete;
+
+  /// IoBuffers churn once per staged extent; their storage is recycled
+  /// through a thread-local free list so steady-state staging never touches
+  /// the heap (experiments run whole on one thread, so thread-local pools
+  /// see matching new/delete pairs).
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p) noexcept;
 
   [[nodiscard]] std::uint32_t device() const { return device_; }
   [[nodiscard]] ByteOffset offset() const { return offset_; }
@@ -35,8 +62,10 @@ class IoBuffer {
   [[nodiscard]] ByteOffset end() const { return offset_ + valid_; }
 
   /// Backing memory, or nullptr when the pool does not materialize.
-  [[nodiscard]] std::byte* data() { return data_.empty() ? nullptr : data_.data(); }
-  [[nodiscard]] const std::byte* data() const { return data_.empty() ? nullptr : data_.data(); }
+  [[nodiscard]] std::byte* data() { return extent_.data(); }
+  [[nodiscard]] const std::byte* data() const { return extent_.data(); }
+  /// Share the backing extent (bumps the refcount; empty when unmaterialized).
+  [[nodiscard]] ExtentRef extent() const { return extent_; }
 
   /// Contains the whole byte range?
   [[nodiscard]] bool contains(ByteOffset off, Bytes len) const {
@@ -65,7 +94,7 @@ class IoBuffer {
  private:
   friend class BufferPool;
   IoBuffer(BufferPool& pool, std::uint32_t device, ByteOffset offset, Bytes capacity,
-           bool materialize, SimTime now);
+           ExtentRef extent, SimTime now);
 
   BufferPool& pool_;
   std::uint32_t device_;
@@ -75,7 +104,7 @@ class IoBuffer {
   Bytes consumed_upto_ = 0;
   SimTime filled_at_ = 0;
   SimTime last_touch_ = 0;
-  std::vector<std::byte> data_;
+  ExtentRef extent_;
 };
 
 struct BufferPoolStats {
@@ -101,6 +130,8 @@ class BufferPool {
   [[nodiscard]] Bytes available() const { return budget_ - committed_; }
   [[nodiscard]] std::size_t live_buffers() const { return live_buffers_; }
   [[nodiscard]] const BufferPoolStats& stats() const { return stats_; }
+  /// Backing extent allocator (empty stats when not materializing).
+  [[nodiscard]] const ExtentSlab& extent_slab() const { return extents_; }
 
  private:
   friend class IoBuffer;
@@ -110,6 +141,7 @@ class BufferPool {
   bool materialize_;
   Bytes committed_ = 0;
   std::size_t live_buffers_ = 0;
+  ExtentSlab extents_;
   BufferPoolStats stats_;
 };
 

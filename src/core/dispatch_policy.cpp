@@ -1,42 +1,38 @@
 #include "core/dispatch_policy.hpp"
 
-#include <algorithm>
 #include <limits>
 
 namespace sst::core {
 
-std::size_t NearestOffsetPolicy::pick(
-    const std::deque<StreamId>& candidates,
-    const std::function<const Stream&(StreamId)>& lookup,
-    const std::map<std::uint32_t, ByteOffset>& last_issue_pos) {
-  const StreamId front = candidates.front();
-  if (front != last_front_) {
-    last_front_ = front;
+Stream* NearestOffsetPolicy::pick(const CandidateList& candidates,
+                                  const LastIssueTable& last_issue_pos) {
+  Stream* const front = candidates.front();
+  if (front->id != last_front_) {
+    last_front_ = front->id;
     front_bypasses_ = 0;
   }
   // Strict aging: a head-of-queue stream bypassed too often wins outright.
   if (front_bypasses_ >= kWindow) {
     front_bypasses_ = 0;
     last_front_ = kInvalidStream;
-    return 0;
+    return front;
   }
 
-  std::size_t best = 0;
+  Stream* best = front;
   auto best_distance = std::numeric_limits<std::uint64_t>::max();
-  const std::size_t window = std::min(candidates.size(), kWindow);
-  for (std::size_t i = 0; i < window; ++i) {
-    const Stream& s = lookup(candidates[i]);
-    const auto it = last_issue_pos.find(s.device);
-    if (it == last_issue_pos.end()) continue;  // device untouched: no signal
-    const ByteOffset pos = it->second;
+  std::size_t scanned = 0;
+  for (Stream& s : candidates) {
+    if (++scanned > kWindow) break;
+    const ByteOffset pos = last_issue_pos.get(s.device);
+    if (pos == LastIssueTable::kNever) continue;  // device untouched: no signal
     const std::uint64_t distance =
         s.prefetch_pos > pos ? s.prefetch_pos - pos : pos - s.prefetch_pos;
     if (distance < best_distance) {
       best_distance = distance;
-      best = i;
+      best = &s;
     }
   }
-  if (best != 0) {
+  if (best != front) {
     ++front_bypasses_;
   } else {
     last_front_ = kInvalidStream;

@@ -7,38 +7,68 @@
 // policy — the two names described the same decision.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
-#include <deque>
-#include <functional>
-#include <map>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "common/intrusive_list.hpp"
 #include "common/types.hpp"
 #include "core/params.hpp"
 #include "core/stream.hpp"
 
 namespace sst::core {
 
+/// Candidate queue: streams waiting for a dispatch slot, linked through
+/// their embedded candidate_hook (no per-entry allocation, O(1) removal).
+using CandidateList = IntrusiveList<Stream, &Stream::candidate_hook>;
+
+/// Flat per-device table of the most recent read-ahead issue position — the
+/// proximity signal for NearestOffsetPolicy. Indexed by device id; devices
+/// that never issued read `kNever`.
+class LastIssueTable {
+ public:
+  static constexpr ByteOffset kNever = ~ByteOffset{0};
+
+  explicit LastIssueTable(std::size_t devices = 0) : pos_(devices, kNever) {}
+
+  void note(std::uint32_t device, ByteOffset pos) {
+    if (device >= pos_.size()) pos_.resize(device + 1, kNever);
+    pos_[device] = pos;
+  }
+
+  [[nodiscard]] ByteOffset get(std::uint32_t device) const {
+    return device < pos_.size() ? pos_[device] : kNever;
+  }
+  [[nodiscard]] bool has(std::uint32_t device) const { return get(device) != kNever; }
+  [[nodiscard]] ByteOffset at(std::uint32_t device) const {
+    assert(has(device));
+    return pos_[device];
+  }
+  [[nodiscard]] std::size_t size() const { return pos_.size(); }
+
+ private:
+  std::vector<ByteOffset> pos_;
+};
+
 class DispatchPolicy {
  public:
   virtual ~DispatchPolicy() = default;
 
-  /// Pick the index (into `candidates`) of the stream to dispatch next.
-  /// `lookup` maps a StreamId to its Stream; `last_issue_pos` gives the most
-  /// recent read-ahead position per device. `candidates` is non-empty.
-  [[nodiscard]] virtual std::size_t pick(
-      const std::deque<StreamId>& candidates,
-      const std::function<const Stream&(StreamId)>& lookup,
-      const std::map<std::uint32_t, ByteOffset>& last_issue_pos) = 0;
+  /// Pick the stream to dispatch next. `candidates` is non-empty;
+  /// `last_issue_pos` gives the most recent read-ahead position per device.
+  /// Returns a stream linked in `candidates`.
+  [[nodiscard]] virtual Stream* pick(const CandidateList& candidates,
+                                     const LastIssueTable& last_issue_pos) = 0;
 };
 
 /// FIFO: always the head of the candidate queue.
 class RoundRobinPolicy final : public DispatchPolicy {
  public:
-  [[nodiscard]] std::size_t pick(const std::deque<StreamId>&,
-                                 const std::function<const Stream&(StreamId)>&,
-                                 const std::map<std::uint32_t, ByteOffset>&) override {
-    return 0;
+  [[nodiscard]] Stream* pick(const CandidateList& candidates,
+                             const LastIssueTable&) override {
+    return candidates.front();
   }
 };
 
@@ -52,9 +82,8 @@ class NearestOffsetPolicy final : public DispatchPolicy {
  public:
   static constexpr std::size_t kWindow = 8;
 
-  [[nodiscard]] std::size_t pick(const std::deque<StreamId>& candidates,
-                                 const std::function<const Stream&(StreamId)>& lookup,
-                                 const std::map<std::uint32_t, ByteOffset>& last_issue_pos) override;
+  [[nodiscard]] Stream* pick(const CandidateList& candidates,
+                             const LastIssueTable& last_issue_pos) override;
 
  private:
   StreamId last_front_ = kInvalidStream;

@@ -1,17 +1,14 @@
 // The dispatch set (paper §4.2): the bounded set of at most D streams
 // actively issuing read-ahead, plus the FIFO candidate queue feeding it and
 // the pluggable DispatchPolicy that picks which candidate takes a freed
-// slot. Tracks the per-device last-issue position the proximity policy
-// consults. The facade drives residency begin/end; this class owns the
-// queue discipline.
+// slot. Candidates are linked through the Stream's embedded candidate_hook
+// (no per-entry allocation; eviction unlinks in O(1)). Tracks the
+// per-device last-issue position the proximity policy consults. The facade
+// drives residency begin/end; this class owns the queue discipline.
 #pragma once
 
-#include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
 #include <memory>
 
 #include "common/types.hpp"
@@ -21,8 +18,9 @@ namespace sst::core {
 
 class DispatchSet {
  public:
-  explicit DispatchSet(std::unique_ptr<DispatchPolicy> policy)
-      : policy_(std::move(policy)) {}
+  explicit DispatchSet(std::unique_ptr<DispatchPolicy> policy,
+                       std::size_t device_count = 0)
+      : policy_(std::move(policy)), last_issue_pos_(device_count) {}
   DispatchSet(const DispatchSet&) = delete;
   DispatchSet& operator=(const DispatchSet&) = delete;
 
@@ -31,25 +29,24 @@ class DispatchSet {
   }
   [[nodiscard]] bool has_candidates() const { return !candidates_.empty(); }
 
-  /// Ask the policy for the next candidate, remove it from the queue and
+  /// Ask the policy for the next candidate, unlink it from the queue and
   /// return it. The queue must be non-empty.
-  [[nodiscard]] StreamId pop_next(
-      const std::function<const Stream&(StreamId)>& lookup) {
+  [[nodiscard]] Stream& pop_next() {
     assert(!candidates_.empty());
-    const std::size_t choice = policy_->pick(candidates_, lookup, last_issue_pos_);
-    const StreamId id = candidates_[choice];
-    candidates_.erase(candidates_.begin() + static_cast<std::ptrdiff_t>(choice));
-    return id;
+    Stream* const choice = policy_->pick(candidates_, last_issue_pos_);
+    assert(choice != nullptr && CandidateList::is_linked(*choice));
+    candidates_.remove(*choice);
+    return *choice;
   }
 
   /// Round-robin tail (normal arrival / rotation with unmet demand).
-  void push_back(StreamId id) { candidates_.push_back(id); }
+  void push_back(Stream& stream) { candidates_.push_back(stream); }
   /// Head of the queue: a first-issue memory bounce retries first.
-  void push_front(StreamId id) { candidates_.push_front(id); }
-  /// Remove a stream from the candidate queue (eviction).
-  void remove(StreamId id) {
-    candidates_.erase(std::remove(candidates_.begin(), candidates_.end(), id),
-                      candidates_.end());
+  void push_front(Stream& stream) { candidates_.push_front(stream); }
+  /// Remove a stream from the candidate queue (eviction); no-op when the
+  /// stream is not queued.
+  void remove(Stream& stream) {
+    if (CandidateList::is_linked(stream)) candidates_.remove(stream);
   }
 
   /// A stream took a dispatch slot.
@@ -63,20 +60,18 @@ class DispatchSet {
   /// Record where read-ahead on `device` will resume (offset past the
   /// extent just issued) — the proximity signal for NearestOffsetPolicy.
   void note_issue(std::uint32_t device, ByteOffset next_pos) {
-    last_issue_pos_[device] = next_pos;
+    last_issue_pos_.note(device, next_pos);
   }
 
   [[nodiscard]] std::size_t dispatched_count() const { return dispatched_; }
   [[nodiscard]] std::size_t candidate_count() const { return candidates_.size(); }
-  [[nodiscard]] const std::map<std::uint32_t, ByteOffset>& last_issue_pos() const {
-    return last_issue_pos_;
-  }
+  [[nodiscard]] const LastIssueTable& last_issue_pos() const { return last_issue_pos_; }
 
  private:
   std::unique_ptr<DispatchPolicy> policy_;
-  std::deque<StreamId> candidates_;
+  CandidateList candidates_;
   std::size_t dispatched_ = 0;
-  std::map<std::uint32_t, ByteOffset> last_issue_pos_;
+  LastIssueTable last_issue_pos_;
 };
 
 }  // namespace sst::core

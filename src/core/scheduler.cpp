@@ -21,7 +21,7 @@ StreamScheduler::StreamScheduler(sim::Simulator& simulator,
       params_(params),
       staging_(params.memory_budget, params.materialize_buffers),
       cpu_(simulator, params.host),
-      dispatch_(make_policy(params.policy)),
+      dispatch_(make_policy(params.policy), devices_.size()),
       index_(devices_.size()),
       device_errors_(devices_.size(), 0) {
   assert(!devices_.empty());
@@ -128,10 +128,18 @@ void StreamScheduler::enqueue(Stream& stream, ClientRequest request) {
   const bool ahead = request.offset >= stream.prefetch_pos;
   if (inflight_covers || (ahead && !stream.at_device_end)) {
     request.arrival = sim_.now();  // parking time governs escalation
-    auto pos = std::upper_bound(
-        stream.pending.begin(), stream.pending.end(), request.offset,
-        [](ByteOffset off, const ClientRequest& r) { return off < r.offset; });
-    stream.pending.insert(pos, std::move(request));
+    PendingRequest* const node = request_slab_.acquire(std::move(request));
+    // Sorted insert by offset; closed-loop arrivals are nearly in order, so
+    // scanning from the tail is O(1) amortized.
+    PendingRequest* pos = stream.pending.back();
+    while (pos != nullptr && pos->req.offset > node->req.offset) {
+      pos = PendingList::prev_of(*pos);
+    }
+    if (pos == nullptr) {
+      stream.pending.push_front(*node);
+    } else {
+      stream.pending.insert_after(*pos, *node);
+    }
     if (!inflight_covers) make_candidate(stream);
     pump();
     return;
@@ -171,15 +179,13 @@ void StreamScheduler::make_candidate(Stream& stream) {
   const bool was = StagingArea::counts_as_buffered(stream);
   stream.state = StreamState::kCandidate;
   staging_.note_buffered(stream, was);
-  dispatch_.push_back(stream.id);
+  dispatch_.push_back(stream);
 }
 
 void StreamScheduler::pump() {
   const std::uint32_t slots = params_.effective_dispatch_size();
   while (dispatch_.has_free_slot(slots) && dispatch_.has_candidates()) {
-    const StreamId id = dispatch_.pop_next(
-        [this](StreamId sid) -> const Stream& { return stream_ref(sid); });
-    if (!dispatch(stream_ref(id))) {
+    if (!dispatch(dispatch_.pop_next())) {
       // Dispatch bounced on memory; retry later when buffers free up.
       break;
     }
@@ -224,9 +230,9 @@ bool StreamScheduler::issue_next(Stream& stream) {
     ++stats_.rotations;
     stream.state = StreamState::kCandidate;
     if (first_issue) {
-      dispatch_.push_front(stream.id);
+      dispatch_.push_front(stream);
     } else {
-      dispatch_.push_back(stream.id);
+      dispatch_.push_back(stream);
     }
     return false;
   }
@@ -273,13 +279,13 @@ void StreamScheduler::rotate_out(Stream& stream) {
   // Streams with unmet demand re-enter the candidate queue (round-robin
   // tail); satisfied streams park in the buffered set.
   const bool unmet = std::any_of(
-      stream.pending.begin(), stream.pending.end(), [&stream](const ClientRequest& r) {
-        return !StagingArea::covers(stream.buffers, r.offset, r.length,
+      stream.pending.begin(), stream.pending.end(), [&stream](const PendingRequest& p) {
+        return !StagingArea::covers(stream.buffers, p.req.offset, p.req.length,
                                     /*filled_only=*/false);
       });
   if (unmet && !stream.at_device_end) {
     stream.state = StreamState::kCandidate;
-    dispatch_.push_back(stream.id);
+    dispatch_.push_back(stream);
   } else {
     stream.state = StreamState::kBuffered;
     staging_.note_buffered(stream, /*was=*/false);  // was kDispatched
@@ -394,7 +400,7 @@ void StreamScheduler::evict_stream(Stream& stream, IoStatus status) {
   if (stream.state == StreamState::kDispatched) {
     dispatch_.end_residency();
   } else if (stream.state == StreamState::kCandidate) {
-    dispatch_.remove(stream.id);
+    dispatch_.remove(stream);
   }
   stream.state = StreamState::kIdle;
   stream.evicted = true;
@@ -410,8 +416,10 @@ void StreamScheduler::evict_stream(Stream& stream, IoStatus status) {
 
   // Queued client requests will never be served from this stream: fail them
   // now rather than let them stall until the pending timeout.
-  for (auto& req : stream.pending) fail_request(req, status);
-  stream.pending.clear();
+  while (PendingRequest* node = stream.pending.pop_front()) {
+    fail_request(node->req, status);
+    request_slab_.release(node);
+  }
 
   // Unclaim the range so fresh requests never match the zombie.
   index_.unclaim(stream.device, stream.range_start, stream.id);
@@ -431,20 +439,23 @@ void StreamScheduler::evict_stream(Stream& stream, IoStatus status) {
 }
 
 void StreamScheduler::drain_pending(Stream& stream) {
-  for (auto it = stream.pending.begin(); it != stream.pending.end();) {
-    if (StagingArea::covers(stream.buffers, it->offset, it->length,
+  PendingRequest* node = stream.pending.front();
+  while (node != nullptr) {
+    PendingRequest* const next = PendingList::next_of(*node);
+    if (StagingArea::covers(stream.buffers, node->req.offset, node->req.length,
                             /*filled_only=*/true)) {
-      ClientRequest req = std::move(*it);
-      it = stream.pending.erase(it);
+      stream.pending.remove(*node);
+      ClientRequest req = std::move(node->req);
+      request_slab_.release(node);
       serve_request(stream, std::move(req));
-    } else {
-      ++it;
     }
+    node = next;
   }
 }
 
 void StreamScheduler::serve_request(Stream& stream, ClientRequest request) {
-  staging_.consume(stream, request.offset, request.length, request.data, sim_.now());
+  staging_.consume(stream, request.offset, request.length, request.data, sim_.now(),
+                   request.on_data);
   const ByteOffset req_end = request.offset + request.length;
   if (req_end > stream.served_upto) stream.served_upto = req_end;
   stream.stats.bytes_served += request.length;
@@ -483,10 +494,13 @@ void StreamScheduler::collect_garbage() {
     // straddling a reclaimed/never-staged range would otherwise wait
     // forever (the cursor only moves forward). Anything parked longer than
     // the buffer timeout goes to the device directly.
-    for (auto it = stream->pending.begin(); it != stream->pending.end();) {
-      if (it->arrival < pending_horizon) {
-        ClientRequest req = std::move(*it);
-        it = stream->pending.erase(it);
+    PendingRequest* node = stream->pending.front();
+    while (node != nullptr) {
+      PendingRequest* const next = PendingList::next_of(*node);
+      if (node->req.arrival < pending_horizon) {
+        stream->pending.remove(*node);
+        ClientRequest req = std::move(node->req);
+        request_slab_.release(node);
         ++stats_.fallback_direct_reads;
         ++stats_.escalated_reads;
         if (tracer_ != nullptr) {
@@ -501,9 +515,8 @@ void StreamScheduler::collect_garbage() {
         direct.data = req.data;
         direct.on_complete = std::move(req.on_complete);
         devices_[stream->device]->submit(std::move(direct));
-      } else {
-        ++it;
       }
+      node = next;
     }
     const StagingArea::ReclaimResult reclaimed =
         staging_.reclaim_expired(*stream, buffer_horizon);

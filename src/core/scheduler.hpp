@@ -95,6 +95,7 @@ class StreamScheduler {
   [[nodiscard]] const SchedulerParams& params() const { return params_; }
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const BufferPool& pool() const { return staging_.pool(); }
+  [[nodiscard]] const StagingStats& staging_stats() const { return staging_.stats(); }
   [[nodiscard]] HostCpu& cpu() { return cpu_; }
   [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
   [[nodiscard]] std::size_t dispatched_count() const {
@@ -165,6 +166,9 @@ class StreamScheduler {
   HostCpu cpu_;
   DispatchSet dispatch_;
   StreamIndex index_;
+  /// Pooled slots for parked client requests (streams link them into their
+  /// pending lists); recycled without allocation once warm.
+  RequestSlab request_slab_;
 
   std::map<StreamId, std::unique_ptr<Stream>> streams_;
   /// Failed read-ahead count per device; >= device_fail_threshold = failed.

@@ -72,19 +72,26 @@ void StagingArea::drop_unfilled(Stream& stream, ByteOffset offset) {
 }
 
 void StagingArea::consume(Stream& stream, ByteOffset offset, Bytes length,
-                          std::byte* data, SimTime now) {
+                          std::byte* data, SimTime now, const DataSink& sink) {
   // Consume across every overlapping buffer (a request may straddle two
-  // read-ahead extents) and copy data when both sides are materialized.
+  // read-ahead extents). A caller destination forces the copy path; without
+  // one, materialized extents are handed out by reference (zero-copy) and
+  // the slice's ExtentRef keeps them alive past the buffer's reaping.
   const ByteOffset req_end = offset + length;
   for (auto& b : stream.buffers) {
     const ByteOffset lo = std::max(offset, b->offset());
     const ByteOffset hi = std::min(req_end, b->end());
     if (lo >= hi) continue;
     b->consume(lo, hi - lo, now);
-    if (data != nullptr && b->data() != nullptr) {
+    if (b->data() == nullptr) continue;  // accounting-only buffer
+    if (data != nullptr) {
       std::memcpy(data + (lo - offset), b->data() + (lo - b->offset()), hi - lo);
+      stats_.bytes_copied += hi - lo;
+    } else if (sink) {
+      sink(StagedSlice{lo, b->data() + (lo - b->offset()), hi - lo, b->extent()});
     }
   }
+  if (data == nullptr) ++stats_.zero_copy_hits;
 }
 
 void StagingArea::reap(Stream& stream) {
@@ -104,7 +111,8 @@ StagingArea::ReclaimResult StagingArea::reclaim_expired(Stream& stream, SimTime 
   // waiting for the rest of its range to be prefetched, and the cursor
   // will never revisit a reclaimed range (it only moves forward).
   const auto needed_by_pending = [&stream](const IoBuffer& b) {
-    for (const ClientRequest& r : stream.pending) {
+    for (const PendingRequest& p : stream.pending) {
+      const ClientRequest& r = p.req;
       if (r.offset < b.offset() + b.capacity() && b.offset() < r.offset + r.length) {
         return true;
       }

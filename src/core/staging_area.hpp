@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,11 @@
 #include "core/stream.hpp"
 
 namespace sst::core {
+
+struct StagingStats {
+  Bytes bytes_copied = 0;            ///< memcpy'd into client destinations
+  std::uint64_t zero_copy_hits = 0;  ///< requests served without any copy
+};
 
 class StagingArea {
  public:
@@ -39,11 +45,13 @@ class StagingArea {
   /// A read-ahead failed: drop its never-filled buffer at `offset`.
   void drop_unfilled(Stream& stream, ByteOffset offset);
 
-  /// Serve [offset, offset+length) from the staged buffers covering it,
-  /// copying into `data` where both sides are materialized. The caller
-  /// guarantees coverage (covers(..., filled_only=true)).
+  /// Serve [offset, offset+length) from the staged buffers covering it.
+  /// The caller guarantees coverage (covers(..., filled_only=true)). With a
+  /// `data` destination the range is memcpy'd (legacy copy path); without
+  /// one the request is zero-copy — materialized extents are handed to
+  /// `sink` by reference instead of being copied.
   void consume(Stream& stream, ByteOffset offset, Bytes length, std::byte* data,
-               SimTime now);
+               SimTime now, const DataSink& sink = nullptr);
 
   /// Release fully consumed buffers; updates buffered-set membership.
   void reap(Stream& stream);
@@ -90,9 +98,11 @@ class StagingArea {
   [[nodiscard]] std::size_t buffered_count() const { return buffered_count_; }
   [[nodiscard]] const BufferPool& pool() const { return pool_; }
   [[nodiscard]] std::size_t live_buffers() const { return pool_.live_buffers(); }
+  [[nodiscard]] const StagingStats& stats() const { return stats_; }
 
  private:
   BufferPool pool_;
+  StagingStats stats_;
   /// Streams holding staged data while not dispatched (the buffered set),
   /// maintained incrementally at every state/buffer transition.
   std::size_t buffered_count_ = 0;

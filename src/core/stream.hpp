@@ -5,12 +5,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/completion.hpp"
+#include "common/intrusive_list.hpp"
+#include "common/slab.hpp"
 #include "common/types.hpp"
 #include "core/buffer_pool.hpp"
 
@@ -25,9 +26,45 @@ struct ClientRequest {
   IoOp op = IoOp::kRead;
   /// Optional destination buffer (filled when the scheduler materializes).
   std::byte* data = nullptr;
+  /// Optional zero-copy sink: staged data is handed over by reference (one
+  /// StagedSlice per extent touched, before on_complete fires) instead of
+  /// being copied. Only data served from staged buffers arrives here;
+  /// clients that need bytes on the fallback-direct path use `data`.
+  DataSink on_data;
   IoCompletion on_complete;
   SimTime arrival = 0;
 };
+
+/// A parked client request: a pooled slot carrying the request plus the
+/// intrusive linkage threading it into its stream's pending list. Slots
+/// come from a RequestSlab; unlink before releasing.
+struct PendingRequest {
+  ClientRequest req;
+  IntrusiveHook<PendingRequest> hook;
+};
+
+/// Pool of PendingRequest slots (pointer-stable, allocation-free when
+/// warm). `release` drops the completion closure so recycled slots hold no
+/// stale captures.
+class RequestSlab {
+ public:
+  [[nodiscard]] PendingRequest* acquire(ClientRequest request) {
+    PendingRequest* slot = slab_.acquire();
+    slot->req = std::move(request);
+    return slot;
+  }
+
+  void release(PendingRequest* slot) {
+    slot->req.on_complete = nullptr;
+    slot->req.on_data = nullptr;
+    slab_.release(slot);
+  }
+
+ private:
+  Slab<PendingRequest> slab_;
+};
+
+using PendingList = IntrusiveList<PendingRequest, &PendingRequest::hook>;
 
 enum class StreamState : std::uint8_t {
   kIdle,        ///< detected, nothing staged, not scheduled
@@ -65,10 +102,13 @@ struct Stream {
   ByteOffset served_upto = 0;   ///< high-water mark of completed client data
 
   /// Client requests waiting for data, kept sorted by offset (closed-loop
-  /// clients are nearly in order; insertion sort is O(outstanding)).
-  std::deque<ClientRequest> pending;
+  /// clients are nearly in order; insertion scans from the tail). Nodes are
+  /// pooled RequestSlab slots owned by the scheduler.
+  PendingList pending;
   /// Staged and in-flight read-ahead buffers, ordered by offset.
   std::vector<std::unique_ptr<IoBuffer>> buffers;
+  /// Candidate-queue linkage (DispatchSet); linked iff state == kCandidate.
+  IntrusiveHook<Stream> candidate_hook;
 
   std::uint32_t issued_in_residency = 0;
   std::uint32_t inflight = 0;  ///< disk requests outstanding

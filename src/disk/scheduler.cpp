@@ -4,65 +4,73 @@
 
 namespace sst::disk {
 
-void FcfsScheduler::push(QueuedCommand qc) { queue_.push_back(std::move(qc)); }
+void FcfsScheduler::push(QueuedCommand qc) { queue_.push_back(*acquire(std::move(qc))); }
 
 std::optional<QueuedCommand> FcfsScheduler::pop_next(Lba /*head_lba*/) {
   if (queue_.empty()) return std::nullopt;
-  QueuedCommand qc = std::move(queue_.front());
-  queue_.pop_front();
-  return qc;
+  return take(queue_, queue_.front());
 }
 
-void ElevatorScheduler::push(QueuedCommand qc) {
-  const Lba key = qc.cmd.lba;
-  queue_.emplace(key, std::move(qc));
+void SortedScheduler::push(QueuedCommand qc) {
+  CommandSlot* const slot = acquire(std::move(qc));
+  const Lba key = slot->qc.cmd.lba;
+  // Insert after the last slot with lba <= key: ascending order, equal LBAs
+  // in arrival order (multimap semantics).
+  CommandSlot* pos = queue_.back();
+  while (pos != nullptr && pos->qc.cmd.lba > key) pos = CommandList::prev_of(*pos);
+  if (pos == nullptr) {
+    queue_.push_front(*slot);
+  } else {
+    queue_.insert_after(*pos, *slot);
+  }
+}
+
+auto SortedScheduler::first_at_or_above(Lba key) const -> CommandSlot* {
+  for (CommandSlot& slot : queue_) {
+    if (slot.qc.cmd.lba >= key) return &slot;
+  }
+  return nullptr;
+}
+
+auto SortedScheduler::last_at_or_below(Lba key) const -> CommandSlot* {
+  for (CommandSlot* slot = queue_.back(); slot != nullptr;
+       slot = CommandList::prev_of(*slot)) {
+    if (slot->qc.cmd.lba <= key) return slot;
+  }
+  return nullptr;
 }
 
 std::optional<QueuedCommand> ElevatorScheduler::pop_next(Lba head_lba) {
   if (queue_.empty()) return std::nullopt;
   if (ascending_) {
-    auto it = queue_.lower_bound(head_lba);
-    if (it == queue_.end()) {
+    CommandSlot* slot = first_at_or_above(head_lba);
+    if (slot == nullptr) {
       ascending_ = false;
-      it = std::prev(queue_.end());
+      slot = queue_.back();
     }
-    QueuedCommand qc = std::move(it->second);
-    queue_.erase(it);
-    return qc;
+    return take(queue_, slot);
   }
-  auto it = queue_.upper_bound(head_lba);
-  if (it == queue_.begin()) {
+  CommandSlot* slot = last_at_or_below(head_lba);
+  if (slot == nullptr) {
     ascending_ = true;
-    it = queue_.begin();
-  } else {
-    it = std::prev(it);
+    slot = queue_.front();
   }
-  QueuedCommand qc = std::move(it->second);
-  queue_.erase(it);
-  return qc;
-}
-
-void SstfScheduler::push(QueuedCommand qc) {
-  const Lba key = qc.cmd.lba;
-  queue_.emplace(key, std::move(qc));
+  return take(queue_, slot);
 }
 
 std::optional<QueuedCommand> SstfScheduler::pop_next(Lba head_lba) {
   if (queue_.empty()) return std::nullopt;
-  auto above = queue_.lower_bound(head_lba);
-  auto chosen = queue_.end();
-  if (above != queue_.end()) chosen = above;
-  if (above != queue_.begin()) {
-    auto below = std::prev(above);
-    if (chosen == queue_.end() ||
-        head_lba - below->first < chosen->first - head_lba) {
-      chosen = below;
-    }
+  CommandSlot* const above = first_at_or_above(head_lba);
+  CommandSlot* const below =
+      above == nullptr ? queue_.back() : CommandList::prev_of(*above);
+  CommandSlot* chosen = above;
+  if (below != nullptr &&
+      (chosen == nullptr ||
+       head_lba - below->qc.cmd.lba < chosen->qc.cmd.lba - head_lba)) {
+    chosen = below;
   }
-  assert(chosen != queue_.end());
-  QueuedCommand qc = std::move(chosen->second);
-  queue_.erase(chosen);
-  return qc;
+  assert(chosen != nullptr);
+  return take(queue_, chosen);
 }
 
 std::unique_ptr<CommandScheduler> make_scheduler(SchedulerKind kind) {

@@ -55,6 +55,12 @@ std::string ExperimentResult::to_json() const {
   reg.counter("scheduler.requests_failed", scheduler_stats.requests_failed);
   reg.counter("scheduler.devices_failed", devices_failed);
 
+  reg.counter("sim.events_dispatched", sim_events_dispatched);
+  reg.counter("sim.wheel_cascades", sim_wheel_cascades);
+
+  reg.counter("staging.bytes_copied", staging_stats.bytes_copied);
+  reg.counter("staging.zero_copy_hits", staging_stats.zero_copy_hits);
+
   reg.counter("server.requests", server_stats.requests);
   reg.counter("server.sequential_requests", server_stats.sequential_requests);
   reg.counter("server.direct_reads", server_stats.direct_reads);

@@ -85,6 +85,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       sampler.add_gauge("pool_mb", [&sched]() {
         return static_cast<double>(sched.pool().committed()) / 1e6;
       });
+      sampler.add_gauge("extent_mb", [&sched]() {
+        return static_cast<double>(sched.pool().extent_slab().live_bytes()) / 1e6;
+      });
       sampler.add_gauge("degraded_disks", [&sched]() {
         return static_cast<double>(sched.failed_device_count());
       });
@@ -122,10 +125,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.max_stream_mbps = max_mbps;
   result.disk_totals = node.disk_totals();
   result.controller_totals = node.controller_totals();
+  result.sim_events_dispatched = simulator.executed_events();
+  result.sim_wheel_cascades = simulator.wheel_cascades();
   if (server) {
     result.scheduler_stats = server->scheduler().stats();
     result.server_stats = server->stats();
     result.classifier_stats = server->classifier().stats();
+    result.staging_stats = server->scheduler().staging_stats();
     result.host_cpu_utilization =
         server->scheduler().cpu().stats().utilization(t1);
     result.peak_buffer_memory = server->scheduler().pool().stats().peak_committed;

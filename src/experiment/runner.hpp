@@ -57,6 +57,10 @@ struct ExperimentResult {
   core::SchedulerStats scheduler_stats;    ///< zeros when no scheduler
   core::ServerStats server_stats;          ///< zeros when no scheduler
   core::ClassifierStats classifier_stats;  ///< zeros when no scheduler
+  core::StagingStats staging_stats;        ///< zeros when no scheduler
+  /// Event-engine counters for the whole run (warm-up + measurement).
+  std::uint64_t sim_events_dispatched = 0;
+  std::uint64_t sim_wheel_cascades = 0;
   double host_cpu_utilization = 0.0;
   Bytes peak_buffer_memory = 0;
   fault::FaultStats fault_stats;     ///< zeros when fault injection is off

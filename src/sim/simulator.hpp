@@ -7,11 +7,16 @@
 //
 // The event store is a pooled slab: each scheduled event occupies a reusable
 // slot holding its callback inline (no heap allocation for closures up to
-// EventFn::kInlineBytes), and the priority queue orders plain {time, seq,
-// slot, generation} records. Handles address events by (slot, generation),
-// so a recycled slot invalidates stale handles without shared ownership.
-// Steady-state schedule/fire/cancel therefore performs no per-event heap
-// allocation.
+// EventFn::kInlineBytes). Pending events are indexed by a hierarchical timer
+// wheel — kLevels levels of kSlots buckets, one 64-bit occupancy bitmap per
+// level — whose buckets are intrusive doubly-linked lists threaded through
+// the slab slots, so schedule, cancel (O(1) unlink) and dispatch perform no
+// per-event heap allocation and no comparison-sort maintenance. Events
+// beyond the wheel horizon (2^48 ns ≈ 3 days of sim time) overflow into a
+// small binary min-heap. Same-timestamp events are collected into one batch
+// per tick, ordered by sequence number, and dispatched back to back.
+// Handles address events by (slot, generation), so a recycled slot
+// invalidates stale handles without shared ownership.
 #pragma once
 
 #include <cassert>
@@ -121,8 +126,10 @@ class EventFn {
 
 class Simulator;
 
-/// Handle used to cancel a scheduled event. Cancellation is lazy: the queue
-/// record stays until popped, but the callback is released immediately.
+/// Handle used to cancel a scheduled event. Cancellation of a wheel-resident
+/// event unlinks it in O(1) and recycles its slot immediately; events parked
+/// in the overflow heap or the current dispatch batch release their callback
+/// immediately and leave a stale record that is skipped when reached.
 /// Handles are small value types addressing a slab slot by generation, so
 /// they stay safely inert after the event fires or is cancelled (the slot's
 /// generation moves on). The handle must not outlive the Simulator itself.
@@ -147,7 +154,7 @@ class EventHandle {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -179,40 +186,83 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return live_count_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Events relocated from a higher wheel level toward level 0 as the clock
+  /// advanced (each event cascades at most kLevels-1 times in its life).
+  [[nodiscard]] std::uint64_t wheel_cascades() const { return cascades_; }
+  /// Events scheduled beyond the wheel horizon into the overflow heap.
+  [[nodiscard]] std::uint64_t overflow_events() const { return overflowed_; }
+
  private:
   friend class EventHandle;
 
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+  /// Wheel geometry: kLevels levels of 64 buckets; level L buckets are
+  /// 64^L ns wide, so the wheel spans 2^(6*kLevels) ns before the overflow
+  /// heap takes over.
+  static constexpr std::uint32_t kSlotBits = 6;
+  static constexpr std::uint32_t kSlots = 1u << kSlotBits;
+  static constexpr std::uint32_t kLevels = 8;
+  static constexpr std::uint64_t kBucketMask = kSlots - 1;
 
-  /// One slab slot: holds the callback and the generation that outstanding
-  /// handles must match. Recycled through an intrusive free list.
+  /// Where a slot currently lives; drives the cancel/unlink path.
+  enum class Where : std::uint8_t { kFree, kWheel, kHeap, kBatch };
+
+  /// One slab slot: the callback, the generation outstanding handles must
+  /// match, the event's key, and the intrusive wheel-bucket linkage. Free
+  /// slots chain through `next`.
   struct Slot {
     detail::EventFn fn;
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t next = kNoSlot;
+    std::uint32_t prev = kNoSlot;
     std::uint32_t generation = 0;
-    std::uint32_t next_free = kNoSlot;
+    std::uint8_t level = 0;
+    std::uint8_t bucket = 0;
+    Where where = Where::kFree;
     bool alive = false;
   };
 
-  /// Queue records are plain data; the callback stays in the slab so heap
-  /// sift operations move 24 bytes instead of a closure.
-  struct QueuedEvent {
+  /// Overflow-heap records are plain data; the callback stays in the slab.
+  struct HeapEntry {
     SimTime when = 0;
     std::uint64_t seq = 0;
     std::uint32_t slot = 0;
     std::uint32_t generation = 0;
   };
   struct Later {
-    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
+  /// A batch member: one event of the tick being dispatched, ordered by seq.
+  struct BatchEntry {
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+  };
+
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
 
-  /// Pops cancelled events off the top so step()/run_until see live ones.
-  void drop_dead_events();
+  /// Link `index` into the wheel bucket or overflow heap for `when`.
+  void enqueue_slot(std::uint32_t index, SimTime when);
+  /// Remove a wheel-resident slot from its bucket list.
+  void unlink(std::uint32_t index);
+
+  /// Drop cancelled records off the top of the overflow heap.
+  void purge_dead_heap_tops();
+  /// Gather every event due at the earliest pending time into batch_,
+  /// sorted by seq, and advance the clock and wheel cursor to it — all in
+  /// one pass over the one bucket that holds the minimum (due events go
+  /// straight into the batch; the rest cascade toward level 0). False when
+  /// nothing is pending at or before `deadline`; the structure is left
+  /// untouched in that case.
+  bool collect_batch(SimTime deadline);
+  /// Fire batch members from batch_pos_ on; stops after `limit` live events.
+  std::uint64_t fire_batch(std::uint64_t limit);
 
   [[nodiscard]] bool event_pending(std::uint32_t slot, std::uint32_t generation) const {
     return slot < slots_.size() && slots_[slot].generation == generation &&
@@ -223,10 +273,26 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cascades_ = 0;
+  std::uint64_t overflowed_ = 0;
   std::size_t live_count_ = 0;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+
+  /// Bucket list heads and per-level occupancy bitmaps (bit b = bucket b
+  /// non-empty). heads_[L][b] indexes the first slot of the bucket's list.
+  std::uint64_t occupancy_[kLevels] = {};
+  std::uint32_t heads_[kLevels][kSlots];
+  /// Wheel cursor: the time the bucket layout is relative to. Always the
+  /// timestamp of the batch being dispatched (== now_ while events fire).
+  SimTime cur_tick_ = 0;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> overflow_;
+
+  /// The current same-timestamp dispatch batch (sorted by seq) and the next
+  /// member to fire. Reused across ticks; no steady-state allocation.
+  std::vector<BatchEntry> batch_;
+  std::size_t batch_pos_ = 0;
 };
 
 inline bool EventHandle::pending() const {

@@ -13,7 +13,8 @@
 namespace sst::core {
 namespace {
 
-/// Fixed stream table the policies look streams up in.
+/// Fixed stream table; candidates link through their embedded hooks, so
+/// the table just has to keep the Stream objects address-stable.
 struct StreamTable {
   std::map<StreamId, Stream> streams;
 
@@ -25,9 +26,7 @@ struct StreamTable {
     return s;
   }
 
-  [[nodiscard]] std::function<const Stream&(StreamId)> lookup() const {
-    return [this](StreamId id) -> const Stream& { return streams.at(id); };
-  }
+  [[nodiscard]] Stream& at(StreamId id) { return streams.at(id); }
 };
 
 TEST(DispatchSet, SlotAccountingBoundsResidencies) {
@@ -48,12 +47,12 @@ TEST(DispatchSet, RoundRobinPopsInFifoOrder) {
   table.add(2, 0, 0);
   table.add(3, 0, 0);
   DispatchSet ds(make_policy(DispatchPolicyKind::kRoundRobin));
-  ds.push_back(1);
-  ds.push_back(2);
-  ds.push_back(3);
-  EXPECT_EQ(ds.pop_next(table.lookup()), 1u);
-  EXPECT_EQ(ds.pop_next(table.lookup()), 2u);
-  EXPECT_EQ(ds.pop_next(table.lookup()), 3u);
+  ds.push_back(table.at(1));
+  ds.push_back(table.at(2));
+  ds.push_back(table.at(3));
+  EXPECT_EQ(ds.pop_next().id, 1u);
+  EXPECT_EQ(ds.pop_next().id, 2u);
+  EXPECT_EQ(ds.pop_next().id, 3u);
   EXPECT_FALSE(ds.has_candidates());
 }
 
@@ -62,38 +61,38 @@ TEST(DispatchSet, MemoryBounceRetriesAtTheHead) {
   table.add(1, 0, 0);
   table.add(2, 0, 0);
   DispatchSet ds(make_policy(DispatchPolicyKind::kRoundRobin));
-  ds.push_back(1);
-  const StreamId bounced = ds.pop_next(table.lookup());
-  ds.push_back(2);
+  ds.push_back(table.at(1));
+  Stream& bounced = ds.pop_next();
+  ds.push_back(table.at(2));
   ds.push_front(bounced);  // first-issue allocation failure: retry first
-  EXPECT_EQ(ds.pop_next(table.lookup()), 1u);
-  EXPECT_EQ(ds.pop_next(table.lookup()), 2u);
+  EXPECT_EQ(ds.pop_next().id, 1u);
+  EXPECT_EQ(ds.pop_next().id, 2u);
 }
 
 TEST(DispatchSet, RotationContinuesWhileCandidatesAreEvicted) {
   StreamTable table;
   for (StreamId id = 1; id <= 4; ++id) table.add(id, 0, 0);
   DispatchSet ds(make_policy(DispatchPolicyKind::kRoundRobin));
-  for (StreamId id = 1; id <= 4; ++id) ds.push_back(id);
+  for (StreamId id = 1; id <= 4; ++id) ds.push_back(table.at(id));
 
   // Stream 1 rotates into the only slot; its device then fails and the
   // facade evicts 2 and 3 mid-rotation.
-  EXPECT_EQ(ds.pop_next(table.lookup()), 1u);
+  EXPECT_EQ(ds.pop_next().id, 1u);
   ds.begin_residency();
-  ds.remove(2);
-  ds.remove(3);
+  ds.remove(table.at(2));
+  ds.remove(table.at(3));
   EXPECT_EQ(ds.candidate_count(), 1u);
 
   // Rotation proceeds: 1 leaves, 4 (the only survivor) takes the slot.
   ds.end_residency();
-  ds.push_back(1);
-  EXPECT_EQ(ds.pop_next(table.lookup()), 4u);
+  ds.push_back(table.at(1));
+  EXPECT_EQ(ds.pop_next().id, 4u);
   ds.begin_residency();
   EXPECT_EQ(ds.dispatched_count(), 1u);
   EXPECT_EQ(ds.candidate_count(), 1u);
 
-  // Evicting a stream not in the queue is a no-op, not a corruption.
-  ds.remove(99);
+  // Removing a stream not in the queue is a no-op, not a corruption.
+  ds.remove(table.at(2));
   EXPECT_EQ(ds.candidate_count(), 1u);
 }
 
@@ -102,11 +101,11 @@ TEST(DispatchSet, NearestOffsetPicksTheCloseCandidate) {
   table.add(1, 0, 900 * MiB);  // far from the head position
   table.add(2, 0, 10 * MiB);   // near
   DispatchSet ds(make_policy(DispatchPolicyKind::kNearestOffset));
-  ds.push_back(1);
-  ds.push_back(2);
+  ds.push_back(table.at(1));
+  ds.push_back(table.at(2));
   ds.note_issue(0, 8 * MiB);
-  EXPECT_EQ(ds.pop_next(table.lookup()), 2u);
-  EXPECT_EQ(ds.pop_next(table.lookup()), 1u);
+  EXPECT_EQ(ds.pop_next().id, 2u);
+  EXPECT_EQ(ds.pop_next().id, 1u);
 }
 
 TEST(DispatchSet, NearestOffsetAgingPreventsStarvation) {
@@ -114,15 +113,15 @@ TEST(DispatchSet, NearestOffsetAgingPreventsStarvation) {
   table.add(1, 0, 900 * MiB);  // head of queue, always far
   DispatchSet ds(make_policy(DispatchPolicyKind::kNearestOffset));
   ds.note_issue(0, 0);
-  ds.push_back(1);
+  ds.push_back(table.at(1));
   // Near streams keep arriving and winning; after kWindow bypasses the
   // aged head must win outright.
   StreamId next_id = 2;
   for (int round = 0; round < 64; ++round) {
     table.add(next_id, 0, 1 * MiB);
-    ds.push_back(next_id);
+    ds.push_back(table.at(next_id));
     ++next_id;
-    if (ds.pop_next(table.lookup()) == 1u) {
+    if (ds.pop_next().id == 1u) {
       SUCCEED();
       return;
     }
@@ -135,10 +134,21 @@ TEST(DispatchSet, NoteIssueTracksPerDevicePositions) {
   ds.note_issue(0, 4 * MiB);
   ds.note_issue(1, 8 * MiB);
   ds.note_issue(0, 6 * MiB);  // later issue overwrites
-  const auto& pos = ds.last_issue_pos();
+  const LastIssueTable& pos = ds.last_issue_pos();
   ASSERT_EQ(pos.size(), 2u);
   EXPECT_EQ(pos.at(0), 6 * MiB);
   EXPECT_EQ(pos.at(1), 8 * MiB);
+}
+
+TEST(DispatchSet, LastIssueTableReportsUntouchedDevices) {
+  LastIssueTable table(4);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_FALSE(table.has(2));
+  EXPECT_EQ(table.get(2), LastIssueTable::kNever);
+  EXPECT_EQ(table.get(99), LastIssueTable::kNever);  // out of range: no signal
+  table.note(2, 1 * MiB);
+  EXPECT_TRUE(table.has(2));
+  EXPECT_EQ(table.at(2), 1 * MiB);
 }
 
 }  // namespace

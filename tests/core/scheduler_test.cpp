@@ -109,6 +109,36 @@ TEST(Scheduler, SecondRequestIsBufferHit) {
   EXPECT_EQ(h.dev.submissions.size(), reads_before);
 }
 
+TEST(Scheduler, ZeroCopyServeDeliversStagedDataByReference) {
+  Harness h;
+  Stream& s = h.sched.create_stream(0, 0, 0);
+  int done = 0;
+  std::vector<StagedSlice> slices;
+  ClientRequest req = h.make_req(0, 32 * KiB, &done);
+  req.on_data = [&slices](StagedSlice slice) { slices.push_back(std::move(slice)); };
+  h.sched.enqueue(s, std::move(req));
+  h.run_ms(50);
+  ASSERT_EQ(done, 1);
+  ASSERT_FALSE(slices.empty());
+  // The slices cover the request with the device's actual bytes — and no
+  // memcpy happened on the serve path.
+  Bytes total = 0;
+  for (const auto& slice : slices) {
+    EXPECT_TRUE(blockdev::check_pattern(kSeed, slice.offset, slice.data, slice.length));
+    total += slice.length;
+  }
+  EXPECT_EQ(total, 32 * KiB);
+  EXPECT_EQ(h.sched.staging_stats().bytes_copied, 0u);
+  EXPECT_GE(h.sched.staging_stats().zero_copy_hits, 1u);
+  // The references outlive the staged buffers themselves.
+  ExtentRef held = slices.front().extent;
+  const std::byte* const p = slices.front().data;
+  slices.clear();
+  h.run_ms(2000);  // GC reaps the stream's buffers
+  EXPECT_TRUE(blockdev::check_pattern(kSeed, 0, p, 4 * KiB));
+  EXPECT_GE(held.use_count(), 1u);
+}
+
 TEST(Scheduler, DispatchSetBoundedByD) {
   SchedulerParams p = small_params();
   p.dispatch_set_size = 2;
@@ -468,32 +498,48 @@ TEST(Scheduler, PumpStallsOnMemoryBounceUnderNonFifoPolicy) {
 
 TEST(DispatchPolicy, RoundRobinPicksHead) {
   RoundRobinPolicy p;
-  std::deque<StreamId> candidates{5, 6, 7};
-  Stream dummy;
-  auto lookup = [&dummy](StreamId) -> const Stream& { return dummy; };
-  EXPECT_EQ(p.pick(candidates, lookup, {}), 0u);
+  Stream a, b, c;
+  a.id = 5;
+  b.id = 6;
+  c.id = 7;
+  CandidateList candidates;
+  candidates.push_back(a);
+  candidates.push_back(b);
+  candidates.push_back(c);
+  EXPECT_EQ(p.pick(candidates, LastIssueTable{}), &a);
+  candidates.clear();
 }
 
 TEST(DispatchPolicy, NearestOffsetPicksClosest) {
   NearestOffsetPolicy p;
   Stream a, b, c;
+  a.id = 1;
+  b.id = 2;
+  c.id = 3;
   a.device = b.device = c.device = 0;
   a.prefetch_pos = 10 * MiB;
   b.prefetch_pos = 52 * MiB;
   c.prefetch_pos = 49 * MiB;
-  std::map<StreamId, Stream*> streams{{1, &a}, {2, &b}, {3, &c}};
-  auto lookup = [&streams](StreamId id) -> const Stream& { return *streams.at(id); };
-  std::deque<StreamId> candidates{1, 2, 3};
-  std::map<std::uint32_t, ByteOffset> last{{0, 50 * MiB}};
-  EXPECT_EQ(p.pick(candidates, lookup, last), 2u);  // stream c at 49 MiB
+  CandidateList candidates;
+  candidates.push_back(a);
+  candidates.push_back(b);
+  candidates.push_back(c);
+  LastIssueTable last;
+  last.note(0, 50 * MiB);
+  EXPECT_EQ(p.pick(candidates, last), &c);  // stream c at 49 MiB
+  candidates.clear();
 }
 
 TEST(DispatchPolicy, NearestOffsetFallsBackWithoutHistory) {
   NearestOffsetPolicy p;
-  Stream a;
-  auto lookup = [&a](StreamId) -> const Stream& { return a; };
-  std::deque<StreamId> candidates{4, 5};
-  EXPECT_EQ(p.pick(candidates, lookup, {}), 0u);
+  Stream a, b;
+  a.id = 4;
+  b.id = 5;
+  CandidateList candidates;
+  candidates.push_back(a);
+  candidates.push_back(b);
+  EXPECT_EQ(p.pick(candidates, LastIssueTable{}), &a);
+  candidates.clear();
 }
 
 TEST(DispatchPolicy, FactoryCreatesKinds) {

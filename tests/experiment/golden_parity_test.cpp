@@ -7,10 +7,12 @@
 // fixture diff that must be reviewed (and regenerated) deliberately.
 //
 // Fixtures live in tests/experiment/golden/. To regenerate after an
-// intentional behaviour change, write the four to_json() outputs from the
-// configs below over the committed files and review the diff.
+// intentional behaviour change, run this test binary with
+// SST_REGEN_GOLDEN=1 in the environment (the fixtures are rewritten in the
+// source tree) and review the diff before committing.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -42,9 +44,12 @@ core::SchedulerParams paper(std::uint32_t d, Bytes r, std::uint32_t n, Bytes m) 
   return p;
 }
 
+std::string fixture_path(const std::string& name) {
+  return std::string(SST_SOURCE_DIR) + "/tests/experiment/golden/" + name;
+}
+
 std::string read_fixture(const std::string& name) {
-  const std::string path =
-      std::string(SST_SOURCE_DIR) + "/tests/experiment/golden/" + name;
+  const std::string path = fixture_path(name);
   std::ifstream file(path, std::ios::binary);
   EXPECT_TRUE(file.good()) << "missing fixture " << path;
   std::ostringstream buffer;
@@ -53,9 +58,15 @@ std::string read_fixture(const std::string& name) {
 }
 
 void expect_parity(const std::string& fixture, const ExperimentConfig& ec) {
+  const std::string actual = run_experiment(ec).to_json();
+  if (std::getenv("SST_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(fixture_path(fixture), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write fixture " << fixture_path(fixture);
+    out << actual;
+    return;
+  }
   const std::string expected = read_fixture(fixture);
   ASSERT_FALSE(expected.empty());
-  const std::string actual = run_experiment(ec).to_json();
   // EQ on the whole document: a mismatch prints both JSON bodies, and the
   // first diverging key localizes the regression.
   EXPECT_EQ(actual, expected) << "metrics drifted from " << fixture;

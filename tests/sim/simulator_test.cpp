@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <vector>
 
 namespace sst::sim {
@@ -240,6 +242,204 @@ TEST(Simulator, CancelOversizedCallableReleasesIt) {
   s.run();
   EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.executed_events(), 0u);
+}
+
+// ----- timer-wheel structural paths ---------------------------------------
+
+// Beyond 2^48 ns the wheel hands events to the overflow heap; they must
+// still fire in time order, interleaved with wheel-resident events.
+TEST(Simulator, FarFutureEventsOverflowAndFireInOrder) {
+  constexpr SimTime kHorizon = SimTime{1} << 48;
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(kHorizon + 500, [&] { order.push_back(3); });
+  s.schedule_at(usec(1), [&] { order.push_back(0); });
+  s.schedule_at(kHorizon + 100, [&] { order.push_back(2); });
+  s.schedule_at(kHorizon - 100, [&] { order.push_back(1); });
+  EXPECT_GE(s.overflow_events(), 2u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s.now(), kHorizon + 500);
+}
+
+// Ties at one timestamp break by scheduling order even when the events
+// reached that timestamp through different structures: the overflow heap
+// (scheduled from t=0, beyond the horizon) vs. a near-cursor wheel bucket
+// (scheduled late, from close by). Regression test for tie-breaking that
+// depended on container insertion order.
+TEST(Simulator, TiesBreakInSchedulingOrderAcrossStructures) {
+  constexpr SimTime kTarget = (SimTime{1} << 48) + 12345;
+  Simulator s;
+  std::vector<int> order;
+  // seq 0: far-future -> overflow heap.
+  s.schedule_at(kTarget, [&] { order.push_back(0); });
+  // seq 1: stepping stone that schedules the same timestamp from nearby.
+  s.schedule_at(kTarget - 1000, [&s, &order] {
+    // seq 2: lands in a low wheel level relative to the advanced cursor.
+    s.schedule_at(kTarget, [&order] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_EQ(s.now(), kTarget);
+}
+
+// Events spread across wheel levels cascade toward level 0 as the clock
+// advances and still fire in time order.
+TEST(Simulator, MultiLevelCascadePreservesOrder) {
+  Simulator s;
+  std::vector<SimTime> order;
+  // Times hitting levels 0..4: 64^L-ish spacings, scheduled scrambled.
+  const std::vector<SimTime> times = {3,       70,        5000,      260000,
+                                      9000000, 300000000, 200000000, 64};
+  std::vector<SimTime> scrambled = {9000000, 3, 260000, 300000000,
+                                    70,      5000, 200000000, 64};
+  for (const SimTime t : scrambled) {
+    s.schedule_at(t, [&order, t] { order.push_back(t); });
+  }
+  s.run();
+  std::vector<SimTime> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(order.size(), sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(order[i], sorted[i]);
+  EXPECT_GT(s.wheel_cascades(), 0u);
+}
+
+TEST(Simulator, CancelWorksInEveryResidence) {
+  constexpr SimTime kHorizon = SimTime{1} << 48;
+  Simulator s;
+  int fired = 0;
+  auto wheel_low = s.schedule_at(10, [&] { ++fired; });
+  auto wheel_high = s.schedule_at(usec(500), [&] { ++fired; });
+  auto heap = s.schedule_at(kHorizon + 1, [&] { ++fired; });
+  EXPECT_EQ(s.pending_events(), 3u);
+  wheel_low.cancel();
+  wheel_high.cancel();
+  heap.cancel();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_TRUE(s.empty());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+// An event may cancel a peer that shares its timestamp and already sits in
+// the dispatch batch; the peer must not fire.
+TEST(Simulator, CancelDuringSameTimestampBatch) {
+  Simulator s;
+  int fired = 0;
+  EventHandle victim;
+  s.schedule_at(100, [&] { victim.cancel(); });
+  victim = s.schedule_at(100, [&] { ++fired; });
+  s.schedule_at(100, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.executed_events(), 2u);
+}
+
+// Zero-delay events scheduled while a timestamp's batch is firing join the
+// same simulated instant, ordered after the already-collected events.
+TEST(Simulator, ZeroDelayFromBatchFiresAtSameInstant) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(50, [&] {
+    order.push_back(0);
+    s.schedule_after(0, [&s, &order] {
+      order.push_back(2);
+      EXPECT_EQ(s.now(), 50u);
+    });
+  });
+  s.schedule_at(50, [&] { order.push_back(1); });
+  s.run_until(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// Differential test: the wheel + overflow heap + batch machinery must agree
+// with a trivial reference model (stable sort by time then scheduling
+// order) across randomized schedule/cancel/run_until rounds, including
+// zero delays, shared timestamps, and horizon-crossing jumps.
+TEST(Simulator, DifferentialAgainstReferenceModel) {
+  struct RefEvent {
+    SimTime when;
+    std::uint64_t seq;
+    int id;
+    bool cancelled;
+  };
+  Simulator s;
+  std::vector<RefEvent> ref;
+  std::vector<int> fired;
+  std::vector<int> ref_fired;
+  std::vector<std::size_t> live;  // indices into ref, also holding handles
+  std::vector<EventHandle> handles;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next_rand = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  std::uint64_t seq = 0;
+  int next_id = 0;
+  const SimTime horizon = SimTime{1} << 48;
+
+  for (int round = 0; round < 40; ++round) {
+    // Schedule a burst with adversarial delays.
+    const int burst = 1 + static_cast<int>(next_rand() % 24);
+    for (int i = 0; i < burst; ++i) {
+      SimTime delay = 0;
+      switch (next_rand() % 6) {
+        case 0: delay = 0; break;
+        case 1: delay = next_rand() % 4; break;  // collide within a bucket
+        case 2: delay = next_rand() % 1000; break;
+        case 3: delay = next_rand() % msec(1); break;
+        case 4: delay = next_rand() % sec(10); break;
+        default: delay = horizon + next_rand() % sec(1); break;  // overflow
+      }
+      const int id = next_id++;
+      const SimTime when = s.now() + delay;
+      handles.push_back(s.schedule_at(when, [&fired, id] { fired.push_back(id); }));
+      ref.push_back(RefEvent{when, seq++, id, false});
+      live.push_back(ref.size() - 1);
+    }
+    // Cancel a random subset of still-live events.
+    for (std::size_t i = 0; i < live.size();) {
+      if (next_rand() % 5 == 0) {
+        handles[i].cancel();
+        ref[live[i]].cancelled = true;
+        handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(i));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    // Advance: sometimes a bounded window, sometimes to drain.
+    const bool drain = next_rand() % 7 == 0;
+    const SimTime deadline = drain ? ~SimTime{0} : s.now() + next_rand() % sec(2);
+    if (drain) {
+      s.run();
+    } else {
+      s.run_until(deadline);
+    }
+    // Reference: fire everything due by the deadline in (when, seq) order.
+    std::vector<std::size_t> due;
+    for (std::size_t i = 0; i < live.size();) {
+      const RefEvent& e = ref[live[i]];
+      if (!e.cancelled && e.when <= deadline) {
+        due.push_back(live[i]);
+        handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(i));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    std::sort(due.begin(), due.end(), [&ref](std::size_t a, std::size_t b) {
+      if (ref[a].when != ref[b].when) return ref[a].when < ref[b].when;
+      return ref[a].seq < ref[b].seq;
+    });
+    for (const std::size_t i : due) ref_fired.push_back(ref[i].id);
+    ASSERT_EQ(fired, ref_fired) << "diverged in round " << round;
+    ASSERT_EQ(s.pending_events(), live.size()) << "round " << round;
+  }
+  s.run();
+  EXPECT_GT(s.overflow_events(), 0u);
 }
 
 }  // namespace
