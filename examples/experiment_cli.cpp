@@ -14,6 +14,20 @@
 //   ./build/examples/experiment_cli workload.streams=100 \
 //       sweep.sched.read_ahead=512K,2M,8M sweep.workload.streams=10,100
 //
+// Parallel engine keys (see src/configio/loaders.hpp):
+//
+//   sim.shards=N                shard the event engine over N device-stack
+//                               slices (alias: topology.shards; clamped to
+//                               the controller count / raid layout; 1 =
+//                               the classic single-threaded engine)
+//   sim.lookahead=500us         conservative barrier horizon == modelled
+//                               cross-shard interconnect latency (0 =
+//                               derive from net.latency or the default)
+//   workload.seed=K             global workload seed; per-stream seeds
+//                               derive from it per shard
+//   workload.think_jitter=2ms   uniform random extra think time in [0, J]
+//                               per completion, from the stream's seed
+//
 // Observability flags (work in both single and sweep mode; sweep mode
 // writes one file per grid point, with the point index before the
 // extension):
@@ -180,7 +194,8 @@ void print_single(const experiment::ExperimentConfig& ec,
                  (ec.scheduler ? "stream scheduler" : "raw devices"));
   table.set_columns({"metric", "value"});
   table.add_row({std::string("aggregate MB/s"), result.total_mbps});
-  table.add_row({std::string("per-disk MB/s"), result.per_disk_mbps(ec.topology.node.total_disks())});
+  table.add_row(
+      {std::string("per-disk MB/s"), result.per_disk_mbps(ec.topology.node.total_disks())});
   table.add_row({std::string("requests completed"),
                  static_cast<std::int64_t>(result.requests_completed)});
   table.add_row({std::string("mean latency ms"), result.latency.mean_ms()});

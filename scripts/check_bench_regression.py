@@ -23,8 +23,16 @@ Two classes of regression fail the gate:
     nonzero current value fails (the zero-copy path started copying).
 
 Wall-clock style results ("sec") and machine-dependent ones ("threads",
-speedup "x") are reported but never gated: CI runners are too noisy for
-absolute timing, and the same work is covered by the rate benchmarks.
+scaling factor "x") are reported but never gated: CI runners are too
+noisy for absolute timing, and the same work is covered by the rate
+benchmarks. The parallel-engine "speedup" unit is deliberately NOT in
+the ungated set: sim_parallel_speedup is a first-class deliverable of
+the sharded simulation core, and its baseline is set conservatively so
+the 15% tolerance floor still asserts the >= 2x-at-4-shards contract
+on 4-vCPU runners. (On hosts with fewer than 4 cores the bench binary
+itself emits that entry under the ungated "x" unit — gating keys off
+the current run's unit — since a parallel speedup measured without the
+cores to run the shards is noise, not signal.)
 New benchmarks missing from the baseline are reported as informational;
 benchmarks that disappeared fail the gate (a silently dropped benchmark
 is how regressions hide).

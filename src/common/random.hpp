@@ -24,6 +24,23 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// SplitMix64's finalizer as a standalone bijective hash (the same mix the
+/// fault injector keys its per-command decisions with).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Derive an independent child seed from (seed, salt) by chaining mix64 —
+/// the hash-keyed scheme from src/fault, reused so workload shards and
+/// streams get decorrelated sequences instead of sharing one. Different
+/// salts under one seed (and the same salt under different seeds) yield
+/// unrelated child seeds.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
+  return mix64(mix64(seed ^ 0x5353545F53454544ULL) ^ salt);
+}
+
 /// Xoshiro256** — fast, high-quality, tiny-state PRNG.
 class Rng {
  public:

@@ -333,14 +333,23 @@ Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
   const auto outstanding =
       static_cast<std::uint32_t>(cfg.get_int("workload.outstanding", 1));
   const SimTime think = cfg.get_duration("workload.think", 0);
+  const SimTime jitter = cfg.get_duration("workload.think_jitter", 0);
   const SimTime period = cfg.get_duration("workload.issue_period", 0);
   for (auto& spec : ec.streams) {
     spec.outstanding = std::max<std::uint32_t>(1, outstanding);
     spec.think_time = think;
+    spec.think_jitter = jitter;
     spec.issue_period = period;
   }
+  const auto workload_seed =
+      static_cast<std::uint64_t>(cfg.get_int("workload.seed", 0));
+  if (workload_seed != 0) ec.workload_seed = workload_seed;
   ec.warmup = cfg.get_duration("run.warmup", ec.warmup);
   ec.measure = cfg.get_duration("run.measure", ec.measure);
+  const auto shards = cfg.get_int("sim.shards", cfg.get_int("topology.shards", 1));
+  if (shards < 1) return make_error("sim.shards must be >= 1");
+  ec.shards = static_cast<std::uint32_t>(shards);
+  ec.lookahead = cfg.get_duration("sim.lookahead", 0);
   if (cfg.contains("sched.fail_threshold") && ec.scheduler.has_value()) {
     ec.scheduler->device_fail_threshold = static_cast<std::uint32_t>(
         cfg.get_int("sched.fail_threshold", ec.scheduler->device_fail_threshold));

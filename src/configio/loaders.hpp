@@ -82,10 +82,14 @@ namespace sst::configio {
 [[nodiscard]] Result<node::TopologySpec> load_topology_spec(const Config& cfg);
 
 /// Keys: all of the above plus workload.streams, workload.request,
-/// workload.outstanding, workload.think, workload.issue_period,
-/// run.warmup, run.measure, and sched.enable (default: true when any
-/// sched.* key is present). Stream specs are sized against the topology's
-/// logical device view (e.g. one striped volume).
+/// workload.outstanding, workload.think, workload.think_jitter,
+/// workload.seed (0 = keep the built-in default), workload.issue_period,
+/// run.warmup, run.measure, sched.enable (default: true when any sched.*
+/// key is present), sim.shards (alias topology.shards; event-engine shards,
+/// 1 = single-threaded) and sim.lookahead (cross-shard barrier horizon;
+/// 0 = derive from the network latency or the built-in default). Stream
+/// specs are sized against the topology's logical device view (e.g. one
+/// striped volume).
 [[nodiscard]] Result<experiment::ExperimentConfig> load_experiment(const Config& cfg);
 
 }  // namespace sst::configio

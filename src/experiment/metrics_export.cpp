@@ -58,6 +58,19 @@ std::string ExperimentResult::to_json() const {
   reg.counter("sim.events_dispatched", sim_events_dispatched);
   reg.counter("sim.wheel_cascades", sim_wheel_cascades);
 
+  // The shard group only appears when the run actually sharded, keeping
+  // the export byte-identical for single-threaded runs (golden parity).
+  if (shard_summary.shards > 1) {
+    reg.counter("sim.shard_count", shard_summary.shards);
+    reg.counter("sim.shard_requested", shard_summary.requested);
+    reg.gauge("sim.shard_lookahead_ms", to_millis(shard_summary.lookahead));
+    reg.counter("sim.shard_windows", shard_summary.windows);
+    reg.counter("sim.shard_cross_events", shard_summary.cross_shard_events);
+    reg.counter("sim.shard_horizon_violations", shard_summary.horizon_violations);
+    reg.counter("sim.shard_min_events", shard_summary.min_shard_events);
+    reg.counter("sim.shard_max_events", shard_summary.max_shard_events);
+  }
+
   reg.counter("staging.bytes_copied", staging_stats.bytes_copied);
   reg.counter("staging.zero_copy_hits", staging_stats.zero_copy_hits);
 

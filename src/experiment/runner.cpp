@@ -5,11 +5,18 @@
 #include <memory>
 #include <string>
 
+#include "experiment/sharding.hpp"
 #include "sim/simulator.hpp"
 
 namespace sst::experiment {
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (config.shards > 1) {
+    const ShardPlan plan = plan_shards(config.topology, config.shards, config.lookahead);
+    // The plan can collapse to one shard (single controller, striping);
+    // then the plain engine below is both correct and faster.
+    if (plan.shard_count() > 1) return run_experiment_sharded(config, plan);
+  }
   sim::Simulator simulator;
   // The whole deployment — node plus the declarative device stack (sim
   // disk -> fault -> retry -> raid -> network) — comes from the topology
@@ -50,8 +57,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   std::vector<std::unique_ptr<workload::StreamClient>> clients;
   clients.reserve(config.streams.size());
-  for (const auto& spec : config.streams) {
+  for (std::uint32_t i = 0; i < config.streams.size(); ++i) {
+    workload::StreamSpec spec = config.streams[i];
     assert(spec.device < devices.size());
+    if (spec.seed == 0) {
+      // The single-threaded engine is the one-shard case of the derivation
+      // chain: shard 0's sequence, ordinal = position in spec order.
+      spec.seed = stream_seed(shard_workload_seed(config.workload_seed, 0), i);
+    }
     clients.push_back(std::make_unique<workload::StreamClient>(
         simulator, sink, spec, topology.device_capacity(spec.device)));
   }

@@ -42,6 +42,35 @@ struct ExperimentConfig {
   /// per-disk queue depth, windowed MB/s) every `sample_interval` of sim
   /// time into ExperimentResult::timeseries.
   SimTime sample_interval = 0;
+  /// Event-engine shards (`sim.shards` / `topology.shards` keys). 1 = the
+  /// single-threaded engine, byte-identical to every release so far. > 1 =
+  /// the deployment splits at controller boundaries into that many
+  /// device-stack shards (clamped to the controller count and the raid
+  /// layout) running in parallel under a conservative-lookahead barrier,
+  /// with the clients reaching the shards over a modelled interconnect of
+  /// one lookahead per hop. Deterministic for a fixed seed and shard count.
+  std::uint32_t shards = 1;
+  /// Cross-shard interconnect latency == the barrier lookahead
+  /// (`sim.lookahead` key). 0 = derive from the stack's network link
+  /// latency, or the built-in default without one.
+  SimTime lookahead = 0;
+  /// Global workload seed (`workload.seed` key). Streams whose spec leaves
+  /// `seed` at 0 get an independent per-stream seed derived from this via
+  /// the per-shard hash chain (see experiment/sharding.hpp).
+  std::uint64_t workload_seed = 0x53535457'4C4F4144ULL;  // "SSTWLOAD"
+};
+
+/// Parallel-engine counters; `shards` stays 1 (and nothing is exported)
+/// for single-threaded runs.
+struct ShardSummary {
+  std::uint32_t shards = 1;     ///< effective shard count
+  std::uint32_t requested = 1;  ///< configured value before clamping
+  SimTime lookahead = 0;
+  std::uint64_t windows = 0;             ///< barrier windows executed
+  std::uint64_t cross_shard_events = 0;  ///< mailbox envelopes delivered
+  std::uint64_t horizon_violations = 0;  ///< late deliveries (should be 0)
+  std::uint64_t min_shard_events = 0;    ///< least-loaded shard's events
+  std::uint64_t max_shard_events = 0;    ///< most-loaded shard's events
 };
 
 struct ExperimentResult {
@@ -72,6 +101,9 @@ struct ExperimentResult {
   raid::MirrorStats mirror_stats;    ///< summed over groups; zeros without kMirror
   std::uint64_t devices_failed = 0;  ///< declared failed by the scheduler
   std::uint64_t client_errors = 0;   ///< client requests completed in error
+  /// Parallel-engine counters; exported as sim.shard_* only when the run
+  /// actually sharded (keeping single-shard exports byte-identical).
+  ShardSummary shard_summary;
   /// Sampled gauges; empty unless ExperimentConfig::sample_interval > 0.
   obs::TimeSeries timeseries;
 

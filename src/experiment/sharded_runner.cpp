@@ -1,0 +1,500 @@
+// Parallel experiment runner: the deployment splits into per-controller
+// device-stack shards (each with its own Simulator, node slice, scheduler
+// and stack wrappers), advanced in lockstep by sim::ShardedEngine's
+// conservative-lookahead barrier.
+//
+// Placement: every shard owns its slice end-to-end — topology, storage
+// server, fault injector, tracer, sampler — so within a barrier window no
+// state is shared between worker threads. All stream clients live on shard
+// 0 (they model hosts, not disks, and keeping them together preserves the
+// spec-order determinism of their event interleaving); their requests reach
+// the owning shard over a modelled interconnect of exactly one lookahead
+// per direction. That hop applies to shard-0-local devices too, so every
+// stream pays the same round-trip tax and per-stream fairness comparisons
+// stay meaningful.
+//
+// Faithfulness: a sharded run is NOT event-for-event identical to the
+// single-threaded run of the same config — the interconnect hop shifts
+// arrival phasing and each slice schedules against its own dispatch-set /
+// memory share. It is a deterministic function of (config, seed, shard
+// count): repeated runs reproduce identical metrics byte-for-byte.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/sharding.hpp"
+#include "sim/sharded.hpp"
+
+namespace sst::experiment {
+
+namespace {
+
+void add_disk_totals(node::NodeDiskTotals& a, const node::NodeDiskTotals& b) {
+  a.bytes_requested += b.bytes_requested;
+  a.bytes_from_media += b.bytes_from_media;
+  a.commands += b.commands;
+  a.cache_hits += b.cache_hits;
+  a.cache_misses += b.cache_misses;
+  a.wasted_prefetch_sectors += b.wasted_prefetch_sectors;
+  a.seek_time += b.seek_time;
+  a.busy_time += b.busy_time;
+}
+
+void add_controller_totals(node::NodeControllerTotals& a,
+                           const node::NodeControllerTotals& b) {
+  a.commands += b.commands;
+  a.bytes_to_host += b.bytes_to_host;
+  a.bus_busy_time += b.bus_busy_time;
+  a.cache_hits += b.cache_hits;
+  a.cache_misses += b.cache_misses;
+  a.cache_evictions += b.cache_evictions;
+  a.prefetched_bytes += b.prefetched_bytes;
+  a.wasted_prefetch_bytes += b.wasted_prefetch_bytes;
+}
+
+void add_scheduler_stats(core::SchedulerStats& a, const core::SchedulerStats& b) {
+  a.streams_created += b.streams_created;
+  a.streams_retired += b.streams_retired;
+  a.disk_reads += b.disk_reads;
+  a.bytes_prefetched += b.bytes_prefetched;
+  a.client_completions += b.client_completions;
+  a.bytes_served += b.bytes_served;
+  a.buffer_hits += b.buffer_hits;
+  a.rotations += b.rotations;
+  a.dispatch_stalls += b.dispatch_stalls;
+  a.gc_buffers_reclaimed += b.gc_buffers_reclaimed;
+  a.gc_bytes_wasted += b.gc_bytes_wasted;
+  a.gc_streams_retired += b.gc_streams_retired;
+  a.fallback_direct_reads += b.fallback_direct_reads;
+  a.escalated_reads += b.escalated_reads;
+  a.prefetch_errors += b.prefetch_errors;
+  a.streams_evicted += b.streams_evicted;
+  a.requests_failed += b.requests_failed;
+}
+
+void add_server_stats(core::ServerStats& a, const core::ServerStats& b) {
+  a.requests += b.requests;
+  a.sequential_requests += b.sequential_requests;
+  a.direct_reads += b.direct_reads;
+  a.direct_writes += b.direct_writes;
+  a.rejected_requests += b.rejected_requests;
+}
+
+void add_classifier_stats(core::ClassifierStats& a, const core::ClassifierStats& b) {
+  a.requests_seen += b.requests_seen;
+  a.regions_allocated += b.regions_allocated;
+  a.regions_collected += b.regions_collected;
+  a.streams_detected += b.streams_detected;
+  a.bitmap_bytes += b.bitmap_bytes;
+}
+
+void add_staging_stats(core::StagingStats& a, const core::StagingStats& b) {
+  a.bytes_copied += b.bytes_copied;
+  a.zero_copy_hits += b.zero_copy_hits;
+}
+
+void add_fault_stats(fault::FaultStats& a, const fault::FaultStats& b) {
+  a.commands_seen += b.commands_seen;
+  a.media_errors += b.media_errors;
+  a.persistent_errors += b.persistent_errors;
+  a.hangs += b.hangs;
+  a.spikes += b.spikes;
+}
+
+void add_net_fault_stats(net::NetFaultStats& a, const net::NetFaultStats& b) {
+  a.dropped += b.dropped;
+  a.spiked += b.spiked;
+  a.transport_errors += b.transport_errors;
+}
+
+void add_retry_stats(core::RetryStats& a, const core::RetryStats& b) {
+  a.commands += b.commands;
+  a.retries_total += b.retries_total;
+  a.timeouts += b.timeouts;
+  a.media_errors += b.media_errors;
+  a.recovered += b.recovered;
+  a.giveups += b.giveups;
+  a.backoff_time += b.backoff_time;
+}
+
+void add_mirror_stats(raid::MirrorStats& a, const raid::MirrorStats& b) {
+  a.reads += b.reads;
+  a.writes += b.writes;
+  a.member_errors += b.member_errors;
+  a.failovers += b.failovers;
+  a.degraded_reads += b.degraded_reads;
+  a.degraded_writes += b.degraded_writes;
+  a.read_failures += b.read_failures;
+  a.write_failures += b.write_failures;
+}
+
+/// The slice's proportional share of the host scheduler resources. The
+/// dispatch set and the buffer budget both scale with the slice's share of
+/// the logical devices (rounded, floor 1 / one read-ahead), then the
+/// budget is raised to whatever the scaled dispatch set needs so the
+/// params still validate.
+core::SchedulerParams slice_scheduler_params(const core::SchedulerParams& params,
+                                             std::uint32_t slice_devices,
+                                             std::uint32_t total_devices) {
+  core::SchedulerParams scaled = params;
+  const double share =
+      static_cast<double>(slice_devices) / static_cast<double>(total_devices);
+  if (params.dispatch_set_size > 0) {
+    scaled.dispatch_set_size = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::llround(params.dispatch_set_size * share)));
+  }
+  scaled.memory_budget = std::max<Bytes>(
+      static_cast<Bytes>(std::llround(static_cast<double>(params.memory_budget) * share)),
+      scaled.read_ahead);
+  const Bytes dispatch_need = static_cast<Bytes>(scaled.dispatch_set_size) *
+                              scaled.read_ahead * scaled.requests_per_residency;
+  scaled.memory_budget = std::max(scaled.memory_budget, dispatch_need);
+  return scaled;
+}
+
+/// Everything one shard owns. Stable addresses: the vector is sized once.
+struct ShardState {
+  std::unique_ptr<node::Topology> topology;
+  std::unique_ptr<core::StorageServer> server;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler;
+  workload::RequestSink entry;  ///< top of the slice's stack, runs on its shard
+};
+
+}  // namespace
+
+ShardPlan plan_shards(const node::TopologySpec& topology, std::uint32_t requested,
+                      SimTime lookahead_override) {
+  ShardPlan plan;
+  plan.requested = std::max<std::uint32_t>(1, requested);
+  plan.lookahead = lookahead_override > 0
+                       ? lookahead_override
+                       : (topology.stack.network.has_value()
+                              ? std::max(kDefaultShardLookahead,
+                                         topology.stack.network->latency)
+                              : kDefaultShardLookahead);
+
+  const std::uint32_t controllers = topology.node.num_controllers;
+  const std::uint32_t dpc = topology.node.disks_per_controller;
+  std::uint32_t shards = std::min(plan.requested, controllers);
+  // One striped volume spans every device: the raid layer is a single
+  // coupling point, so striping always runs single-shard.
+  if (topology.stack.raid.kind == io::RaidSpec::Kind::kStripe) shards = 1;
+
+  const std::uint32_t mirror_ways =
+      topology.stack.raid.kind == io::RaidSpec::Kind::kMirror
+          ? topology.stack.raid.mirror_ways
+          : 1;
+  for (; shards > 1; --shards) {
+    // Near-even contiguous controller ranges; accept this count only when
+    // no mirror group straddles a boundary.
+    bool ok = true;
+    for (std::uint32_t k = 0; k < shards && ok; ++k) {
+      const std::uint32_t begin = k * controllers / shards;
+      const std::uint32_t end = (k + 1) * controllers / shards;
+      ok = ((end - begin) * dpc) % mirror_ways == 0;
+    }
+    if (ok) break;
+  }
+
+  for (std::uint32_t k = 0; k < shards; ++k) {
+    ShardSlice slice;
+    slice.ctrl_begin = k * controllers / shards;
+    slice.ctrl_count = (k + 1) * controllers / shards - slice.ctrl_begin;
+    slice.dev_begin = slice.ctrl_begin * dpc;
+    slice.dev_count = slice.ctrl_count * dpc;
+    slice.logical_begin = slice.dev_begin / mirror_ways;
+    slice.logical_count = slice.dev_count / mirror_ways;
+    plan.slices.push_back(slice);
+  }
+  return plan;
+}
+
+ExperimentResult run_experiment_sharded(const ExperimentConfig& config,
+                                        const ShardPlan& plan) {
+  const std::uint32_t num_shards = plan.shard_count();
+  const SimTime hop = plan.lookahead;  // one-way interconnect latency
+  assert(num_shards > 1 && hop > 0);
+  sim::ShardedEngine engine(num_shards, hop);
+  const std::uint32_t total_logical = config.topology.logical_device_count();
+
+  std::vector<ShardState> shards(num_shards);
+  for (std::uint32_t k = 0; k < num_shards; ++k) {
+    const ShardSlice& slice = plan.slices[k];
+    sim::Simulator& sim = engine.shard(k);
+    ShardState& shard = shards[k];
+    shard.topology = std::make_unique<node::Topology>(
+        sim, config.topology.shard_slice(slice.ctrl_begin, slice.ctrl_count));
+    io::DeviceStack& stack = shard.topology->stack();
+    const std::vector<blockdev::BlockDevice*>& devices = stack.devices();
+
+    if (config.scheduler.has_value()) {
+      shard.server = std::make_unique<core::StorageServer>(
+          sim, devices,
+          slice_scheduler_params(*config.scheduler, slice.logical_count, total_logical));
+    }
+    if (config.tracer != nullptr) {
+      // Shards record into private tracers (no cross-thread appends) that
+      // merge into the caller's tracer after the run.
+      shard.tracer = std::make_unique<obs::Tracer>();
+      shard.topology->attach_tracer(shard.tracer.get());
+      if (shard.server) shard.server->set_tracer(shard.tracer.get());
+    }
+
+    workload::RequestSink sink;
+    if (shard.server) {
+      sink = [srv = shard.server.get()](core::ClientRequest req) {
+        srv->submit(std::move(req));
+      };
+    } else {
+      sink = [&devices](core::ClientRequest req) {
+        blockdev::BlockRequest io;
+        io.offset = req.offset;
+        io.length = req.length;
+        io.op = req.op;
+        io.id = req.id;
+        io.data = req.data;
+        io.on_complete = std::move(req.on_complete);
+        devices.at(req.device)->submit(std::move(io));
+      };
+    }
+    shard.entry = stack.wrap_sink(std::move(sink));
+  }
+
+  // Clients: round-robin across shards by spec ordinal — a pure function
+  // of (spec order, shard count), so placement is deterministic and client
+  // event work spreads evenly instead of serializing on one shard. Each
+  // client's route sink runs on its home shard, forwards the request one
+  // hop to the owning shard, and splices a return hop into on_complete —
+  // both directions exactly `hop` (even for home == owner, where the post
+  // degenerates to a local schedule), so every stream pays the same
+  // round-trip tax and cross-shard posts satisfy the lookahead contract by
+  // construction.
+  std::vector<std::unique_ptr<workload::StreamClient>> clients;
+  clients.reserve(config.streams.size());
+  std::vector<std::vector<const workload::StreamClient*>> residents(num_shards);
+  std::vector<std::uint32_t> shard_ordinal(num_shards, 0);
+  for (std::size_t i = 0; i < config.streams.size(); ++i) {
+    const workload::StreamSpec& spec = config.streams[i];
+    assert(spec.device < total_logical);
+    const std::uint32_t k = plan.shard_of_logical(spec.device);
+    const std::uint32_t home = static_cast<std::uint32_t>(i % num_shards);
+    sim::Simulator& home_sim = engine.shard(home);
+    workload::StreamSpec local = spec;
+    local.device = spec.device - plan.slices[k].logical_begin;
+    if (local.seed == 0) {
+      local.seed =
+          stream_seed(shard_workload_seed(config.workload_seed, k), shard_ordinal[k]);
+    }
+    ++shard_ordinal[k];
+    workload::RequestSink route = [&engine, hs = &home_sim, home, k, hop,
+                                   entry = &shards[k].entry](core::ClientRequest req) {
+      IoCompletion done = std::move(req.on_complete);
+      req.on_complete = [&engine, hs, home, k, hop,
+                         done = std::move(done)](SimTime completed_at,
+                                                 IoStatus status) mutable {
+        engine.post(k, home, completed_at + hop,
+                    [hs, done = std::move(done), status]() mutable {
+                      done(hs->now(), status);
+                    });
+      };
+      engine.post(home, k, hs->now() + hop,
+                  [entry, req = std::move(req)]() mutable { (*entry)(std::move(req)); });
+    };
+    clients.push_back(std::make_unique<workload::StreamClient>(
+        home_sim, std::move(route), local,
+        shards[k].topology->device_capacity(local.device)));
+    residents[home].push_back(clients.back().get());
+  }
+  for (auto& client : clients) client->start();
+
+  if (config.sample_interval > 0) {
+    for (std::uint32_t k = 0; k < num_shards; ++k) {
+      shards[k].sampler =
+          std::make_unique<obs::TimeSeriesSampler>(engine.shard(k), config.sample_interval);
+    }
+    // Gauges sample shard-local state on the shard's own thread. Windowed
+    // MB/s lives with each shard's resident clients (summed into a global
+    // "mbps" column after the merge); per-disk queue depths keep their
+    // global names; scheduler gauges get a shard prefix.
+    for (std::uint32_t k = 0; k < num_shards; ++k) {
+      ShardState& shard = shards[k];
+      const std::string prefix = "shard" + std::to_string(k) + ".";
+      if (!residents[k].empty()) {
+        shard.sampler->add_gauge(
+            prefix + "mbps",
+            [local = residents[k], prev_bytes = Bytes{0}, prev_time = SimTime{0},
+             shard_sim = &engine.shard(k)]() mutable {
+              Bytes total = 0;
+              for (const auto* client : local) {
+                total += client->stats().throughput.total_bytes();
+              }
+              const SimTime now = shard_sim->now();
+              const Bytes delta = total >= prev_bytes ? total - prev_bytes : total;
+              const double mbps =
+                  now > prev_time ? mb_per_sec(delta, now - prev_time) : 0.0;
+              prev_bytes = total;
+              prev_time = now;
+              return mbps;
+            });
+      }
+      if (shard.server) {
+        core::StreamScheduler& sched = shard.server->scheduler();
+        shard.sampler->add_gauge(prefix + "dispatch_set", [&sched]() {
+          return static_cast<double>(sched.dispatched_count());
+        });
+        shard.sampler->add_gauge(prefix + "streams", [&sched]() {
+          return static_cast<double>(sched.stream_count());
+        });
+        shard.sampler->add_gauge(prefix + "pool_mb", [&sched]() {
+          return static_cast<double>(sched.pool().committed()) / 1e6;
+        });
+      }
+      node::StorageNode& node = shard.topology->node();
+      for (std::size_t d = 0; d < node.device_count(); ++d) {
+        const std::size_t global = plan.slices[k].dev_begin + d;
+        shard.sampler->add_gauge("disk" + std::to_string(global) + ".queue_depth",
+                                 [&node, d]() {
+                                   return static_cast<double>(node.disk_of(d).queue_depth());
+                                 });
+      }
+      shard.sampler->start();
+    }
+  }
+
+  engine.run_until(config.warmup);
+  for (auto& client : clients) client->begin_measurement();
+  const SimTime t0 = engine.now();
+  const SimTime t1 = t0 + config.measure;
+  engine.run_until(t1);
+
+  ExperimentResult result;
+  double min_mbps = 1e18;
+  double max_mbps = 0.0;
+  result.stream_mbps.reserve(clients.size());
+  for (const auto& client : clients) {
+    const auto& cs = client->stats();
+    const double mbps = cs.throughput.mbps(t0, t1);
+    result.stream_mbps.push_back(mbps);
+    result.total_mbps += mbps;
+    min_mbps = std::min(min_mbps, mbps);
+    max_mbps = std::max(max_mbps, mbps);
+    result.requests_completed += cs.completed;
+    result.client_errors += cs.errors;
+    result.latency.merge(cs.latency);
+  }
+  result.min_stream_mbps = clients.empty() ? 0.0 : min_mbps;
+  result.max_stream_mbps = max_mbps;
+
+  std::uint64_t min_events = ~0ULL;
+  std::uint64_t max_events = 0;
+  for (std::uint32_t k = 0; k < num_shards; ++k) {
+    ShardState& shard = shards[k];
+    node::StorageNode& node = shard.topology->node();
+    io::DeviceStack& stack = shard.topology->stack();
+    add_disk_totals(result.disk_totals, node.disk_totals());
+    add_controller_totals(result.controller_totals, node.controller_totals());
+    if (shard.server) {
+      add_scheduler_stats(result.scheduler_stats, shard.server->scheduler().stats());
+      add_server_stats(result.server_stats, shard.server->stats());
+      add_classifier_stats(result.classifier_stats, shard.server->classifier().stats());
+      add_staging_stats(result.staging_stats, shard.server->scheduler().staging_stats());
+      // Shards model parallel hosts: the binding figure is the busiest
+      // shard's CPU, not a sum that could read past 100%.
+      result.host_cpu_utilization =
+          std::max(result.host_cpu_utilization,
+                   shard.server->scheduler().cpu().stats().utilization(t1));
+      result.peak_buffer_memory +=
+          shard.server->scheduler().pool().stats().peak_committed;
+      result.devices_failed += shard.server->scheduler().failed_device_count();
+    }
+    if (stack.injector() != nullptr) {
+      add_fault_stats(result.fault_stats, stack.injector()->stats());
+    }
+    if (stack.remote() != nullptr) {
+      add_net_fault_stats(result.net_fault_stats, stack.remote()->fault_stats());
+    }
+    add_retry_stats(result.retry_stats, stack.retry_totals());
+    add_mirror_stats(result.mirror_stats, stack.mirror_totals());
+    const std::uint64_t events = engine.shard(k).executed_events();
+    min_events = std::min(min_events, events);
+    max_events = std::max(max_events, events);
+  }
+  result.raid_kind = config.topology.stack.raid.kind;
+  result.sim_events_dispatched = engine.executed_events();
+  result.sim_wheel_cascades = engine.wheel_cascades();
+
+  result.shard_summary.shards = num_shards;
+  result.shard_summary.requested = plan.requested;
+  result.shard_summary.lookahead = hop;
+  result.shard_summary.windows = engine.stats().windows;
+  result.shard_summary.cross_shard_events = engine.stats().cross_shard_events;
+  result.shard_summary.horizon_violations = engine.stats().horizon_violations;
+  result.shard_summary.min_shard_events = min_events;
+  result.shard_summary.max_shard_events = max_events;
+
+  if (config.tracer != nullptr) {
+    for (std::uint32_t k = 0; k < num_shards; ++k) {
+      const ShardSlice slice = plan.slices[k];
+      const std::uint32_t shard_id = k;
+      // Shift each category of the slice-local track-id layout back into
+      // global coordinates. Stream ids are scheduler-local per shard; they
+      // spread at 0x4000 per shard inside the 16-bit stream window, which
+      // only collides past 16k streams per shard (cosmetic, ids only).
+      config.tracer->merge_from(*shards[k].tracer, [slice, shard_id](std::uint32_t tid) {
+        if (tid >= 0x30000) {
+          return 0x30000 + (((tid - 0x30000) + shard_id * 0x4000) & 0xFFFFU);
+        }
+        if (tid >= 0x20000) return tid + slice.logical_begin;
+        if (tid >= 0x10000) return tid + slice.ctrl_begin;
+        if (tid >= 0x100) return tid + slice.dev_begin;
+        if (tid == obs::kSchedulerTrack) return obs::kSchedulerTrack + shard_id;
+        return tid;
+      });
+    }
+  }
+
+  if (config.sample_interval > 0) {
+    for (auto& shard : shards) shard.sampler->stop();
+    // Samplers tick in lockstep (same interval, same aligned clocks), so
+    // the per-shard series concatenate column-wise on shard 0's timeline.
+    result.timeseries = shards[0].sampler->take();
+    for (std::uint32_t k = 1; k < num_shards; ++k) {
+      obs::TimeSeries series = shards[k].sampler->take();
+      assert(series.times.size() == result.timeseries.times.size());
+      for (auto& name : series.names) {
+        result.timeseries.names.push_back(std::move(name));
+      }
+      const std::size_t rows =
+          std::min(series.rows.size(), result.timeseries.rows.size());
+      for (std::size_t row = 0; row < rows; ++row) {
+        auto& dst = result.timeseries.rows[row];
+        dst.insert(dst.end(), series.rows[row].begin(), series.rows[row].end());
+      }
+    }
+    // Node-wide MB/s is the row-wise sum of the per-shard client gauges —
+    // same name and meaning as the single-threaded runner's column.
+    std::vector<std::size_t> mbps_cols;
+    for (std::size_t col = 0; col < result.timeseries.names.size(); ++col) {
+      const std::string& name = result.timeseries.names[col];
+      if (name.size() > 5 && name.compare(name.size() - 5, 5, ".mbps") == 0) {
+        mbps_cols.push_back(col);
+      }
+    }
+    if (!mbps_cols.empty()) {
+      result.timeseries.names.push_back("mbps");
+      for (auto& row : result.timeseries.rows) {
+        double total = 0.0;
+        for (const std::size_t col : mbps_cols) total += row[col];
+        row.push_back(total);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sst::experiment

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/random.hpp"
 #include "node/device_stack.hpp"
 #include "node/storage_node.hpp"
 
@@ -43,6 +44,47 @@ struct TopologySpec {
       case io::RaidSpec::Kind::kStripe: return disk * node.total_disks();
     }
     return disk;
+  }
+
+  /// Shard-aware assembly: the sub-topology covering `ctrl_count`
+  /// controllers starting at `ctrl_begin`, as its own self-contained spec.
+  /// The slice keeps the global identity of its devices — the content seed
+  /// advances by the first physical disk index (StorageNode seeds device i
+  /// with seed + i), and fault config is rebased into the slice-local
+  /// device space (ranges and filters for other slices drop out) — so the
+  /// union of all slices describes exactly the original deployment.
+  [[nodiscard]] TopologySpec shard_slice(std::uint32_t ctrl_begin,
+                                         std::uint32_t ctrl_count) const {
+    TopologySpec slice = *this;
+    slice.node.num_controllers = ctrl_count;
+    const std::uint32_t dev_begin = ctrl_begin * node.disks_per_controller;
+    const std::uint32_t dev_count = ctrl_count * node.disks_per_controller;
+    slice.node.seed = node.seed + dev_begin;
+    // The injector keys its decisions on (seed, local device index); give
+    // each slice a derived seed so shards don't replay one fault pattern.
+    if (dev_begin != 0) {
+      slice.stack.fault.seed = derive_seed(stack.fault.seed, dev_begin);
+    }
+    slice.stack.fault.bad_ranges.clear();
+    for (fault::BadRange range : stack.fault.bad_ranges) {
+      if (range.device < dev_begin || range.device >= dev_begin + dev_count) continue;
+      range.device -= dev_begin;
+      slice.stack.fault.bad_ranges.push_back(range);
+    }
+    slice.stack.fault.devices.clear();
+    for (const std::uint32_t device : stack.fault.devices) {
+      if (device < dev_begin || device >= dev_begin + dev_count) continue;
+      slice.stack.fault.devices.push_back(device - dev_begin);
+    }
+    // An explicit device filter that excludes this whole slice must not
+    // degenerate into "empty = every device": disable the probabilistic
+    // sources instead.
+    if (!stack.fault.devices.empty() && slice.stack.fault.devices.empty()) {
+      slice.stack.fault.media_error_rate = 0.0;
+      slice.stack.fault.hang_prob = 0.0;
+      slice.stack.fault.spike_prob = 0.0;
+    }
+    return slice;
   }
 
   [[nodiscard]] Status validate() const {

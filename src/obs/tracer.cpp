@@ -79,6 +79,18 @@ std::string Tracer::to_json() const {
   return os.str();
 }
 
+void Tracer::merge_from(const Tracer& other,
+                        const std::function<std::uint32_t(std::uint32_t)>& remap) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (TraceEvent e : other.events_) {
+    if (remap) e.tid = remap(e.tid);
+    events_.push_back(e);
+  }
+  for (const auto& [tid, name] : other.tracks_) {
+    tracks_.emplace_back(remap ? remap(tid) : tid, name);
+  }
+}
+
 bool Tracer::write_file(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;

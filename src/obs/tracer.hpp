@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <utility>
@@ -101,6 +102,15 @@ class Tracer {
     events_.clear();
     tracks_.clear();
   }
+
+  /// Append `other`'s events and track names, mapping every track id
+  /// through `remap` (nullptr = identity). Used to stitch per-shard tracer
+  /// streams into one trace: each shard records device/stream tracks in its
+  /// local id space and the merge shifts them into the global layout.
+  /// Events keep their timestamps; Chrome Trace does not require the
+  /// combined list to be time-sorted.
+  void merge_from(const Tracer& other,
+                  const std::function<std::uint32_t(std::uint32_t)>& remap = nullptr);
 
   /// Serialize as {"traceEvents":[...]}. Deterministic: same events, same
   /// bytes.

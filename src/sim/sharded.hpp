@@ -1,0 +1,137 @@
+// Sharded parallel simulation core: N independent Simulators (one per
+// device-stack shard, each with its own timer wheel, event slab and clock)
+// advanced in lockstep windows by a conservative-lookahead barrier.
+//
+// Synchronization model (classic conservative parallel DES):
+//
+//   - Time is cut into windows [W, W + L) where L is the lookahead. Every
+//     shard runs its local events up to the window end on a worker of the
+//     engine's thread pool, with no locks: during a window a shard's
+//     Simulator and everything it owns are touched only by that worker.
+//   - Cross-shard interactions go through per-(sender, receiver) FIFO
+//     mailboxes via post(). The safety contract is that a message sent at
+//     local time t carries a delivery time >= t + L (the interconnect
+//     latency *is* the lookahead), so a message produced anywhere inside
+//     window [W, W + L) is delivered at or after W + L — never inside the
+//     window that produced it.
+//   - At the barrier (ThreadPool::wait_idle), every shard's clock sits at
+//     exactly the window end; the coordinator *stages* each mailbox with a
+//     buffer swap (O(shards^2) pointer work, independent of traffic) and
+//     opens the next window. Each shard then drains its own staged inboxes
+//     in a fixed sender order at the top of its window — the per-envelope
+//     wheel inserts run in parallel on the receivers instead of
+//     serializing on the coordinator. The pool's submit/wait_idle pair
+//     provides the happens-before edges, so no atomics are needed on the
+//     mailboxes: senders append to `incoming` during a window, the
+//     coordinator swaps `incoming`/`ready` between windows, receivers
+//     consume `ready` during the next window.
+//
+// Determinism: each shard's intra-window execution is sequential and
+// seeded; mailboxes are FIFO per pair and drained in a fixed order, so the
+// tie-break sequence numbers assigned at the receiver are reproducible.
+// The same seed and shard count always yields the same results — windows,
+// event order, everything. A different shard count is a different (but
+// equally deterministic) interleaving.
+//
+// shards == 1 degrades to a plain pass-through around one Simulator with
+// no pool and no barrier, byte-identical to using the Simulator directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace sst::sim {
+
+/// Barrier/mailbox counters for one ShardedEngine run.
+struct ShardedStats {
+  std::uint64_t windows = 0;             ///< lookahead windows executed
+  std::uint64_t cross_shard_events = 0;  ///< mailbox envelopes delivered
+  /// Envelopes whose delivery time was already in the receiver's past at
+  /// drain time (a violated lookahead contract); they are clamped to the
+  /// barrier time instead of dropped. Always 0 for well-formed senders.
+  std::uint64_t horizon_violations = 0;
+};
+
+class ShardedEngine {
+ public:
+  /// `lookahead` must be > 0 when `shards` > 1; it is both the window
+  /// length and the minimum cross-shard latency senders must respect.
+  ShardedEngine(std::uint32_t shards, SimTime lookahead);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+  /// The global time floor: every shard's clock is >= now() (exactly ==
+  /// between windows).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  [[nodiscard]] Simulator& shard(std::uint32_t index) { return *shards_[index]; }
+  [[nodiscard]] const Simulator& shard(std::uint32_t index) const {
+    return *shards_[index];
+  }
+
+  /// Send an event across shards: `fn` runs on shard `to` at time `when`.
+  /// May be called from shard `from`'s executing events during a window, or
+  /// from the coordinator thread between windows (setup, drains) — never
+  /// from any other shard's context. For `from != to` the contract is
+  /// `when >= sender_now + lookahead()`; later deliveries clamp to the
+  /// barrier time and count as horizon_violations. `from == to` schedules
+  /// directly (an ordinary local event, no mailbox, no lookahead floor).
+  void post(std::uint32_t from, std::uint32_t to, SimTime when, detail::EventFn fn);
+
+  /// Advance every shard to exactly `deadline` (inclusive of events at
+  /// `deadline`, like Simulator::run_until), running windows of
+  /// `lookahead()` with mailbox drains at each barrier.
+  void run_until(SimTime deadline);
+
+  [[nodiscard]] const ShardedStats& stats() const { return stats_; }
+  /// Executed events summed over all shards.
+  [[nodiscard]] std::uint64_t executed_events() const;
+  [[nodiscard]] std::uint64_t wheel_cascades() const;
+
+ private:
+  struct Envelope {
+    SimTime when = 0;
+    detail::EventFn fn;
+  };
+
+  /// Double-buffered SPSC channel: the sender's worker appends to
+  /// `incoming` during a window, the coordinator swaps the buffers at the
+  /// barrier, the receiver consumes `ready` during the next window. The
+  /// swap recycles buffer capacity, so steady-state traffic allocates
+  /// nothing.
+  struct Mailbox {
+    std::vector<Envelope> incoming;
+    std::vector<Envelope> ready;
+  };
+
+  /// Barrier step (coordinator only): swap every non-empty `incoming`
+  /// buffer into `ready` for the next window; returns envelopes staged.
+  std::size_t stage_mailboxes();
+  /// Window step (receiver's worker): schedule every staged envelope for
+  /// shard `to` in fixed sender order, clamping deliveries that violate
+  /// the lookahead contract to `drain_time` (the barrier they crossed).
+  void drain_inbox(std::uint32_t to, SimTime drain_time);
+
+  SimTime lookahead_;
+  SimTime now_ = 0;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  /// mail_[from * shard_count + to]; see Mailbox for the access protocol.
+  std::vector<Mailbox> mail_;
+  /// Per-receiver horizon-violation counts, folded into stats_ at each
+  /// barrier (receivers count concurrently during a window).
+  std::vector<std::uint64_t> violations_;
+  std::unique_ptr<ThreadPool> pool_;  ///< absent for shards == 1
+  ShardedStats stats_;
+};
+
+}  // namespace sst::sim

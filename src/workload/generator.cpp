@@ -16,7 +16,11 @@ constexpr SimTime kErrorRetryDelay = msec(10);
 
 StreamClient::StreamClient(sim::Simulator& simulator, RequestSink sink, StreamSpec spec,
                            Bytes device_capacity)
-    : sim_(simulator), sink_(std::move(sink)), spec_(spec), next_offset_(spec.start_offset) {
+    : sim_(simulator),
+      sink_(std::move(sink)),
+      spec_(spec),
+      rng_(spec.seed),
+      next_offset_(spec.start_offset) {
   assert(spec_.request_size > 0 && spec_.request_size % kSectorSize == 0);
   assert(spec_.stride_gap % kSectorSize == 0);
   assert(spec_.start_offset % kSectorSize == 0);
@@ -95,11 +99,19 @@ void StreamClient::on_complete(SimTime issued_at, Bytes length, IoStatus status)
     // time; pace error recovery like a client noticing and backing off.
     sim_.schedule_after(kErrorRetryDelay + spec_.think_time,
                         [this]() { issue_one(); });
-  } else if (spec_.think_time > 0) {
-    sim_.schedule_after(spec_.think_time, [this]() { issue_one(); });
+  } else if (spec_.think_time > 0 || spec_.think_jitter > 0) {
+    sim_.schedule_after(think_delay(), [this]() { issue_one(); });
   } else {
     issue_one();
   }
+}
+
+SimTime StreamClient::think_delay() {
+  SimTime delay = spec_.think_time;
+  // Only jittered streams ever advance the generator, so jitter-free specs
+  // behave identically whatever seed they carry.
+  if (spec_.think_jitter > 0) delay += rng_.next_below(spec_.think_jitter + 1);
+  return delay;
 }
 
 RandomClient::RandomClient(sim::Simulator& simulator, RequestSink sink, std::uint32_t device,

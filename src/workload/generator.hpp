@@ -46,6 +46,15 @@ struct StreamSpec {
   /// Host-side delay between a completion and the next request (models the
   /// application's consumption work and CPU scheduling contention).
   SimTime think_time = 0;
+  /// Uniform random extra think delay in [0, think_jitter] drawn per
+  /// completion from this stream's private generator (seeded from `seed`).
+  /// 0 = fully deterministic pacing and the generator is never advanced.
+  SimTime think_jitter = 0;
+  /// Seed for this stream's private randomness. The experiment runner
+  /// derives it from the global workload seed via derive_seed() — per shard,
+  /// then per stream — so shards draw independent sequences instead of
+  /// sharing one.
+  std::uint64_t seed = 0;
   /// Open-loop pacing: when set, a new request is issued every
   /// `issue_period` regardless of completions (a constant-bitrate
   /// consumer), bounded by `outstanding` in-flight requests — a client at
@@ -68,7 +77,8 @@ struct ClientStats {
 /// Closed-loop sequential reader (one emulated stream).
 class StreamClient {
  public:
-  StreamClient(sim::Simulator& simulator, RequestSink sink, StreamSpec spec, Bytes device_capacity);
+  StreamClient(sim::Simulator& simulator, RequestSink sink, StreamSpec spec,
+               Bytes device_capacity);
 
   /// Issue the initial window of requests.
   void start();
@@ -88,10 +98,12 @@ class StreamClient {
   void issue_one();
   void paced_tick();
   void on_complete(SimTime issued_at, Bytes length, IoStatus status);
+  [[nodiscard]] SimTime think_delay();
 
   sim::Simulator& sim_;
   RequestSink sink_;
   StreamSpec spec_;
+  Rng rng_;
   ByteOffset next_offset_;
   ByteOffset region_end_;
   std::uint64_t issued_total_ = 0;

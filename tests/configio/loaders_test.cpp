@@ -374,6 +374,38 @@ TEST(ExperimentLoader, FaultErrorsPropagateThroughLoadExperiment) {
       load_experiment(make({{"retry.backoff", "0"}, {"retry.enable", "true"}})).ok());
 }
 
+TEST(ExperimentLoader, ParallelEngineKeys) {
+  // Defaults: single shard, derived lookahead, baked-in workload seed.
+  const auto plain = load_experiment(make({}));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().shards, 1u);
+  EXPECT_EQ(plain.value().lookahead, 0u);
+
+  const auto e = load_experiment(make({{"topology.preset", "medium"},
+                                       {"sim.shards", "4"},
+                                       {"sim.lookahead", "2ms"},
+                                       {"workload.seed", "99"},
+                                       {"workload.think_jitter", "3ms"}}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().shards, 4u);
+  EXPECT_EQ(e.value().lookahead, msec(2));
+  EXPECT_EQ(e.value().workload_seed, 99u);
+  for (const auto& spec : e.value().streams) {
+    EXPECT_EQ(spec.think_jitter, msec(3));
+  }
+
+  // topology.shards is an accepted alias; sim.shards wins when both given.
+  const auto alias = load_experiment(make({{"topology.shards", "2"}}));
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(alias.value().shards, 2u);
+  const auto both = load_experiment(
+      make({{"topology.shards", "2"}, {"sim.shards", "3"}}));
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both.value().shards, 3u);
+
+  EXPECT_FALSE(load_experiment(make({{"sim.shards", "0"}})).ok());
+}
+
 TEST(ShippedConfigs, EveryExampleConfigLoads) {
   // The sample configuration files under examples/configs must stay valid.
   for (const char* name :
