@@ -21,6 +21,7 @@
 #include "core/staging_area.hpp"
 #include "experiment/sweep.hpp"
 #include "node/storage_node.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
@@ -157,6 +158,35 @@ BenchResult bench_tracer_record() {
   }
 
   return {"tracer_record", static_cast<double>(kMeasureEvents) / elapsed,
+          "events/sec", allocs};
+}
+
+/// Flight-recorder journaling: the always-on lifecycle ring every request
+/// writes through. Must stay allocation-free (the ring is preallocated and
+/// wraps in place) so leaving the recorder enabled costs nothing beyond a
+/// few stores per event.
+BenchResult bench_flight_record() {
+  constexpr std::uint64_t kWarmupEvents = 1 << 16;
+  constexpr std::uint64_t kMeasureEvents = 1 << 22;
+
+  obs::FlightRecorder flight;  // default capacity: the ring wraps many times
+  for (std::uint64_t i = 0; i < kWarmupEvents; ++i) {
+    flight.record(obs::FlightCode::kServe, i, i, i & 7, 64 * KiB);
+  }
+
+  const std::uint64_t allocs_before = g_allocations.load();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < kMeasureEvents; ++i) {
+    flight.record(obs::FlightCode::kServe, i, i, i & 7, 64 * KiB);
+  }
+  const double elapsed = seconds_since(start);
+  const std::uint64_t allocs = g_allocations.load() - allocs_before;
+  if (flight.recorded() != kWarmupEvents + kMeasureEvents) {
+    std::fprintf(stderr, "flight_record: lost events\n");
+    std::exit(1);
+  }
+
+  return {"flight_record", static_cast<double>(kMeasureEvents) / elapsed,
           "events/sec", allocs};
 }
 
@@ -419,6 +449,7 @@ int main(int argc, char** argv) {
   results.push_back(bench_event_throughput("event_throughput_8k", 8192));
   results.push_back(bench_schedule_cancel());
   results.push_back(bench_tracer_record());
+  results.push_back(bench_flight_record());
   bench_staging(results);
   results.push_back(bench_end_to_end());
   bool find_stream_scaling_ok = true;
@@ -434,7 +465,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.steady_state_allocations));
     if (r.name == "event_throughput" || r.name == "event_throughput_8k" ||
         r.name == "schedule_cancel" || r.name == "tracer_record" ||
-        r.name == "staging_zero_copy") {
+        r.name == "flight_record" || r.name == "staging_zero_copy") {
       if (r.steady_state_allocations != 0) alloc_free = false;
     }
   }

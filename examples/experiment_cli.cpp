@@ -39,6 +39,17 @@
 //   --timeseries=series.csv     sampled gauges as CSV
 //   --sample-interval-ms=N      gauge sampling period (default 100 when
 //                               --timeseries is given)
+//   --flight-record=dump.json   flight-recorder journal destination (the
+//                               ring also dumps here automatically on an
+//                               SLO breach or a device failure; defaults
+//                               to flight_dump.json when an slo.* spec is
+//                               active without this flag)
+//   --flight-dump               force a dump even without a breach
+//   --flight-capacity=N         ring capacity in events (default 4096)
+//
+// Declaring an SLO (slo.objective=50ms, optionally slo.quantile=0.999,
+// slo.window=1s, slo.burn_rate=0.05) makes the run exit with code 3 when
+// the objective is breached, after writing the flight-recorder dump.
 //
 // Prints a result table plus the scheduler/disk counters. See
 // src/configio/loaders.hpp for the full key reference.
@@ -53,6 +64,7 @@
 
 #include "configio/loaders.hpp"
 #include "experiment/sweep.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/tracer.hpp"
 #include "stats/table.hpp"
 
@@ -60,17 +72,31 @@ using namespace sst;
 
 namespace {
 
+/// Exit code for an SLO breach (distinct from 1 = usage/config errors).
+constexpr int kExitSloBreach = 3;
+
 /// Observability outputs requested via --flags.
 struct ObsOptions {
   std::string trace_path;
   std::string metrics_path;
   std::string timeseries_path;
   SimTime sample_interval = 0;
+  std::string flight_path;
+  bool flight_dump = false;
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
 
   [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
   [[nodiscard]] SimTime effective_interval() const {
     if (sample_interval > 0) return sample_interval;
     return timeseries_path.empty() ? 0 : msec(100);
+  }
+  /// Recording is on when any flight flag was given or an SLO is active
+  /// (the breach dump needs a journal to write).
+  [[nodiscard]] bool flight_recording(bool slo_active) const {
+    return !flight_path.empty() || flight_dump || slo_active;
+  }
+  [[nodiscard]] std::string effective_flight_path() const {
+    return flight_path.empty() ? "flight_dump.json" : flight_path;
   }
 };
 
@@ -91,6 +117,21 @@ bool split_obs_flags(int argc, char** argv, ObsOptions& obs,
         obs.sample_interval = msec(std::stoull(arg.substr(21)));
       } catch (...) {
         std::fprintf(stderr, "error: bad --sample-interval-ms value: %s\n", arg.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--flight-record=", 0) == 0) {
+      obs.flight_path = arg.substr(16);
+    } else if (arg == "--flight-dump") {
+      obs.flight_dump = true;
+    } else if (arg.rfind("--flight-capacity=", 0) == 0) {
+      try {
+        obs.flight_capacity = std::stoull(arg.substr(18));
+      } catch (...) {
+        std::fprintf(stderr, "error: bad --flight-capacity value: %s\n", arg.c_str());
+        return false;
+      }
+      if (obs.flight_capacity == 0) {
+        std::fprintf(stderr, "error: --flight-capacity must be >= 1\n");
         return false;
       }
     } else if (arg.rfind("--", 0) == 0) {
@@ -201,6 +242,7 @@ void print_single(const experiment::ExperimentConfig& ec,
   table.add_row({std::string("mean latency ms"), result.latency.mean_ms()});
   table.add_row({std::string("p95 latency ms"), result.latency.p95_ms()});
   table.add_row({std::string("p99 latency ms"), result.latency.p99_ms()});
+  table.add_row({std::string("p999 latency ms"), result.latency.p999_ms()});
   table.add_row({std::string("disk media MB"),
                  static_cast<double>(result.disk_totals.bytes_from_media) / 1e6});
   table.add_row({std::string("disk cache hit rate"),
@@ -238,7 +280,33 @@ void print_single(const experiment::ExperimentConfig& ec,
     table.add_row({std::string("client errors"),
                    static_cast<std::int64_t>(result.client_errors)});
   }
+  if (result.breakdown.enabled) {
+    table.add_row({std::string("stage sum / e2e ms"),
+                   result.breakdown.stage_sum_ms()});
+    table.add_row({std::string("queue stage mean ms"),
+                   result.breakdown.queue.mean_ms()});
+    table.add_row({std::string("uplink stage mean ms"),
+                   result.breakdown.uplink.mean_ms()});
+  }
+  if (result.slo_report.enabled) {
+    table.add_row({std::string("SLO verdict"),
+                   std::string(result.slo_report.pass ? "pass" : "FAIL")});
+    table.add_row({std::string("SLO objective ms"), result.slo_report.objective_ms});
+    table.add_row({std::string("SLO worst window ms"),
+                   result.slo_report.worst_window_ms});
+    table.add_row({std::string("SLO windows breached"),
+                   static_cast<std::int64_t>(result.slo_report.windows_breached)});
+  }
   table.print(std::cout);
+}
+
+/// A dump is written when explicitly requested, on an SLO breach, or when
+/// the fault layer declared a device failed during the run.
+bool should_dump_flight(const ObsOptions& obs,
+                        const experiment::ExperimentResult& result) {
+  if (obs.flight_dump || !obs.flight_path.empty()) return true;
+  if (result.slo_report.enabled && !result.slo_report.pass) return true;
+  return result.devices_failed > 0;
 }
 
 int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes,
@@ -267,9 +335,37 @@ int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes,
       config.tracer = tracers.back().get();
     }
   }
+  // Same isolation rule for the flight recorders.
+  const bool any_slo = [&configs] {
+    for (const auto& config : configs)
+      if (config.slo.enabled()) return true;
+    return false;
+  }();
+  std::vector<std::unique_ptr<obs::FlightRecorder>> flights;
+  if (obs.flight_recording(any_slo)) {
+    flights.reserve(configs.size());
+    for (auto& config : configs) {
+      flights.push_back(std::make_unique<obs::FlightRecorder>(obs.flight_capacity));
+      config.flight = flights.back().get();
+    }
+  }
   for (auto& config : configs) config.sample_interval = obs.effective_interval();
 
   const auto results = experiment::run_sweep(configs);
+
+  bool slo_breached = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].slo_report.enabled && !results[i].slo_report.pass) {
+      slo_breached = true;
+    }
+    if (!flights.empty() && should_dump_flight(obs, results[i])) {
+      const std::string path = indexed_path(obs.effective_flight_path(), i);
+      if (!flights[i]->write_file(path)) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 1;
+      }
+    }
+  }
 
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (obs.tracing() &&
@@ -325,7 +421,7 @@ int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes,
     table.add_row(std::move(row));
   }
   table.print(std::cout);
-  return 0;
+  return slo_breached ? kExitSloBreach : 0;
 }
 
 }  // namespace
@@ -354,6 +450,10 @@ int main(int argc, char** argv) {
   if (obs.tracing()) experiment.value().tracer = &tracer;
   experiment.value().sample_interval = obs.effective_interval();
 
+  obs::FlightRecorder flight(obs.flight_capacity);
+  const bool recording = obs.flight_recording(experiment.value().slo.enabled());
+  if (recording) experiment.value().flight = &flight;
+
   const auto result = experiment::run_experiment(experiment.value());
   print_single(experiment.value(), result);
 
@@ -370,6 +470,23 @@ int main(int argc, char** argv) {
       !write_text_file(obs.timeseries_path, result.timeseries.to_csv())) {
     std::fprintf(stderr, "error: cannot write %s\n", obs.timeseries_path.c_str());
     return 1;
+  }
+  if (recording && should_dump_flight(obs, result)) {
+    const std::string path = obs.effective_flight_path();
+    if (!flight.write_file(path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "flight recorder dump: %s (%llu events, %llu dropped)\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(flight.events().size()),
+                 static_cast<unsigned long long>(flight.dropped()));
+  }
+  if (result.slo_report.enabled && !result.slo_report.pass) {
+    std::fprintf(stderr, "SLO breach: p%g %.3f ms objective, worst window %.3f ms\n",
+                 result.slo_report.quantile * 100.0, result.slo_report.objective_ms,
+                 result.slo_report.worst_window_ms);
+    return kExitSloBreach;
   }
   return 0;
 }

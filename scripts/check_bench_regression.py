@@ -46,6 +46,14 @@ import sys
 UNGATED_UNITS = {"sec", "s", "threads", "x"}
 # Units where the value growing (not shrinking) is the regression.
 LOWER_IS_BETTER_UNITS = {"bytes", "ns/lookup"}
+# Hot paths that must never allocate in steady state, independent of the
+# committed baseline: a baseline that itself regressed (nonzero allocs)
+# must not grandfather the regression in. The flight recorder is on this
+# list because it is always-on — an allocation there taxes every request.
+ZERO_ALLOC_INVARIANT = {
+    "event_throughput", "event_throughput_8k", "schedule_cancel",
+    "tracer_record", "flight_record", "staging_zero_copy",
+}
 
 
 def load(path):
@@ -83,6 +91,10 @@ def main():
         if c_alloc > b_alloc:
             failures.append(
                 f"{name}: steady-state allocations regressed {b_alloc} -> {c_alloc}")
+        if name in ZERO_ALLOC_INVARIANT and c_alloc != 0:
+            failures.append(
+                f"{name}: {c_alloc} steady-state allocations on an alloc-free "
+                "invariant path")
 
         unit = c.get("unit", "")
         b_val, c_val = float(b["value"]), float(c["value"])
@@ -120,8 +132,13 @@ def main():
 
     for name in sorted(set(cur) - set(base)):
         c = cur[name]
+        c_alloc = int(c.get("steady_state_allocations", 0))
+        if name in ZERO_ALLOC_INVARIANT and c_alloc != 0:
+            failures.append(
+                f"{name}: {c_alloc} steady-state allocations on an alloc-free "
+                "invariant path")
         rows.append((name, float("nan"), float(c["value"]), c.get("unit", ""),
-                     int(c.get("steady_state_allocations", 0)), "(new)"))
+                     c_alloc, "(new)"))
 
     print(f"{'benchmark':<28} {'baseline':>14} {'current':>14} "
           f"{'unit':<12} {'allocs':>7}  delta")

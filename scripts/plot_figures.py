@@ -10,14 +10,108 @@ with the measured series values exported as user counters (MBps, mean_ms,
 ...). The script groups rows by every argument except the last one, which
 becomes the x axis, and plots the first counter it finds.
 
+Two further modes render the tail-latency observability surfaces:
+
+    python3 scripts/plot_figures.py --timeseries series.csv
+        Rolling p50/p99/p999 percentile columns from experiment_cli's
+        --timeseries export over simulated time (per-shard "shardK."
+        columns each get their own line).
+
+    python3 scripts/plot_figures.py --breakdown metrics.json
+        Stacked per-stage latency bar (ingress/queue/staging/uplink sums
+        from the latency_breakdown group) from a --metrics export; pass
+        several files to compare runs side by side.
+
 Requires matplotlib (not needed to build or test the library itself).
 """
 
 import csv
+import json
 import re
 import sys
 from collections import defaultdict
 from pathlib import Path
+
+
+PERCENTILE_COLUMNS = ("p50_ms", "p99_ms", "p999_ms")
+BREAKDOWN_STAGES = ("ingress", "queue", "staging", "uplink")
+
+
+def plot_timeseries(path: Path) -> int:
+    """Rolling latency percentiles (global and per-shard) over sim time."""
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    if not rows:
+        print("no time-series rows found")
+        return 1
+    wanted = [name for name in rows[0]
+              if name.split(".")[-1] in PERCENTILE_COLUMNS]
+    if not wanted:
+        print("no percentile columns found (need p50_ms/p99_ms/p999_ms; "
+              "was the run sampled with --sample-interval-ms?)")
+        return 1
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    times = [float(row["time_s"]) for row in rows]
+    for name in wanted:
+        values = [float(row[name] or 0.0) for row in rows]
+        quantile = name.split(".")[-1]
+        style = {"p50_ms": ":", "p99_ms": "--", "p999_ms": "-"}[quantile]
+        ax.plot(times, values, style, label=name)
+    ax.set_xlabel("simulated time (s)")
+    ax.set_ylabel("rolling latency (ms)")
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+    out = path.with_suffix(".percentiles.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return 0
+
+
+def plot_breakdown(paths) -> int:
+    """Stacked per-stage latency bars from latency_breakdown exports."""
+    runs = []
+    for path in paths:
+        doc = json.loads(Path(path).read_text())
+        group = doc.get("latency_breakdown")
+        if group is None:
+            print(f"{path}: no latency_breakdown group (enable an SLO or "
+                  "obs.attribution=true)")
+            return 1
+        attributed = group.get("attributed", 0) or 1
+        runs.append((Path(path).stem,
+                     [group.get(f"{stage}_sum_ms", 0.0) / attributed
+                      for stage in BREAKDOWN_STAGES]))
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    xs = range(len(runs))
+    bottoms = [0.0] * len(runs)
+    for i, stage in enumerate(BREAKDOWN_STAGES):
+        heights = [stages[i] for _, stages in runs]
+        ax.bar(xs, heights, bottom=bottoms, label=stage, width=0.6)
+        bottoms = [b + h for b, h in zip(bottoms, heights)]
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels([name for name, _ in runs], fontsize=8)
+    ax.set_ylabel("mean latency per request (ms)")
+    ax.set_title("per-stage latency attribution")
+    ax.grid(True, axis="y", alpha=0.3)
+    ax.legend(fontsize=8)
+    out = Path(paths[0]).with_suffix(".breakdown.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return 0
 
 
 def parse_name(name: str):
@@ -33,6 +127,10 @@ def parse_name(name: str):
 
 
 def main() -> int:
+    if len(sys.argv) >= 3 and sys.argv[1] == "--timeseries":
+        return plot_timeseries(Path(sys.argv[2]))
+    if len(sys.argv) >= 3 and sys.argv[1] == "--breakdown":
+        return plot_breakdown(sys.argv[2:])
     if len(sys.argv) != 2:
         print(__doc__)
         return 1

@@ -354,6 +354,22 @@ Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
     ec.scheduler->device_fail_threshold = static_cast<std::uint32_t>(
         cfg.get_int("sched.fail_threshold", ec.scheduler->device_fail_threshold));
   }
+
+  // Tail-latency SLO: declaring an objective enables the engine.
+  ec.slo.objective = cfg.get_duration("slo.objective", 0);
+  ec.slo.quantile = cfg.get_double("slo.quantile", ec.slo.quantile);
+  if (ec.slo.quantile <= 0.0 || ec.slo.quantile > 1.0) {
+    return make_error("slo.quantile must be in (0, 1]");
+  }
+  ec.slo.window = cfg.get_duration("slo.window", ec.slo.window);
+  if (ec.slo.enabled() && ec.slo.window == 0) {
+    return make_error("slo.window must be > 0");
+  }
+  ec.slo.burn_rate = cfg.get_double("slo.burn_rate", ec.slo.burn_rate);
+  if (ec.slo.burn_rate < 0.0 || ec.slo.burn_rate > 1.0) {
+    return make_error("slo.burn_rate must be in [0, 1]");
+  }
+  ec.attribution = cfg.get_bool("obs.attribution", false);
   return ec;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "core/dispatch_policy.hpp"
+#include "obs/slo.hpp"
 
 namespace sst::core {
 
@@ -370,6 +371,10 @@ void StreamScheduler::note_device_error(std::uint32_t device, IoStatus status) {
     tracer_->instant(obs::kSchedulerTrack, "scheduler", "device_failed", sim_.now(),
                      "device", static_cast<double>(device));
   }
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightCode::kDeviceFailed, sim_.now(), 0, device,
+                    static_cast<std::uint64_t>(status));
+  }
   std::vector<StreamId> victims;
   for (const auto& [id, s] : streams_) {
     if (s->device == device && !s->evicted) victims.push_back(id);
@@ -391,6 +396,11 @@ std::size_t StreamScheduler::failed_device_count() const {
 
 void StreamScheduler::fail_request(ClientRequest& request, IoStatus status) {
   ++stats_.requests_failed;
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightCode::kRequestFailed, sim_.now(),
+                    request.trace != nullptr ? request.trace->rid : 0, request.device,
+                    static_cast<std::uint64_t>(status));
+  }
   if (request.on_complete) request.on_complete(sim_.now(), status);
 }
 
@@ -409,6 +419,10 @@ void StreamScheduler::evict_stream(Stream& stream, IoStatus status) {
   if (tracer_ != nullptr) {
     tracer_->instant(obs::kSchedulerTrack, "scheduler", "stream_evicted", sim_.now(),
                      "stream", static_cast<double>(stream.id));
+  }
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightCode::kStreamEvicted, sim_.now(), 0, stream.device,
+                    stream.id);
   }
   LogMessage(LogLevel::kWarn, kLog, sim_.now())
       << "stream " << stream.id << " evicted from dev " << stream.device << " ("
@@ -454,8 +468,9 @@ void StreamScheduler::drain_pending(Stream& stream) {
 }
 
 void StreamScheduler::serve_request(Stream& stream, ClientRequest request) {
+  if (request.trace != nullptr) request.trace->serve = sim_.now();
   staging_.consume(stream, request.offset, request.length, request.data, sim_.now(),
-                   request.on_data);
+                   request.on_data, request.trace);
   const ByteOffset req_end = request.offset + request.length;
   if (req_end > stream.served_upto) stream.served_upto = req_end;
   stream.stats.bytes_served += request.length;
@@ -464,6 +479,11 @@ void StreamScheduler::serve_request(Stream& stream, ClientRequest request) {
   if (tracer_ != nullptr) {
     tracer_->instant(obs::stream_track(stream.id), "scheduler", "serve", sim_.now(),
                      "bytes", static_cast<double>(request.length));
+  }
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightCode::kServe, sim_.now(),
+                    request.trace != nullptr ? request.trace->rid : 0, stream.device,
+                    request.length);
   }
 
   cpu_.execute(cpu_.complete_cost(staging_.live_buffers()),

@@ -24,6 +24,7 @@
 #include "core/staging_area.hpp"
 #include "core/stream.hpp"
 #include "core/stream_index.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 
@@ -91,6 +92,10 @@ class StreamScheduler {
   /// Attach a per-experiment tracer (nullptr detaches). Every trace site is
   /// one null check when detached; the tracer must outlive the scheduler.
   void set_tracer(obs::Tracer* tracer);
+
+  /// Attach a flight recorder journaling serve/fail/evict/device-failure
+  /// events (nullptr detaches). Must outlive the scheduler.
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
 
   [[nodiscard]] const SchedulerParams& params() const { return params_; }
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
@@ -177,6 +182,7 @@ class StreamScheduler {
   sim::EventHandle gc_event_;
   SchedulerStats stats_;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace sst::core

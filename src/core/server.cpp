@@ -25,6 +25,11 @@ void StorageServer::set_tracer(obs::Tracer* tracer) {
   }
 }
 
+void StorageServer::set_flight_recorder(obs::FlightRecorder* flight) {
+  flight_ = flight;
+  scheduler_.set_flight_recorder(flight);
+}
+
 void StorageServer::trace_request(ClientRequest& request, const char* kind) {
   const auto tid = obs::request_track(request.device);
   request.on_complete = [this, tid, kind, start = sim_.now(),
@@ -35,11 +40,36 @@ void StorageServer::trace_request(ClientRequest& request, const char* kind) {
   };
 }
 
+void StorageServer::stamp_request(ClientRequest& request, obs::RequestRoute route) {
+  obs::RequestTrace* trace = request.trace;
+  trace->route = route;
+  request.on_complete = [this, trace, tid = obs::request_track(request.device),
+                         prev = std::move(request.on_complete)](SimTime done,
+                                                                IoStatus status) {
+    trace->done = done;
+    // Per-stage spans for stream-served requests: queue (admit -> serve)
+    // and staging (serve -> done). Other routes never pass serve_request.
+    if (tracer_ != nullptr && io_ok(status) && trace->serve >= trace->admit &&
+        trace->serve > 0) {
+      tracer_->complete(tid, "breakdown", "queue", trace->admit, trace->serve);
+      tracer_->complete(tid, "breakdown", "staging", trace->serve, done);
+    }
+    if (prev) prev(done, status);
+  };
+}
+
 void StorageServer::submit(ClientRequest request) {
   assert(request.device < devices_.size());
   assert(request.length > 0);
   assert(request.offset + request.length <= devices_[request.device]->capacity());
   ++stats_.requests;
+
+  if (request.trace != nullptr) request.trace->admit = sim_.now();
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightCode::kAdmit, sim_.now(),
+                    request.trace != nullptr ? request.trace->rid : 0,
+                    request.device, request.id);
+  }
 
   // Classifier regions age out alongside the scheduler's GC; piggyback a
   // sweep on a deterministic request cadence to avoid a second timer.
@@ -52,6 +82,7 @@ void StorageServer::submit(ClientRequest request) {
   if (scheduler_.device_failed(request.device)) {
     ++stats_.rejected_requests;
     if (tracer_ != nullptr) trace_request(request, "rejected");
+    if (request.trace != nullptr) stamp_request(request, obs::RequestRoute::kRejected);
     if (request.on_complete) request.on_complete(sim_.now(), IoStatus::kDeviceFailed);
     return;
   }
@@ -59,6 +90,9 @@ void StorageServer::submit(ClientRequest request) {
   if (request.op == IoOp::kWrite) {
     ++stats_.direct_writes;
     if (tracer_ != nullptr) trace_request(request, "direct_write");
+    if (request.trace != nullptr) {
+      stamp_request(request, obs::RequestRoute::kDirectWrite);
+    }
     direct(std::move(request));
     return;
   }
@@ -66,6 +100,7 @@ void StorageServer::submit(ClientRequest request) {
   if (Stream* stream = scheduler_.find_stream(request.device, request.offset)) {
     ++stats_.sequential_requests;
     if (tracer_ != nullptr) trace_request(request, "stream_read");
+    if (request.trace != nullptr) stamp_request(request, obs::RequestRoute::kStream);
     scheduler_.enqueue(*stream, std::move(request));
     return;
   }
@@ -88,12 +123,14 @@ void StorageServer::submit(ClientRequest request) {
     // begins prefetching from the detection end.
     ++stats_.sequential_requests;
     if (tracer_ != nullptr) trace_request(request, "stream_read");
+    if (request.trace != nullptr) stamp_request(request, obs::RequestRoute::kStream);
     scheduler_.enqueue(stream, std::move(request));
     return;
   }
 
   ++stats_.direct_reads;
   if (tracer_ != nullptr) trace_request(request, "direct_read");
+  if (request.trace != nullptr) stamp_request(request, obs::RequestRoute::kDirectRead);
   direct(std::move(request));
 }
 

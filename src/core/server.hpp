@@ -13,6 +13,8 @@
 #include "common/types.hpp"
 #include "core/classifier.hpp"
 #include "core/scheduler.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
 #include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 
@@ -41,6 +43,10 @@ class StorageServer {
   /// stream scheduler. The tracer must outlive the server.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Attach a flight recorder (nullptr detaches); forwarded to the stream
+  /// scheduler. The recorder must outlive the server.
+  void set_flight_recorder(obs::FlightRecorder* flight);
+
   [[nodiscard]] StreamScheduler& scheduler() { return scheduler_; }
   [[nodiscard]] const StreamScheduler& scheduler() const { return scheduler_; }
   [[nodiscard]] Classifier& classifier() { return classifier_; }
@@ -53,6 +59,10 @@ class StorageServer {
   /// completion) lands on the device's request track as a complete span.
   /// `kind` names the route taken and must be a string literal.
   void trace_request(ClientRequest& request, const char* kind);
+  /// Latency attribution: record the route and wrap the completion to stamp
+  /// the server-side done time (fires before the response leaves the
+  /// server) and emit per-stage breakdown spans. Requires request.trace.
+  void stamp_request(ClientRequest& request, obs::RequestRoute route);
 
   sim::Simulator& sim_;
   std::vector<blockdev::BlockDevice*> devices_;
@@ -60,6 +70,7 @@ class StorageServer {
   StreamScheduler scheduler_;
   ServerStats stats_;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace sst::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/slo.hpp"
+
 namespace sst::core {
 
 bool StagingArea::covers(const std::vector<std::unique_ptr<IoBuffer>>& buffers,
@@ -72,7 +74,8 @@ void StagingArea::drop_unfilled(Stream& stream, ByteOffset offset) {
 }
 
 void StagingArea::consume(Stream& stream, ByteOffset offset, Bytes length,
-                          std::byte* data, SimTime now, const DataSink& sink) {
+                          std::byte* data, SimTime now, const DataSink& sink,
+                          obs::RequestTrace* trace) {
   // Consume across every overlapping buffer (a request may straddle two
   // read-ahead extents). A caller destination forces the copy path; without
   // one, materialized extents are handed out by reference (zero-copy) and
@@ -87,6 +90,7 @@ void StagingArea::consume(Stream& stream, ByteOffset offset, Bytes length,
     if (data != nullptr) {
       std::memcpy(data + (lo - offset), b->data() + (lo - b->offset()), hi - lo);
       stats_.bytes_copied += hi - lo;
+      if (trace != nullptr) trace->staged_copied += hi - lo;
     } else if (sink) {
       sink(StagedSlice{lo, b->data() + (lo - b->offset()), hi - lo, b->extent()});
     }

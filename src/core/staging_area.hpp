@@ -49,9 +49,11 @@ class StagingArea {
   /// The caller guarantees coverage (covers(..., filled_only=true)). With a
   /// `data` destination the range is memcpy'd (legacy copy path); without
   /// one the request is zero-copy — materialized extents are handed to
-  /// `sink` by reference instead of being copied.
+  /// `sink` by reference instead of being copied. A latency-attribution
+  /// `trace`, when present, is stamped with the bytes copied.
   void consume(Stream& stream, ByteOffset offset, Bytes length, std::byte* data,
-               SimTime now, const DataSink& sink = nullptr);
+               SimTime now, const DataSink& sink = nullptr,
+               obs::RequestTrace* trace = nullptr);
 
   /// Release fully consumed buffers; updates buffered-set membership.
   void reap(Stream& stream);

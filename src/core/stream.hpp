@@ -15,6 +15,10 @@
 #include "common/types.hpp"
 #include "core/buffer_pool.hpp"
 
+namespace sst::obs {
+struct RequestTrace;
+}  // namespace sst::obs
+
 namespace sst::core {
 
 /// A request as received from a client by the storage server.
@@ -33,6 +37,9 @@ struct ClientRequest {
   DataSink on_data;
   IoCompletion on_complete;
   SimTime arrival = 0;
+  /// Latency-attribution record, owned by the experiment's LatencyAttributor;
+  /// null when attribution is off. Layers stamp their own field.
+  obs::RequestTrace* trace = nullptr;
 };
 
 /// A parked client request: a pooled slot carrying the request plus the

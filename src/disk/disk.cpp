@@ -72,6 +72,7 @@ void Disk::service(QueuedCommand qc) {
   ++stats_.commands;
   const DiskCommand& cmd = qc.cmd;
   const SimTime start = sim_.now();
+  queue_wait_.add(start >= qc.enqueued ? start - qc.enqueued : 0);
   SimTime ready = start + params_.command_overhead;
 
   SimTime request_done = ready;
@@ -200,6 +201,7 @@ void Disk::service(QueuedCommand qc) {
   }
 
   stats_.busy_time += mechanism_done - start;
+  service_.add(request_done - start);
   if (tracer_ != nullptr) tracer_->end(trace_tid, "disk", "cmd", mechanism_done);
 
   // Completion fires when the host's data is available ...
@@ -226,6 +228,8 @@ void Disk::service(QueuedCommand qc) {
 void Disk::reset_stats() {
   stats_ = DiskStats{};
   cache_.reset_stats();
+  queue_wait_.reset();
+  service_.reset();
 }
 
 }  // namespace sst::disk

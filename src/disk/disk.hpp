@@ -23,6 +23,7 @@
 #include "disk/seek_model.hpp"
 #include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
 
 namespace sst::disk {
 
@@ -59,6 +60,10 @@ class Disk {
   [[nodiscard]] const DiskParams& params() const { return params_; }
   [[nodiscard]] const DiskStats& stats() const { return stats_; }
   [[nodiscard]] const CacheStats& cache_stats() const { return cache_.stats(); }
+  /// Per-command time waiting in the command queue (submit -> service start).
+  [[nodiscard]] const stats::LatencyHistogram& queue_wait() const { return queue_wait_; }
+  /// Per-command service time (service start -> host data available).
+  [[nodiscard]] const stats::LatencyHistogram& service_time() const { return service_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_->size() + (busy_ ? 1 : 0); }
   [[nodiscard]] bool idle() const { return !busy_ && queue_->empty(); }
 
@@ -97,6 +102,8 @@ class Disk {
   Lba head_lba_ = 0;
   BackgroundPrefetch background_;
   DiskStats stats_;
+  stats::LatencyHistogram queue_wait_;
+  stats::LatencyHistogram service_;
   obs::Tracer* tracer_ = nullptr;
 };
 

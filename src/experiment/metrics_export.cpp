@@ -17,6 +17,45 @@ std::string ExperimentResult::to_json() const {
 
   reg.histogram("latency", latency);
 
+  // Attribution and SLO groups only appear when the feature ran, keeping
+  // the export byte-identical for plain runs (golden parity).
+  if (breakdown.enabled) {
+    reg.counter("latency_breakdown.attributed", breakdown.attributed);
+    reg.counter("latency_breakdown.staged_bytes_copied", breakdown.staged_copied);
+    reg.histogram("latency_breakdown.ingress", breakdown.ingress);
+    reg.histogram("latency_breakdown.queue", breakdown.queue);
+    reg.histogram("latency_breakdown.staging", breakdown.staging);
+    reg.histogram("latency_breakdown.uplink", breakdown.uplink);
+    // Per-stage totals: the four stage sums partition the clients' summed
+    // end-to-end response time (stage_sum_ms == end_to_end_sum_ms up to
+    // floating-point rounding).
+    reg.gauge("latency_breakdown.ingress_sum_ms", breakdown.ingress.total_ms());
+    reg.gauge("latency_breakdown.queue_sum_ms", breakdown.queue.total_ms());
+    reg.gauge("latency_breakdown.staging_sum_ms", breakdown.staging.total_ms());
+    reg.gauge("latency_breakdown.uplink_sum_ms", breakdown.uplink.total_ms());
+    reg.gauge("latency_breakdown.stage_sum_ms", breakdown.stage_sum_ms());
+    reg.gauge("latency_breakdown.end_to_end_sum_ms", latency.total_ms());
+    // Device-level views (whole run, decoupled from requests by prefetch).
+    reg.histogram("latency_breakdown.disk_queue", breakdown.disk_queue);
+    reg.histogram("latency_breakdown.disk_service", breakdown.disk_service);
+    if (breakdown.net_response.count() > 0) {
+      reg.histogram("latency_breakdown.net_response", breakdown.net_response);
+    }
+  }
+  if (slo_report.enabled) {
+    reg.text("slo.verdict", slo_report.pass ? "pass" : "fail");
+    reg.gauge("slo.objective_ms", slo_report.objective_ms);
+    reg.gauge("slo.quantile", slo_report.quantile);
+    reg.gauge("slo.window_ms", slo_report.window_ms);
+    reg.gauge("slo.burn_rate_allowed", slo_report.burn_rate_allowed);
+    reg.gauge("slo.burn_rate_observed", slo_report.burn_rate_observed);
+    reg.counter("slo.windows_evaluated", slo_report.windows_evaluated);
+    reg.counter("slo.windows_breached", slo_report.windows_breached);
+    reg.gauge("slo.worst_window_ms", slo_report.worst_window_ms);
+    reg.gauge("slo.overall_ms", slo_report.overall_ms);
+    reg.counter("slo.samples", slo_report.samples);
+  }
+
   reg.counter("disk.bytes_requested", disk_totals.bytes_requested);
   reg.counter("disk.bytes_from_media", disk_totals.bytes_from_media);
   reg.counter("disk.commands", disk_totals.commands);

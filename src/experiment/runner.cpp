@@ -10,6 +10,18 @@
 
 namespace sst::experiment {
 
+namespace {
+
+/// Shared state for the rolling-percentile gauges: the first gauge of a
+/// tick recomputes the since-last-tick delta histogram, the later ones read
+/// it (the sampler evaluates gauges in registration order).
+struct RollingLatency {
+  stats::LatencyHistogram prev;
+  stats::LatencyHistogram delta;
+};
+
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.shards > 1) {
     const ShardPlan plan = plan_shards(config.topology, config.shards, config.lookahead);
@@ -37,6 +49,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (server) server->set_tracer(config.tracer);
     stack.attach_tracer(config.tracer);
   }
+  if (config.flight != nullptr && server) {
+    server->set_flight_recorder(config.flight);
+  }
+
+  // Attribution is implied by an SLO (the windowed recorder needs per
+  // request latencies) and by a flight recorder (lifecycle events carry the
+  // stable request id).
+  const bool attribution =
+      config.attribution || config.slo.enabled() || config.flight != nullptr;
+  obs::LatencyAttributor attributor;
+  obs::WindowedLatencyRecorder slo_windows(config.slo.window);
+  if (config.slo.enabled()) attributor.attach_window(&slo_windows);
 
   workload::RequestSink sink;
   if (server) {
@@ -65,8 +89,38 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       // chain: shard 0's sequence, ordinal = position in spec order.
       spec.seed = stream_seed(shard_workload_seed(config.workload_seed, 0), i);
     }
+    workload::RequestSink client_sink = sink;
+    if (attribution) {
+      // Outermost wrapper (clients call it directly): the issue stamp is
+      // taken before any network transit, and the completion fold — applied
+      // first, so it fires last — sees the client-side completion time.
+      client_sink = [&attributor, &simulator, flight = config.flight, base = sink,
+                     ordinal = i, seq = std::uint64_t{0}](
+                        core::ClientRequest req) mutable {
+        obs::RequestTrace* trace =
+            attributor.acquire(obs::make_request_id(ordinal, ++seq), simulator.now());
+        req.trace = trace;
+        if (flight != nullptr) {
+          flight->record(obs::FlightCode::kIssue, simulator.now(), trace->rid,
+                         req.device, req.offset);
+        }
+        req.on_complete = [&attributor, &simulator, flight, trace,
+                           prev = std::move(req.on_complete)](SimTime done,
+                                                              IoStatus status) {
+          const bool ok = io_ok(status);
+          if (flight != nullptr) {
+            flight->record(obs::FlightCode::kComplete, simulator.now(), trace->rid,
+                           done >= trace->issue ? done - trace->issue : 0,
+                           ok ? 1 : 0);
+          }
+          attributor.complete(trace, done, ok);
+          if (prev) prev(done, status);
+        };
+        base(std::move(req));
+      };
+    }
     clients.push_back(std::make_unique<workload::StreamClient>(
-        simulator, sink, spec, topology.device_capacity(spec.device)));
+        simulator, std::move(client_sink), spec, topology.device_capacity(spec.device)));
   }
   for (auto& client : clients) client->start();
 
@@ -85,6 +139,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       prev_time = now;
       return mbps;
     });
+    // Rolling per-tick percentiles: the p50 gauge (sampled first) rebuilds
+    // the delta over the clients' cumulative histograms; p99/p999 read it.
+    auto rolling = std::make_shared<RollingLatency>();
+    sampler.add_gauge("p50_ms", [&clients, rolling]() {
+      stats::LatencyHistogram cur;
+      for (const auto& client : clients) cur.merge(client->stats().latency);
+      if (cur.count() < rolling->prev.count()) rolling->prev.reset();  // meters reset
+      rolling->delta = cur;
+      rolling->delta.subtract(rolling->prev);
+      rolling->prev = std::move(cur);
+      return rolling->delta.p50_ms();
+    });
+    sampler.add_gauge("p99_ms", [rolling]() { return rolling->delta.p99_ms(); });
+    sampler.add_gauge("p999_ms", [rolling]() { return rolling->delta.p999_ms(); });
     if (server) {
       core::StreamScheduler& sched = server->scheduler();
       sampler.add_gauge("dispatch_set",
@@ -115,6 +183,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   simulator.run_until(config.warmup);
   for (auto& client : clients) client->begin_measurement();
+  attributor.begin_measurement();
   const SimTime t0 = simulator.now();
   const SimTime t1 = t0 + config.measure;
   simulator.run_until(t1);
@@ -158,6 +227,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.sample_interval > 0) {
     sampler.stop();
     result.timeseries = sampler.take();
+  }
+  if (attribution) {
+    result.breakdown = attributor.breakdown();
+    result.breakdown.enabled = true;
+    // Device-level views (whole run, including warm-up: the devices keep
+    // recording from time zero — documented in DESIGN.md §14).
+    for (std::size_t i = 0; i < node.device_count(); ++i) {
+      result.breakdown.disk_queue.merge(node.disk_of(i).queue_wait());
+      result.breakdown.disk_service.merge(node.disk_of(i).service_time());
+    }
+    if (stack.remote() != nullptr) {
+      result.breakdown.net_response.merge(stack.remote()->response_transit());
+    }
+  }
+  result.slo_report = obs::SloEngine::evaluate(config.slo, slo_windows, result.latency);
+  if (config.flight != nullptr && result.slo_report.enabled && !result.slo_report.pass) {
+    config.flight->record(obs::FlightCode::kSloBreach, simulator.now(), 0,
+                          result.slo_report.windows_breached,
+                          result.slo_report.windows_evaluated);
   }
   return result;
 }

@@ -16,6 +16,8 @@
 #include "core/server.hpp"
 #include "net/network.hpp"
 #include "node/topology.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
 #include "raid/mirrored_volume.hpp"
@@ -58,6 +60,18 @@ struct ExperimentConfig {
   /// `seed` at 0 get an independent per-stream seed derived from this via
   /// the per-shard hash chain (see experiment/sharding.hpp).
   std::uint64_t workload_seed = 0x53535457'4C4F4144ULL;  // "SSTWLOAD"
+  /// Declarative tail-latency objective (`slo.*` keys). Enabled when
+  /// `slo.objective > 0`: response times are additionally collected into
+  /// per-window histograms and judged by the SloEngine after the run.
+  obs::SloSpec slo;
+  /// Per-request latency attribution (`obs.attribution` key, implied by an
+  /// enabled SLO): stage timestamps are threaded through the request
+  /// lifecycle and exported as the latency_breakdown metrics group.
+  bool attribution = false;
+  /// Present = journal request-lifecycle events into this flight recorder
+  /// (owned by the caller, like the tracer). Sharded runs record into
+  /// per-shard rings merged back into this one after the engine joins.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// Parallel-engine counters; `shards` stays 1 (and nothing is exported)
@@ -106,6 +120,10 @@ struct ExperimentResult {
   ShardSummary shard_summary;
   /// Sampled gauges; empty unless ExperimentConfig::sample_interval > 0.
   obs::TimeSeries timeseries;
+  /// SLO verdict; `enabled` only when the config declared an objective.
+  obs::SloReport slo_report;
+  /// Per-stage latency attribution; `enabled` only when attribution ran.
+  obs::LatencyBreakdown breakdown;
 
   [[nodiscard]] double per_disk_mbps(std::uint32_t disks) const {
     return disks ? total_mbps / disks : 0.0;

@@ -163,6 +163,19 @@ struct ShardState {
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::TimeSeriesSampler> sampler;
   workload::RequestSink entry;  ///< top of the slice's stack, runs on its shard
+  /// Attribution state for requests homed on this shard (acquire and fold
+  /// both run on the home shard; stamps on the owning shard are ordered by
+  /// the barrier). Private per shard like the tracer; merged after the run.
+  std::unique_ptr<obs::LatencyAttributor> attributor;
+  std::unique_ptr<obs::WindowedLatencyRecorder> slo_windows;
+  /// Private per-shard flight ring (single-writer); merged after the run.
+  std::unique_ptr<obs::FlightRecorder> flight;
+};
+
+/// Shared state for a shard's rolling-percentile gauges (see runner.cpp).
+struct RollingLatency {
+  stats::LatencyHistogram prev;
+  stats::LatencyHistogram delta;
 };
 
 }  // namespace
@@ -222,6 +235,9 @@ ExperimentResult run_experiment_sharded(const ExperimentConfig& config,
   sim::ShardedEngine engine(num_shards, hop);
   const std::uint32_t total_logical = config.topology.logical_device_count();
 
+  const bool attribution =
+      config.attribution || config.slo.enabled() || config.flight != nullptr;
+
   std::vector<ShardState> shards(num_shards);
   for (std::uint32_t k = 0; k < num_shards; ++k) {
     const ShardSlice& slice = plan.slices[k];
@@ -243,6 +259,19 @@ ExperimentResult run_experiment_sharded(const ExperimentConfig& config,
       shard.tracer = std::make_unique<obs::Tracer>();
       shard.topology->attach_tracer(shard.tracer.get());
       if (shard.server) shard.server->set_tracer(shard.tracer.get());
+    }
+    if (attribution) {
+      shard.attributor = std::make_unique<obs::LatencyAttributor>();
+      if (config.slo.enabled()) {
+        shard.slo_windows =
+            std::make_unique<obs::WindowedLatencyRecorder>(config.slo.window);
+        shard.attributor->attach_window(shard.slo_windows.get());
+      }
+    }
+    if (config.flight != nullptr) {
+      shard.flight = std::make_unique<obs::FlightRecorder>(config.flight->capacity());
+      shard.flight->set_shard(k);
+      if (shard.server) shard.server->set_flight_recorder(shard.flight.get());
     }
 
     workload::RequestSink sink;
@@ -305,6 +334,38 @@ ExperimentResult run_experiment_sharded(const ExperimentConfig& config,
       engine.post(home, k, hs->now() + hop,
                   [entry, req = std::move(req)]() mutable { (*entry)(std::move(req)); });
     };
+    if (attribution) {
+      // Outermost wrapper, so it runs entirely on the client's home shard:
+      // the issue stamp precedes the interconnect hop and the fold — being
+      // applied first — fires last, after the return hop delivers the
+      // completion back home. The rid is keyed on the global spec ordinal,
+      // so ids are invariant across shard counts.
+      route = [attr = shards[home].attributor.get(),
+               flight = shards[home].flight.get(), hs = &home_sim, base = std::move(route),
+               ordinal = static_cast<std::uint32_t>(i),
+               seq = std::uint64_t{0}](core::ClientRequest req) mutable {
+        obs::RequestTrace* trace =
+            attr->acquire(obs::make_request_id(ordinal, ++seq), hs->now());
+        req.trace = trace;
+        if (flight != nullptr) {
+          flight->record(obs::FlightCode::kIssue, hs->now(), trace->rid, req.device,
+                         req.offset);
+        }
+        req.on_complete = [attr, flight, hs, trace,
+                           prev = std::move(req.on_complete)](SimTime done,
+                                                              IoStatus status) {
+          const bool ok = io_ok(status);
+          if (flight != nullptr) {
+            flight->record(obs::FlightCode::kComplete, hs->now(), trace->rid,
+                           done >= trace->issue ? done - trace->issue : 0,
+                           ok ? 1 : 0);
+          }
+          attr->complete(trace, done, ok);
+          if (prev) prev(done, status);
+        };
+        base(std::move(req));
+      };
+    }
     clients.push_back(std::make_unique<workload::StreamClient>(
         home_sim, std::move(route), local,
         shards[k].topology->device_capacity(local.device)));
@@ -341,17 +402,47 @@ ExperimentResult run_experiment_sharded(const ExperimentConfig& config,
               prev_time = now;
               return mbps;
             });
+        // Rolling per-tick percentiles over this shard's resident clients;
+        // the p50 gauge (sampled first) rebuilds the shared delta.
+        auto rolling = std::make_shared<RollingLatency>();
+        shard.sampler->add_gauge(prefix + "p50_ms", [local = residents[k], rolling]() {
+          stats::LatencyHistogram cur;
+          for (const auto* client : local) cur.merge(client->stats().latency);
+          if (cur.count() < rolling->prev.count()) rolling->prev.reset();
+          rolling->delta = cur;
+          rolling->delta.subtract(rolling->prev);
+          rolling->prev = std::move(cur);
+          return rolling->delta.p50_ms();
+        });
+        shard.sampler->add_gauge(prefix + "p99_ms",
+                                 [rolling]() { return rolling->delta.p99_ms(); });
+        shard.sampler->add_gauge(prefix + "p999_ms",
+                                 [rolling]() { return rolling->delta.p999_ms(); });
       }
       if (shard.server) {
+        // Same scheduler gauge set as the single-threaded runner, uniformly
+        // under this shard's prefix.
         core::StreamScheduler& sched = shard.server->scheduler();
         shard.sampler->add_gauge(prefix + "dispatch_set", [&sched]() {
           return static_cast<double>(sched.dispatched_count());
+        });
+        shard.sampler->add_gauge(prefix + "candidates", [&sched]() {
+          return static_cast<double>(sched.candidate_count());
+        });
+        shard.sampler->add_gauge(prefix + "buffered_streams", [&sched]() {
+          return static_cast<double>(sched.buffered_count());
         });
         shard.sampler->add_gauge(prefix + "streams", [&sched]() {
           return static_cast<double>(sched.stream_count());
         });
         shard.sampler->add_gauge(prefix + "pool_mb", [&sched]() {
           return static_cast<double>(sched.pool().committed()) / 1e6;
+        });
+        shard.sampler->add_gauge(prefix + "extent_mb", [&sched]() {
+          return static_cast<double>(sched.pool().extent_slab().live_bytes()) / 1e6;
+        });
+        shard.sampler->add_gauge(prefix + "degraded_disks", [&sched]() {
+          return static_cast<double>(sched.failed_device_count());
         });
       }
       node::StorageNode& node = shard.topology->node();
@@ -368,6 +459,9 @@ ExperimentResult run_experiment_sharded(const ExperimentConfig& config,
 
   engine.run_until(config.warmup);
   for (auto& client : clients) client->begin_measurement();
+  for (auto& shard : shards) {
+    if (shard.attributor) shard.attributor->begin_measurement();
+  }
   const SimTime t0 = engine.now();
   const SimTime t1 = t0 + config.measure;
   engine.run_until(t1);
@@ -492,6 +586,36 @@ ExperimentResult run_experiment_sharded(const ExperimentConfig& config,
         for (const std::size_t col : mbps_cols) total += row[col];
         row.push_back(total);
       }
+    }
+  }
+
+  obs::WindowedLatencyRecorder slo_windows(config.slo.window);
+  if (attribution) {
+    result.breakdown.enabled = true;
+    for (std::uint32_t k = 0; k < num_shards; ++k) {
+      ShardState& shard = shards[k];
+      result.breakdown.merge_from(shard.attributor->breakdown());
+      if (shard.slo_windows) slo_windows.merge_from(*shard.slo_windows);
+      node::StorageNode& node = shard.topology->node();
+      for (std::size_t d = 0; d < node.device_count(); ++d) {
+        result.breakdown.disk_queue.merge(node.disk_of(d).queue_wait());
+        result.breakdown.disk_service.merge(node.disk_of(d).service_time());
+      }
+      if (shard.topology->stack().remote() != nullptr) {
+        result.breakdown.net_response.merge(
+            shard.topology->stack().remote()->response_transit());
+      }
+    }
+  }
+  result.slo_report = obs::SloEngine::evaluate(config.slo, slo_windows, result.latency);
+  if (config.flight != nullptr) {
+    // Stitch the per-shard rings into the caller's recorder: one journal
+    // ordered by (ts, shard, seq), keeping the newest capacity() events.
+    for (auto& shard : shards) config.flight->merge_from(*shard.flight);
+    if (result.slo_report.enabled && !result.slo_report.pass) {
+      config.flight->record(obs::FlightCode::kSloBreach, engine.now(), 0,
+                            result.slo_report.windows_breached,
+                            result.slo_report.windows_evaluated);
     }
   }
   return result;

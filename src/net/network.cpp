@@ -67,7 +67,9 @@ workload::RequestSink RemoteSink::sink() {
     req.on_complete = [this, down_payload,
                        cb = std::move(req.on_complete)](SimTime,
                                                         IoStatus status) mutable {
-      downlink_.send(down_payload, [cb = std::move(cb), status, this]() {
+      const SimTime entered = sim_.now();
+      downlink_.send(down_payload, [cb = std::move(cb), status, entered, this]() {
+        response_transit_.add(sim_.now() - entered);
         if (cb) cb(sim_.now(), status);
       });
     };

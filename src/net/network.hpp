@@ -18,6 +18,7 @@
 #include "common/types.hpp"
 #include "fault/injector.hpp"
 #include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
 #include "workload/generator.hpp"
 
 namespace sst::net {
@@ -81,6 +82,11 @@ class RemoteSink {
 
   [[nodiscard]] const LinkStats& uplink_stats() const { return uplink_.stats(); }
   [[nodiscard]] const LinkStats& downlink_stats() const { return downlink_.stats(); }
+  /// Per-response transit time across the downlink (server completion ->
+  /// client delivery), for the latency_breakdown.net_response export.
+  [[nodiscard]] const stats::LatencyHistogram& response_transit() const {
+    return response_transit_;
+  }
 
   /// Let the link consult a fault injector, keyed as `device_index` (the
   /// experiment runner uses the first index past the disks — the "NIC").
@@ -105,6 +111,7 @@ class RemoteSink {
   fault::FaultInjector* fault_ = nullptr;
   std::uint32_t fault_device_ = 0;
   NetFaultStats fault_stats_;
+  stats::LatencyHistogram response_transit_;
 };
 
 }  // namespace sst::net

@@ -1,0 +1,74 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+namespace sst::obs {
+
+namespace {
+
+[[nodiscard]] bool event_before(const FlightEvent& lhs, const FlightEvent& rhs) {
+  return std::tie(lhs.ts, lhs.shard, lhs.seq) < std::tie(rhs.ts, rhs.shard, rhs.seq);
+}
+
+}  // namespace
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  const std::uint64_t live = std::min<std::uint64_t>(recorded_, ring_.size());
+  out.reserve(static_cast<std::size_t>(live));
+  for (std::uint64_t i = recorded_ - live; i < recorded_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::merge_from(const FlightRecorder& other) {
+  std::vector<FlightEvent> combined = events();
+  const std::vector<FlightEvent> theirs = other.events();
+  combined.insert(combined.end(), theirs.begin(), theirs.end());
+  std::sort(combined.begin(), combined.end(), event_before);
+
+  const std::uint64_t total = recorded_ + other.recorded_;
+  const std::size_t keep = std::min(combined.size(), ring_.size());
+  // Rebuild the ring from the newest `keep` events so slot order stays
+  // chronological and `recorded_` keeps counting drops.
+  recorded_ = total - static_cast<std::uint64_t>(keep);
+  for (std::size_t i = combined.size() - keep; i < combined.size(); ++i) {
+    FlightEvent& slot = ring_[recorded_ % ring_.size()];
+    slot = combined[i];
+    ++recorded_;
+  }
+}
+
+void FlightRecorder::write_json(std::ostream& os) const {
+  os << "{\"capacity\":" << ring_.size() << ",\"recorded\":" << recorded_
+     << ",\"dropped\":" << dropped() << ",\"events\":[";
+  bool first = true;
+  for (const FlightEvent& e : events()) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n {\"ts\":" << e.ts << ",\"code\":\"" << to_string(e.code)
+       << "\",\"rid\":" << e.rid << ",\"a\":" << e.a << ",\"b\":" << e.b
+       << ",\"shard\":" << e.shard << ",\"seq\":" << e.seq << '}';
+  }
+  os << (first ? "]}\n" : "\n]}\n");
+}
+
+std::string FlightRecorder::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+bool FlightRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace sst::obs

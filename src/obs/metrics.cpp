@@ -53,8 +53,20 @@ HistogramSnapshot HistogramSnapshot::from(const stats::LatencyHistogram& h) {
   snap.p50_ms = h.p50_ms();
   snap.p95_ms = h.p95_ms();
   snap.p99_ms = h.p99_ms();
+  snap.p999_ms = h.p999_ms();
   snap.max_ms = h.max_ms();
   snap.buckets = h.nonzero_buckets();
+  return snap;
+}
+
+HistogramSnapshot HistogramSnapshot::from(
+    const stats::LatencyHistogram& h,
+    const std::vector<std::pair<double, std::string>>& extra_quantiles) {
+  HistogramSnapshot snap = from(h);
+  snap.extra.reserve(extra_quantiles.size());
+  for (const auto& [q, label] : extra_quantiles) {
+    snap.extra.emplace_back(label + "_ms", h.quantile_ms(q));
+  }
   return snap;
 }
 
@@ -99,6 +111,16 @@ void MetricsRegistry::histogram(std::string_view name,
   entries_.push_back(std::move(e));
 }
 
+void MetricsRegistry::histogram(
+    std::string_view name, const stats::LatencyHistogram& h,
+    const std::vector<std::pair<double, std::string>>& extra_quantiles) {
+  Entry e;
+  e.name = std::string(name);
+  e.kind = Kind::kHistogram;
+  e.hist = HistogramSnapshot::from(h, extra_quantiles);
+  entries_.push_back(std::move(e));
+}
+
 void MetricsRegistry::write_value(std::ostream& os, const Entry& entry) const {
   switch (entry.kind) {
     case Kind::kCounter:
@@ -130,8 +152,16 @@ void MetricsRegistry::write_value(std::ostream& os, const Entry& entry) const {
       write_double(os, h.p95_ms);
       os << ",\"p99_ms\":";
       write_double(os, h.p99_ms);
+      os << ",\"p999_ms\":";
+      write_double(os, h.p999_ms);
       os << ",\"max_ms\":";
       write_double(os, h.max_ms);
+      for (const auto& [label, value] : h.extra) {
+        os << ",\"";
+        write_escaped(os, label);
+        os << "\":";
+        write_double(os, value);
+      }
       os << ",\"buckets\":[";
       for (std::size_t i = 0; i < h.buckets.size(); ++i) {
         if (i != 0) os << ',';

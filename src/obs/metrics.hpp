@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "stats/histogram.hpp"
@@ -25,10 +26,18 @@ struct HistogramSnapshot {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
   double max_ms = 0.0;
   std::vector<stats::HistogramBucket> buckets;
 
   [[nodiscard]] static HistogramSnapshot from(const stats::LatencyHistogram& h);
+  /// Snapshot carrying extra quantile columns: each (q, label) pair is
+  /// exported as "<label>_ms" alongside the fixed p50/p95/p99/p999 set.
+  [[nodiscard]] static HistogramSnapshot from(
+      const stats::LatencyHistogram& h,
+      const std::vector<std::pair<double, std::string>>& extra_quantiles);
+
+  std::vector<std::pair<std::string, double>> extra;  ///< label -> value (ms)
 };
 
 class MetricsRegistry {
@@ -38,6 +47,10 @@ class MetricsRegistry {
   void text(std::string_view name, std::string_view value);
   void array(std::string_view name, std::vector<double> values);
   void histogram(std::string_view name, const stats::LatencyHistogram& h);
+  /// Histogram export with caller-chosen extra quantile columns (arbitrary
+  /// q beyond the fixed p50/p95/p99/p999 headline set).
+  void histogram(std::string_view name, const stats::LatencyHistogram& h,
+                 const std::vector<std::pair<double, std::string>>& extra_quantiles);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 

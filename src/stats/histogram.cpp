@@ -82,6 +82,14 @@ std::vector<HistogramBucket> LatencyHistogram::nonzero_buckets() const {
   return out;
 }
 
+void LatencyHistogram::subtract(const LatencyHistogram& earlier) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i] -= std::min(buckets_[i], earlier.buckets_[i]);
+  }
+  count_ = count_ >= earlier.count_ ? count_ - earlier.count_ : 0;
+  sum_ns_ = std::max(sum_ns_ - earlier.sum_ns_, 0.0);
+}
+
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;

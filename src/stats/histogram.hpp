@@ -33,10 +33,20 @@ class LatencyHistogram {
   [[nodiscard]] double p50_ms() const { return quantile_ms(0.50); }
   [[nodiscard]] double p95_ms() const { return quantile_ms(0.95); }
   [[nodiscard]] double p99_ms() const { return quantile_ms(0.99); }
+  [[nodiscard]] double p999_ms() const { return quantile_ms(0.999); }
   [[nodiscard]] double max_ms() const;
+  /// Sum of all samples in milliseconds (stage-sum reconciliation).
+  [[nodiscard]] double total_ms() const { return sum_ns_ / 1e6; }
 
   /// Merge another histogram into this one (same fixed bucketing).
   void merge(const LatencyHistogram& other);
+  /// Remove `earlier`'s samples, leaving the delta window. `earlier` must be
+  /// a prefix of this histogram (a snapshot taken before more add() calls);
+  /// anything else clamps per bucket to zero. The recorded maximum is not
+  /// separable, so the delta keeps the overall max — quantiles of the top
+  /// bucket are clamped against it, a conservative approximation for the
+  /// rolling-percentile gauges.
+  void subtract(const LatencyHistogram& earlier);
 
   // Bucket iteration/export API (used by the metrics exporter).
   [[nodiscard]] static std::size_t bucket_count() { return kBuckets; }

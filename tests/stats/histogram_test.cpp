@@ -128,6 +128,77 @@ TEST(Histogram, BucketIndexApiCoversAllSamples) {
   EXPECT_EQ(total, h.count());
 }
 
+TEST(Histogram, EmptyQuantileIsZeroForAllQ) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile_ms(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile_ms(0.999), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile_ms(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.p999_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_ms(), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantilesStayInBucket) {
+  LatencyHistogram h;
+  h.add(msec(10));
+  // With one sample every quantile interpolates inside the same bucket and
+  // q=1.0 must not exceed the recorded maximum.
+  EXPECT_NEAR(h.quantile_ms(0.001), 10.0, 1.5);
+  EXPECT_NEAR(h.p999_ms(), 10.0, 1.5);
+  EXPECT_LE(h.quantile_ms(1.0), h.max_ms() + 1e-9);
+  EXPECT_GT(h.quantile_ms(1.0), 0.0);
+}
+
+TEST(Histogram, FullQuantileClampsToMax) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.add(msec(static_cast<std::uint64_t>(i)));
+  EXPECT_LE(h.quantile_ms(1.0), h.max_ms() + 1e-9);
+  EXPECT_LE(h.p999_ms(), h.quantile_ms(1.0) + 1e-9);
+  EXPECT_GE(h.p999_ms(), h.p99_ms() - 1e-9);
+}
+
+TEST(Histogram, P999TracksTailSample) {
+  LatencyHistogram h;
+  // 998 fast samples and two 100x outliers: p99 stays low, p999 (rank 999
+  // of 1000) must land in the outlier bucket.
+  for (int i = 0; i < 998; ++i) h.add(msec(1));
+  h.add(msec(100));
+  h.add(msec(100));
+  EXPECT_LT(h.p99_ms(), 5.0);
+  EXPECT_GT(h.p999_ms(), 50.0);
+}
+
+TEST(Histogram, TotalSumsSamples) {
+  LatencyHistogram h;
+  h.add(msec(2));
+  h.add(msec(3));
+  h.add(usec(500));
+  EXPECT_DOUBLE_EQ(h.total_ms(), 5.5);
+}
+
+TEST(Histogram, SubtractLeavesDeltaWindow) {
+  LatencyHistogram h;
+  h.add(msec(1));
+  h.add(msec(2));
+  LatencyHistogram snapshot = h;  // rolling-gauge prev snapshot
+  h.add(msec(50));
+  h.add(msec(60));
+  LatencyHistogram delta = h;
+  delta.subtract(snapshot);
+  EXPECT_EQ(delta.count(), 2u);
+  EXPECT_NEAR(delta.mean_ms(), 55.0, 1e-6);
+  // Only the new window's samples remain, so its p50 is in the 50-60ms range.
+  EXPECT_GT(delta.p50_ms(), 40.0);
+}
+
+TEST(Histogram, SubtractAllLeavesEmpty) {
+  LatencyHistogram h;
+  h.add(msec(7));
+  LatencyHistogram delta = h;
+  delta.subtract(h);
+  EXPECT_EQ(delta.count(), 0u);
+  EXPECT_DOUBLE_EQ(delta.quantile_ms(0.999), 0.0);
+}
+
 TEST(Histogram, MonotoneQuantileFunction) {
   LatencyHistogram h;
   for (int i = 0; i < 100; ++i) h.add(msec(static_cast<std::uint64_t>(1 + i % 20)));
