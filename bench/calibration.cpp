@@ -6,7 +6,28 @@
 //   - single-stream app throughput                 (paper: ~55 MB/s)
 //   - 30-stream raw throughput at 64 KB            (paper: collapses)
 //   - 30-stream with the scheduler at R=8M         (paper: ~50 MB/s)
+//
+// With --real-file it instead becomes the sim-vs-real calibration harness:
+// the same 1x1 workload runs once on the simulated backend and once on the
+// io_uring backend over the named (pattern-formatted) file, and the paired
+// throughput/latency numbers land in a JSON report. Requires a build with
+// -DSST_WITH_URING=ON; exits 2 otherwise.
+//
+//   calibration [--real-file PATH] [--out FILE] [--streams N]
+//               [--request BYTES] [--measure-ms MS]
+//
+//   --real-file PATH   backing file for the real run (see scripts/mkpattern.py)
+//   --out FILE         JSON report path (default BENCH_calibration_real.json)
+//   --streams N        concurrent sequential streams (default 64)
+//   --request BYTES    request size in bytes (default 65536)
+//   --measure-ms MS    measurement window per run (default 2000)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "core/autotune.hpp"
 #include "disk/geometry.hpp"
@@ -36,9 +57,174 @@ double run_streams(std::uint32_t streams, Bytes request, bool with_scheduler, By
   return result.total_mbps;
 }
 
+struct CalRow {
+  std::string mode;     ///< "raw" or "sched"
+  std::string backend;  ///< "sim" or "real"
+  double mbps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  std::uint64_t requests = 0;
+};
+
+/// The shared 1x1 workload both backends run: N sequential streams over the
+/// first `span` bytes (the real file's size) of the single device.
+experiment::ExperimentConfig cal_config(std::uint32_t streams, Bytes request,
+                                        SimTime measure, Bytes span,
+                                        bool with_scheduler) {
+  node::NodeConfig node = node::NodeConfig::base();
+  node.num_controllers = 1;
+  node.disks_per_controller = 1;
+  experiment::ExperimentConfig cfg;
+  cfg.topology.node = node;
+  cfg.warmup = msec(250);
+  cfg.measure = measure;
+  cfg.streams = workload::make_uniform_streams(streams, 1, span, request);
+  if (with_scheduler) {
+    // The paper's R=8M only fits when the backing file is large; scale the
+    // per-stream read-ahead down so N streams' staging stays inside the
+    // file while keeping the request multiple the scheduler expects.
+    Bytes ra = span / streams;
+    if (ra > 8 * MiB) ra = 8 * MiB;
+    if (ra < request) ra = request;
+    ra = ra / request * request;
+    core::SchedulerParams sched;
+    sched.read_ahead = ra;
+    sched.memory_budget = static_cast<Bytes>(streams) * ra;
+    sched.dispatch_set_size = 0;  // memory-derived
+    cfg.scheduler = sched;
+  }
+  return cfg;
+}
+
+CalRow run_one(const experiment::ExperimentConfig& cfg, const char* mode,
+               const char* backend) {
+  const auto result = experiment::run_experiment(cfg);
+  CalRow row;
+  row.mode = mode;
+  row.backend = backend;
+  row.mbps = result.total_mbps;
+  row.p50_ms = result.latency.p50_ms();
+  row.p99_ms = result.latency.p99_ms();
+  row.p999_ms = result.latency.p999_ms();
+  row.requests = result.requests_completed;
+  return row;
+}
+
+/// Sim-vs-real comparison over the same workload; writes the JSON report.
+int run_real_calibration(const std::string& file, const std::string& out_path,
+                         std::uint32_t streams, Bytes request, SimTime measure) {
+  if (!experiment::real_backend_available()) {
+    std::fprintf(stderr,
+                 "calibration: --real-file needs a build with -DSST_WITH_URING=ON\n");
+    return 2;
+  }
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(file, ec);
+  if (ec || file_size < request * streams) {
+    std::fprintf(stderr,
+                 "calibration: %s missing or smaller than streams*request "
+                 "(format it with scripts/mkpattern.py)\n",
+                 file.c_str());
+    return 1;
+  }
+  const Bytes span = static_cast<Bytes>(file_size) / request * request;
+
+  std::vector<CalRow> rows;
+  for (const bool with_scheduler : {false, true}) {
+    const char* mode = with_scheduler ? "sched" : "raw";
+    experiment::ExperimentConfig cfg =
+        cal_config(streams, request, measure, span, with_scheduler);
+    rows.push_back(run_one(cfg, mode, "sim"));
+    cfg.backend.kind = experiment::BackendConfig::Kind::kReal;
+    cfg.backend.path = file;
+    try {
+      rows.push_back(run_one(cfg, mode, "real"));
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "calibration: real run failed: %s\n", err.what());
+      return 1;
+    }
+  }
+
+  std::printf("== sim vs real (%u streams, %llu B requests, %s) ==\n", streams,
+              static_cast<unsigned long long>(request), file.c_str());
+  for (const auto& row : rows) {
+    std::printf("%-5s %-4s : %8.1f MB/s  p50 %7.3f ms  p99 %7.3f ms\n",
+                row.mode.c_str(), row.backend.c_str(), row.mbps, row.p50_ms,
+                row.p99_ms);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "calibration: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"file\": \"%s\",\n  \"streams\": %u,\n"
+               "  \"request\": %llu,\n  \"measure_ms\": %.0f,\n  \"runs\": [\n",
+               file.c_str(), streams, static_cast<unsigned long long>(request),
+               to_millis(measure));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"backend\": \"%s\", \"mbps\": %.3f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+                 "\"requests\": %llu}%s\n",
+                 row.mode.c_str(), row.backend.c_str(), row.mbps, row.p50_ms,
+                 row.p99_ms, row.p999_ms,
+                 static_cast<unsigned long long>(row.requests),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string real_file;
+  std::string out_path = "BENCH_calibration_real.json";
+  std::uint32_t streams = 64;
+  Bytes request = 64 * KiB;
+  SimTime measure = msec(2000);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "calibration: %s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--real-file") {
+      real_file = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--streams") {
+      streams = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--request") {
+      request = static_cast<Bytes>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--measure-ms") {
+      measure = msec(std::strtoul(next(), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: calibration [--real-file PATH] [--out FILE] "
+                   "[--streams N] [--request BYTES] [--measure-ms MS]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 1;
+    }
+  }
+  if (!real_file.empty()) {
+    if (streams == 0 || request == 0 || request % kSectorSize != 0) {
+      std::fprintf(stderr,
+                   "calibration: streams must be > 0 and request a positive "
+                   "multiple of %llu\n",
+                   static_cast<unsigned long long>(kSectorSize));
+      return 1;
+    }
+    return run_real_calibration(real_file, out_path, streams, request, measure);
+  }
   disk::DiskParams params = disk::DiskParams::wd800jd();
   disk::Geometry geometry(params.geometry);
   disk::SeekModel seek(params.seek, geometry.total_cylinders());

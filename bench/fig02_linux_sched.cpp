@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "oskernel/kernel_io.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 

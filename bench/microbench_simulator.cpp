@@ -26,6 +26,14 @@
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
 
+#if defined(SST_WITH_URING)
+#include <functional>
+#include <memory>
+
+#include "blockdev/uring_block_device.hpp"
+#include "exec/real_context.hpp"
+#endif
+
 namespace {
 
 std::atomic<std::uint64_t> g_allocations{0};
@@ -439,6 +447,92 @@ void bench_parallel_sim(std::vector<BenchResult>& results, bool& speedup_ok) {
   }
 }
 
+#if defined(SST_WITH_URING)
+/// Real-I/O ring round-trip: closed-loop 4 KiB reads against the file named
+/// by SST_URING_BENCH_FILE (pattern-format it with scripts/mkpattern.py
+/// first), at queue depth 1 (pure submit->complete latency) and 32
+/// (pipelined IOPS). Results are machine- and disk-dependent, so the
+/// entries are informational: they are not part of the committed baseline,
+/// and check_bench_regression.py never gates names absent from it. The
+/// bench is skipped entirely — emitting nothing — when the env var is
+/// unset, which keeps the default BENCH_simcore.json byte-stable.
+void bench_uring_roundtrip(std::vector<BenchResult>& results) {
+  const char* path = std::getenv("SST_URING_BENCH_FILE");
+  if (path == nullptr) return;
+
+  for (const std::uint32_t depth : {1u, 32u}) {
+    exec::RealContext ctx;
+    blockdev::UringParams params;
+    params.path = path;
+    params.queue_depth = depth;
+    auto opened = blockdev::UringBlockDevice::open(ctx, params);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "uring_roundtrip: %s\n", opened.error().message.c_str());
+      return;
+    }
+    auto dev = std::move(opened.value());
+
+    constexpr Bytes kLen = 4 * KiB;
+    constexpr std::uint64_t kWarmup = 1'000;
+    constexpr std::uint64_t kMeasure = 20'000;
+    const Bytes span = dev->capacity() / kLen * kLen;
+
+    struct AlignedFree {
+      void operator()(std::byte* p) const { std::free(p); }
+    };
+    std::vector<std::unique_ptr<std::byte, AlignedFree>> bufs;
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      bufs.emplace_back(
+          static_cast<std::byte*>(std::aligned_alloc(4096, kLen)));
+    }
+
+    std::uint64_t completed = 0;
+    std::uint64_t latency_ns_sum = 0;
+    double measured_sec = 0.0;
+    ByteOffset cursor = 0;
+    auto t0 = Clock::now();
+    std::function<void(std::byte*)> submit_one = [&](std::byte* buf) {
+      blockdev::BlockRequest req;
+      req.offset = cursor;
+      cursor = (cursor + kLen) % span;
+      req.length = kLen;
+      req.op = IoOp::kRead;
+      req.data = buf;
+      const auto submitted = Clock::now();
+      req.on_complete = [&, buf, submitted](SimTime, IoStatus status) {
+        if (status != IoStatus::kOk) {
+          std::fprintf(stderr, "uring_roundtrip: read failed\n");
+          std::exit(1);
+        }
+        ++completed;
+        if (completed == kWarmup) t0 = Clock::now();
+        if (completed > kWarmup) {
+          latency_ns_sum += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                   submitted)
+                  .count());
+        }
+        if (completed == kWarmup + kMeasure) measured_sec = seconds_since(t0);
+        if (completed < kWarmup + kMeasure) submit_one(buf);
+      };
+      dev->submit(std::move(req));
+    };
+    for (auto& buf : bufs) submit_one(buf.get());
+    while (completed < kWarmup + kMeasure || dev->in_flight() > 0) {
+      ctx.run_until(ctx.now() + msec(10));
+    }
+
+    const std::string suffix = "_d" + std::to_string(depth);
+    results.push_back({"uring_roundtrip_iops" + suffix,
+                       static_cast<double>(kMeasure) / measured_sec, "iops", 0});
+    results.push_back({"uring_roundtrip_mean_us" + suffix,
+                       static_cast<double>(latency_ns_sum) / 1e3 /
+                           static_cast<double>(kMeasure),
+                       "us", 0});
+  }
+}
+#endif  // SST_WITH_URING
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -457,6 +551,9 @@ int main(int argc, char** argv) {
   bench_sweep(results);
   bool parallel_speedup_ok = true;
   bench_parallel_sim(results, parallel_speedup_ok);
+#if defined(SST_WITH_URING)
+  bench_uring_roundtrip(results);
+#endif
 
   bool alloc_free = true;
   for (const auto& r : results) {

@@ -51,6 +51,23 @@
 // slo.window=1s, slo.burn_rate=0.05) makes the run exit with code 3 when
 // the objective is breached, after writing the flight-recorder dump.
 //
+// Execution backend keys (see README "Running against real disks"):
+//
+//   backend.kind=sim|real       sim (default) = the deterministic event
+//                               simulator; real = io_uring + O_DIRECT over
+//                               a backing file (requires a build with
+//                               -DSST_WITH_URING=ON; exit code 4 otherwise)
+//   backend.path=/path/file     backing file for backend.kind=real, carved
+//                               into one slice per logical device
+//                               (pre-format with scripts/mkpattern.py)
+//   backend.queue_depth=64      per-device io_uring in-flight depth
+//   backend.direct=true         try O_DIRECT first (tmpfs and friends fall
+//                               back to buffered I/O automatically)
+//
+// Exit codes: 0 = success, 1 = usage/config/runtime error, 3 = SLO breach,
+// 4 = backend.kind=real without an io_uring build. `--help` prints the key
+// summary.
+//
 // Prints a result table plus the scheduler/disk counters. See
 // src/configio/loaders.hpp for the full key reference.
 #include <cstdio>
@@ -74,6 +91,45 @@ namespace {
 
 /// Exit code for an SLO breach (distinct from 1 = usage/config errors).
 constexpr int kExitSloBreach = 3;
+/// Exit code for backend.kind=real in a build without -DSST_WITH_URING=ON.
+constexpr int kExitRealUnavailable = 4;
+
+void print_help() {
+  std::printf(
+      "usage: experiment_cli [@config-file] [key=value ...] [--flags]\n"
+      "\n"
+      "Runs one streamstore experiment from flat key=value parameters; an\n"
+      "@file provides defaults and command-line keys override (later wins).\n"
+      "Prefix any key with sweep. and give comma-separated values to run the\n"
+      "cartesian product in parallel.\n"
+      "\n"
+      "Common keys (full reference: src/configio/loaders.hpp):\n"
+      "  topology.controllers=N topology.disks=N    physical node shape\n"
+      "  sched.read_ahead=2M sched.memory=800M      stream scheduler (omit\n"
+      "                                             sched.* = raw devices)\n"
+      "  workload.streams=N workload.request=64K    closed-loop stream clients\n"
+      "  run.warmup=4s run.measure=20s              run windows\n"
+      "  sim.shards=N sim.lookahead=500us           parallel event engine\n"
+      "  slo.objective=50ms slo.quantile=0.999      tail-latency SLO gate\n"
+      "  obs.attribution=true                       per-stage latency metrics\n"
+      "\n"
+      "Execution backend:\n"
+      "  backend.kind=sim|real   sim (default) = deterministic simulator;\n"
+      "                          real = io_uring + O_DIRECT over backend.path\n"
+      "                          (build with -DSST_WITH_URING=ON; pre-format\n"
+      "                          the file with scripts/mkpattern.py)\n"
+      "  backend.path=FILE       backing file, one slice per logical device\n"
+      "  backend.queue_depth=64  per-device in-flight depth\n"
+      "  backend.direct=true     try O_DIRECT, buffered fallback on refusal\n"
+      "\n"
+      "Observability flags:\n"
+      "  --trace=FILE --metrics=FILE --timeseries=FILE\n"
+      "  --sample-interval-ms=N --flight-record=FILE --flight-dump\n"
+      "  --flight-capacity=N\n"
+      "\n"
+      "Exit codes: 0 success, 1 usage/config/runtime error, 3 SLO breach,\n"
+      "4 backend.kind=real without an io_uring build.\n");
+}
 
 /// Observability outputs requested via --flags.
 struct ObsOptions {
@@ -322,6 +378,12 @@ int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes,
       std::fprintf(stderr, "error: %s\n", experiment.error().message.c_str());
       return 1;
     }
+    if (experiment.value().backend.kind == experiment::BackendConfig::Kind::kReal) {
+      std::fprintf(stderr,
+                   "error: backend.kind=real is not supported in sweep mode "
+                   "(grid points would contend for the same disk)\n");
+      return 1;
+    }
     configs.push_back(std::move(experiment.value()));
   }
 
@@ -427,6 +489,13 @@ int run_sweep_cli(const Config& base, const std::vector<SweepAxis>& axes,
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    }
+  }
   ObsOptions obs;
   std::vector<std::string> args;
   if (!split_obs_flags(argc, argv, obs, args)) return 1;
@@ -454,7 +523,21 @@ int main(int argc, char** argv) {
   const bool recording = obs.flight_recording(experiment.value().slo.enabled());
   if (recording) experiment.value().flight = &flight;
 
-  const auto result = experiment::run_experiment(experiment.value());
+  if (experiment.value().backend.kind == experiment::BackendConfig::Kind::kReal &&
+      !experiment::real_backend_available()) {
+    std::fprintf(stderr,
+                 "error: backend.kind=real requires a build with "
+                 "-DSST_WITH_URING=ON\n");
+    return kExitRealUnavailable;
+  }
+
+  experiment::ExperimentResult result;
+  try {
+    result = experiment::run_experiment(experiment.value());
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
   print_single(experiment.value(), result);
 
   if (obs.tracing() && !tracer.write_file(obs.trace_path)) {

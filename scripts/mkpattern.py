@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Pre-format a backing file with the deterministic content pattern.
+
+The real-I/O backend (backend.kind=real) reads actual bytes, so data
+integrity checks need the file to hold the same pattern the simulated
+devices synthesize: byte at offset o is the o%8-th little-endian byte of
+splitmix64-style mix(seed ^ o//8) — see pattern_byte() in
+src/blockdev/block_device.hpp. This script writes (or verifies) that
+pattern.
+
+Usage:
+  scripts/mkpattern.py /dev/shm/sst_backing.img 256M
+  scripts/mkpattern.py /dev/shm/sst_backing.img 256M --seed 7
+  scripts/mkpattern.py /dev/shm/sst_backing.img 256M --verify
+
+Size accepts K/M/G suffixes (powers of two) and must be a multiple of 8.
+"""
+
+import argparse
+import os
+import struct
+import sys
+
+MASK = (1 << 64) - 1
+
+
+def mix(x: int) -> int:
+    """The 64-bit finalizer pattern_byte() uses (splitmix64's)."""
+    x &= MASK
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & MASK
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & MASK
+    x ^= x >> 31
+    return x
+
+
+def parse_size(text: str) -> int:
+    suffixes = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    text = text.strip()
+    scale = 1
+    if text and text[-1].upper() in suffixes:
+        scale = suffixes[text[-1].upper()]
+        text = text[:-1]
+    size = int(text) * scale
+    if size <= 0 or size % 8 != 0:
+        raise ValueError("size must be a positive multiple of 8 bytes")
+    return size
+
+
+def pattern_chunk(seed: int, word_index: int, words: int) -> bytes:
+    return struct.pack(
+        "<%dQ" % words,
+        *(mix(seed ^ (word_index + i)) for i in range(words)),
+    )
+
+
+def write_pattern(path: str, size: int, seed: int, chunk_bytes: int) -> None:
+    words_per_chunk = chunk_bytes // 8
+    with open(path, "wb") as out:
+        word = 0
+        remaining = size // 8
+        while remaining > 0:
+            n = min(words_per_chunk, remaining)
+            out.write(pattern_chunk(seed, word, n))
+            word += n
+            remaining -= n
+        out.flush()
+        os.fsync(out.fileno())
+
+
+def verify_pattern(path: str, size: int, seed: int, chunk_bytes: int) -> int:
+    words_per_chunk = chunk_bytes // 8
+    with open(path, "rb") as inp:
+        word = 0
+        remaining = size // 8
+        while remaining > 0:
+            n = min(words_per_chunk, remaining)
+            expect = pattern_chunk(seed, word, n)
+            got = inp.read(n * 8)
+            if got != expect:
+                # Locate the first differing byte for a usable message.
+                for i, (a, b) in enumerate(zip(got, expect)):
+                    if a != b:
+                        return word * 8 + i
+                return word * 8 + len(got)
+            word += n
+            remaining -= n
+    return -1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="write or verify the streamstore content pattern"
+    )
+    parser.add_argument("path", help="backing file to create/verify")
+    parser.add_argument("size", help="bytes, with optional K/M/G suffix")
+    parser.add_argument("--seed", type=int, default=0, help="pattern seed (default 0)")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check an existing file instead of writing",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=4 << 20,
+        help="I/O chunk size in bytes (default 4M)",
+    )
+    args = parser.parse_args()
+
+    try:
+        size = parse_size(args.size)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if args.chunk <= 0 or args.chunk % 8 != 0:
+        print("error: --chunk must be a positive multiple of 8", file=sys.stderr)
+        return 1
+
+    if args.verify:
+        actual = os.path.getsize(args.path)
+        if actual < size:
+            print(
+                f"error: {args.path} is {actual} bytes, expected >= {size}",
+                file=sys.stderr,
+            )
+            return 1
+        mismatch = verify_pattern(args.path, size, args.seed, args.chunk)
+        if mismatch >= 0:
+            print(f"error: pattern mismatch at byte {mismatch}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: {size} bytes match seed {args.seed}")
+        return 0
+
+    write_pattern(args.path, size, args.seed, args.chunk)
+    print(f"{args.path}: wrote {size} pattern bytes (seed {args.seed})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

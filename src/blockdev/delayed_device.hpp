@@ -10,7 +10,7 @@
 #include <string>
 
 #include "blockdev/block_device.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::blockdev {
 
@@ -18,7 +18,7 @@ class DelayedDevice final : public BlockDevice {
  public:
   /// `should_delay` decides per request (by its sequence number and offset)
   /// whether the extra delay applies. Inner device must outlive this.
-  DelayedDevice(sim::Simulator& simulator, BlockDevice& inner, SimTime extra_delay,
+  DelayedDevice(exec::ExecutionContext& simulator, BlockDevice& inner, SimTime extra_delay,
                 std::function<bool(std::uint64_t seq, ByteOffset offset)> should_delay)
       : sim_(simulator),
         inner_(inner),
@@ -26,7 +26,7 @@ class DelayedDevice final : public BlockDevice {
         should_delay_(std::move(should_delay)) {}
 
   /// Convenience: delay every Nth request.
-  DelayedDevice(sim::Simulator& simulator, BlockDevice& inner, SimTime extra_delay,
+  DelayedDevice(exec::ExecutionContext& simulator, BlockDevice& inner, SimTime extra_delay,
                 std::uint64_t every_nth)
       : DelayedDevice(simulator, inner, extra_delay,
                       [every_nth](std::uint64_t seq, ByteOffset) {
@@ -52,7 +52,7 @@ class DelayedDevice final : public BlockDevice {
   [[nodiscard]] std::uint64_t delayed_count() const { return delayed_; }
 
  private:
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   BlockDevice& inner_;
   SimTime extra_delay_;
   std::function<bool(std::uint64_t, ByteOffset)> should_delay_;

@@ -21,7 +21,7 @@ bool check_pattern(std::uint64_t seed, ByteOffset offset, const std::byte* data,
   return true;
 }
 
-MemBlockDevice::MemBlockDevice(sim::Simulator& simulator, Bytes capacity, std::uint64_t seed,
+MemBlockDevice::MemBlockDevice(exec::ExecutionContext& simulator, Bytes capacity, std::uint64_t seed,
                                SimTime fixed_latency, double rate_bps)
     : sim_(simulator),
       store_(capacity),

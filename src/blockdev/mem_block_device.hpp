@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "blockdev/block_device.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::blockdev {
 
@@ -16,7 +16,7 @@ class MemBlockDevice final : public BlockDevice {
  public:
   /// Content is initialised to the pattern for `seed`, so reads verify even
   /// before any write.
-  MemBlockDevice(sim::Simulator& simulator, Bytes capacity, std::uint64_t seed,
+  MemBlockDevice(exec::ExecutionContext& simulator, Bytes capacity, std::uint64_t seed,
                  SimTime fixed_latency = usec(100), double rate_bps = 200e6);
 
   void submit(BlockRequest request) override;
@@ -29,7 +29,7 @@ class MemBlockDevice final : public BlockDevice {
   [[nodiscard]] const std::byte* raw(ByteOffset offset) const { return &store_[offset]; }
 
  private:
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   std::vector<std::byte> store_;
   std::uint64_t seed_;
   SimTime fixed_latency_;

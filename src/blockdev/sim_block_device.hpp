@@ -8,7 +8,7 @@
 
 #include "blockdev/block_device.hpp"
 #include "controller/controller.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::blockdev {
 

@@ -1,0 +1,476 @@
+// io_uring block device, implemented against the raw kernel ABI
+// (<linux/io_uring.h> + syscalls) so no userspace liburing is required.
+// Single-threaded like the rest of the execution model: submissions and
+// completions both happen on the reactor thread, so the ring barriers are
+// only against the kernel, never against another userspace thread.
+#include "blockdev/uring_block_device.hpp"
+
+#if !defined(SST_WITH_URING)
+#error "uring_block_device.cpp must only be compiled with SST_WITH_URING"
+#endif
+
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <string>
+
+namespace sst::blockdev {
+
+namespace {
+
+/// O_DIRECT wants pointer, file offset and length aligned to the logical
+/// block size; 4096 covers every modern device.
+constexpr std::uint64_t kDirectAlign = 4096;
+/// Kernel limit on registered-buffer iovecs (UIO_MAXIOV).
+constexpr std::size_t kMaxRegisteredRegions = 1024;
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete, unsigned flags,
+                       const void* arg, std::size_t argsz) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, arg, argsz));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg, unsigned nr_args) {
+  return static_cast<int>(syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+unsigned load_acquire(unsigned* ptr) {
+  return std::atomic_ref<unsigned>(*ptr).load(std::memory_order_acquire);
+}
+
+void store_release(unsigned* ptr, unsigned value) {
+  std::atomic_ref<unsigned>(*ptr).store(value, std::memory_order_release);
+}
+
+bool aligned_for_direct(const BlockRequest& request, ByteOffset file_offset) {
+  return (reinterpret_cast<std::uintptr_t>(request.data) % kDirectAlign) == 0 &&
+         (file_offset % kDirectAlign) == 0 && (request.length % kDirectAlign) == 0;
+}
+
+}  // namespace
+
+struct UringBlockDevice::Impl {
+  exec::RealContext* ctx = nullptr;
+  UringParams params;
+  Bytes capacity = 0;
+
+  int direct_fd = -1;    ///< -1 when the filesystem refused O_DIRECT
+  int buffered_fd = -1;  ///< always valid; serves unaligned requests
+  int ring_fd = -1;
+  bool ext_arg = false;  ///< IORING_FEAT_EXT_ARG: timed waits in one syscall
+
+  // Ring mappings. With IORING_FEAT_SINGLE_MMAP the SQ and CQ rings share
+  // one mapping; sqes are always their own.
+  void* sq_ring_mem = MAP_FAILED;
+  std::size_t sq_ring_bytes = 0;
+  void* cq_ring_mem = MAP_FAILED;
+  std::size_t cq_ring_bytes = 0;
+  void* sqe_mem = MAP_FAILED;
+  std::size_t sqe_bytes = 0;
+
+  // Raw ring pointers into the mappings.
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  io_uring_sqe* sqes = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  /// One record per request inside the ring, addressed by user_data.
+  struct Pending {
+    BlockRequest request;
+    Bytes done = 0;  ///< bytes already transferred (short-op continuation)
+    int buf_index = -1;
+    std::uint32_t next_free = UINT32_MAX;
+    bool alive = false;
+  };
+  std::vector<Pending> pending;
+  std::uint32_t free_head = UINT32_MAX;
+  std::size_t inflight = 0;
+
+  /// FIFO of accepted requests waiting for a ring slot.
+  std::deque<BlockRequest> backlog;
+
+  struct Region {
+    std::byte* base = nullptr;
+    Bytes length = 0;
+  };
+  std::vector<Region> regions;  ///< sorted by base; index == buf_index
+  bool buffers_registered = false;
+
+  UringStats stats;
+
+  ~Impl() {
+    if (sqe_mem != MAP_FAILED) munmap(sqe_mem, sqe_bytes);
+    if (cq_ring_mem != MAP_FAILED && cq_ring_mem != sq_ring_mem) {
+      munmap(cq_ring_mem, cq_ring_bytes);
+    }
+    if (sq_ring_mem != MAP_FAILED) munmap(sq_ring_mem, sq_ring_bytes);
+    if (ring_fd >= 0) close(ring_fd);
+    if (direct_fd >= 0) close(direct_fd);
+    if (buffered_fd >= 0) close(buffered_fd);
+  }
+
+  Status setup_ring() {
+    io_uring_params setup{};
+    ring_fd = sys_io_uring_setup(params.queue_depth, &setup);
+    if (ring_fd < 0) {
+      return make_error("io_uring_setup failed: " + std::string(strerror(errno)));
+    }
+    ext_arg = (setup.features & IORING_FEAT_EXT_ARG) != 0;
+
+    sq_ring_bytes = setup.sq_off.array + setup.sq_entries * sizeof(unsigned);
+    cq_ring_bytes = setup.cq_off.cqes + setup.cq_entries * sizeof(io_uring_cqe);
+    if ((setup.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      sq_ring_bytes = cq_ring_bytes = std::max(sq_ring_bytes, cq_ring_bytes);
+    }
+    sq_ring_mem = mmap(nullptr, sq_ring_bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQ_RING);
+    if (sq_ring_mem == MAP_FAILED) {
+      return make_error("io_uring SQ ring mmap failed: " + std::string(strerror(errno)));
+    }
+    if ((setup.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      cq_ring_mem = sq_ring_mem;
+    } else {
+      cq_ring_mem = mmap(nullptr, cq_ring_bytes, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_CQ_RING);
+      if (cq_ring_mem == MAP_FAILED) {
+        return make_error("io_uring CQ ring mmap failed: " + std::string(strerror(errno)));
+      }
+    }
+    sqe_bytes = setup.sq_entries * sizeof(io_uring_sqe);
+    sqe_mem = mmap(nullptr, sqe_bytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQES);
+    if (sqe_mem == MAP_FAILED) {
+      return make_error("io_uring SQE mmap failed: " + std::string(strerror(errno)));
+    }
+
+    auto* sq_base = static_cast<std::uint8_t*>(sq_ring_mem);
+    sq_head = reinterpret_cast<unsigned*>(sq_base + setup.sq_off.head);
+    sq_tail = reinterpret_cast<unsigned*>(sq_base + setup.sq_off.tail);
+    sq_mask = *reinterpret_cast<unsigned*>(sq_base + setup.sq_off.ring_mask);
+    sq_array = reinterpret_cast<unsigned*>(sq_base + setup.sq_off.array);
+    sqes = static_cast<io_uring_sqe*>(sqe_mem);
+    auto* cq_base = static_cast<std::uint8_t*>(cq_ring_mem);
+    cq_head = reinterpret_cast<unsigned*>(cq_base + setup.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(cq_base + setup.cq_off.tail);
+    cq_mask = *reinterpret_cast<unsigned*>(cq_base + setup.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(cq_base + setup.cq_off.cqes);
+    return Status::success();
+  }
+
+  std::uint32_t acquire_pending() {
+    if (free_head != UINT32_MAX) {
+      const std::uint32_t index = free_head;
+      free_head = pending[index].next_free;
+      return index;
+    }
+    pending.emplace_back();
+    return static_cast<std::uint32_t>(pending.size() - 1);
+  }
+
+  void release_pending(std::uint32_t index) {
+    pending[index].request = BlockRequest{};
+    pending[index].alive = false;
+    pending[index].next_free = free_head;
+    free_head = index;
+  }
+
+  /// Registered region containing [data, data+length), or -1.
+  int region_of(const std::byte* data, Bytes length) const {
+    if (!buffers_registered) return -1;
+    auto it = std::upper_bound(regions.begin(), regions.end(), data,
+                               [](const std::byte* ptr, const Region& region) {
+                                 return ptr < region.base;
+                               });
+    if (it == regions.begin()) return -1;
+    --it;
+    if (data >= it->base && data + length <= it->base + it->length) {
+      return static_cast<int>(it - regions.begin());
+    }
+    return -1;
+  }
+
+  /// Queue the continuation of `pending[index]` into the SQ and tell the
+  /// kernel. The ring can never be full here: SQEs are consumed by the
+  /// submit syscall and in-ring requests are capped at queue_depth.
+  void submit_sqe(std::uint32_t index) {
+    Pending& entry = pending[index];
+    const BlockRequest& request = entry.request;
+    const ByteOffset file_offset = params.base_offset + request.offset + entry.done;
+    std::byte* data = request.data + entry.done;
+    const Bytes remaining = request.length - entry.done;
+
+    const bool use_direct = direct_fd >= 0 && aligned_for_direct(request, file_offset) &&
+                            (reinterpret_cast<std::uintptr_t>(data) % kDirectAlign) == 0 &&
+                            (remaining % kDirectAlign) == 0;
+    if (use_direct) ++stats.direct_ops;
+
+    const unsigned tail = load_acquire(sq_tail);
+    const unsigned slot = tail & sq_mask;
+    io_uring_sqe& sqe = sqes[slot];
+    std::memset(&sqe, 0, sizeof(sqe));
+    sqe.fd = use_direct ? direct_fd : buffered_fd;
+    sqe.off = file_offset;
+    sqe.addr = reinterpret_cast<std::uint64_t>(data);
+    sqe.len = static_cast<std::uint32_t>(remaining);
+    sqe.user_data = index;
+    if (entry.buf_index >= 0) {
+      sqe.opcode = request.op == IoOp::kRead ? IORING_OP_READ_FIXED : IORING_OP_WRITE_FIXED;
+      sqe.buf_index = static_cast<std::uint16_t>(entry.buf_index);
+      ++stats.fixed_buffer_ops;
+    } else {
+      sqe.opcode = request.op == IoOp::kRead ? IORING_OP_READ : IORING_OP_WRITE;
+    }
+    sq_array[slot] = slot;
+    store_release(sq_tail, tail + 1);
+
+    int rc;
+    do {
+      rc = sys_io_uring_enter(ring_fd, 1, 0, 0, nullptr, 0);
+    } while (rc < 0 && errno == EINTR);
+    // Submission failure is a programming or resource error the completion
+    // path can't see; surface it as an immediate media error.
+    if (rc < 0) {
+      ++stats.errors;
+      ++stats.completed;
+      const BlockRequest done = std::move(entry.request);
+      release_pending(index);
+      --inflight;
+      if (done.on_complete) done.on_complete(ctx->now(), IoStatus::kMediaError);
+    }
+  }
+
+  /// Move one accepted request into the ring.
+  void start(BlockRequest request) {
+    const std::uint32_t index = acquire_pending();
+    Pending& entry = pending[index];
+    entry.request = std::move(request);
+    entry.done = 0;
+    entry.buf_index = region_of(entry.request.data, entry.request.length);
+    entry.alive = true;
+    ++inflight;
+    submit_sqe(index);
+  }
+
+  /// Drain every ready CQE; returns the number of *requests* completed
+  /// (continuations of short ops don't count). Completion callbacks run
+  /// here and may call submit() reentrantly — the backlog/depth accounting
+  /// keeps that safe.
+  std::size_t reap() {
+    std::size_t completed_requests = 0;
+    for (;;) {
+      const unsigned head = load_acquire(cq_head);
+      const unsigned tail = load_acquire(cq_tail);
+      if (head == tail) break;
+      const io_uring_cqe cqe = cqes[head & cq_mask];
+      store_release(cq_head, head + 1);
+
+      const auto index = static_cast<std::uint32_t>(cqe.user_data);
+      assert(index < pending.size() && pending[index].alive);
+      Pending& entry = pending[index];
+      if (cqe.res > 0 && entry.done + static_cast<Bytes>(cqe.res) < entry.request.length) {
+        // Short transfer: continue where it stopped.
+        entry.done += static_cast<Bytes>(cqe.res);
+        ++stats.short_resubmits;
+        submit_sqe(index);
+        continue;
+      }
+      const IoStatus status = cqe.res <= 0 ? IoStatus::kMediaError : IoStatus::kOk;
+      if (status != IoStatus::kOk) ++stats.errors;
+      ++stats.completed;
+      ++completed_requests;
+      const BlockRequest done = std::move(entry.request);
+      release_pending(index);
+      --inflight;
+      if (done.on_complete) done.on_complete(ctx->now(), status);
+    }
+    // Ring slots freed: admit parked requests.
+    while (!backlog.empty() && inflight < params.queue_depth) {
+      BlockRequest next = std::move(backlog.front());
+      backlog.pop_front();
+      start(std::move(next));
+    }
+    return completed_requests;
+  }
+
+  /// Block in the kernel until at least one completion or `max_wait` ns.
+  void wait(SimTime max_wait) {
+    if (ext_arg) {
+      __kernel_timespec ts{};
+      ts.tv_sec = static_cast<long long>(max_wait / 1'000'000'000ULL);
+      ts.tv_nsec = static_cast<long long>(max_wait % 1'000'000'000ULL);
+      io_uring_getevents_arg arg{};
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+      int rc;
+      do {
+        rc = sys_io_uring_enter(ring_fd, 0, 1,
+                                IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg,
+                                sizeof(arg));
+      } while (rc < 0 && errno == EINTR);
+      return;
+    }
+    // Ancient-kernel fallback: an untimed GETEVENTS wait would block past
+    // the caller's deadline, so nap briefly and let the caller re-poll.
+    timespec ts{};
+    const SimTime nap = std::min<SimTime>(max_wait, 1'000'000);  // <= 1 ms
+    ts.tv_nsec = static_cast<long>(nap);
+    nanosleep(&ts, nullptr);
+  }
+};
+
+Result<std::unique_ptr<UringBlockDevice>> UringBlockDevice::open(exec::RealContext& ctx,
+                                                                 UringParams params) {
+  if (params.path.empty()) return make_error("uring: backing file path is empty");
+  if (params.queue_depth == 0) return make_error("uring: queue_depth must be >= 1");
+
+  auto impl = std::make_unique<Impl>();
+  impl->ctx = &ctx;
+
+  impl->buffered_fd = ::open(params.path.c_str(), O_RDWR | O_CLOEXEC);
+  if (impl->buffered_fd < 0) {
+    return make_error("uring: cannot open " + params.path + ": " +
+                      std::string(strerror(errno)));
+  }
+  if (params.direct) {
+    // tmpfs (and some filesystems) refuse O_DIRECT; that's fine, the
+    // buffered fd serves everything and using_direct() reports false.
+    impl->direct_fd = ::open(params.path.c_str(), O_RDWR | O_DIRECT | O_CLOEXEC);
+  }
+
+  struct stat st{};
+  if (fstat(impl->buffered_fd, &st) != 0) {
+    return make_error("uring: fstat failed: " + std::string(strerror(errno)));
+  }
+  const auto file_size = static_cast<Bytes>(st.st_size);
+  if (params.base_offset % kSectorSize != 0) {
+    return make_error("uring: base_offset must be sector aligned");
+  }
+  Bytes capacity = params.capacity;
+  if (capacity == 0) {
+    if (file_size <= params.base_offset) {
+      return make_error("uring: " + params.path + " is smaller than base_offset");
+    }
+    capacity = (file_size - params.base_offset) / kSectorSize * kSectorSize;
+  } else if (params.base_offset + capacity > file_size) {
+    return make_error("uring: slice exceeds " + params.path + " (file is " +
+                      std::to_string(file_size) + " bytes)");
+  }
+  if (capacity == 0 || capacity % kSectorSize != 0) {
+    return make_error("uring: capacity must be a positive multiple of the sector size");
+  }
+  impl->capacity = capacity;
+  impl->params = std::move(params);
+
+  if (Status ring = impl->setup_ring(); !ring.ok()) return ring.error();
+
+  auto device = std::unique_ptr<UringBlockDevice>(new UringBlockDevice(std::move(impl)));
+  ctx.add_driver(device.get());
+  return device;
+}
+
+UringBlockDevice::UringBlockDevice(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+UringBlockDevice::~UringBlockDevice() {
+  // Drain rather than abandon: completion callbacks own buffers.
+  while (impl_->inflight > 0 || !impl_->backlog.empty()) poll(msec(1));
+  impl_->ctx->remove_driver(this);
+}
+
+void UringBlockDevice::submit(BlockRequest request) {
+  assert(request.length > 0);
+  assert(request.offset % kSectorSize == 0);
+  assert(request.length % kSectorSize == 0);
+  assert(request.offset + request.length <= impl_->capacity);
+
+  ++impl_->stats.submitted;
+  if (request.data == nullptr) {
+    // Nothing to transfer; complete immediately (timing-only requests are
+    // a simulation concept).
+    ++impl_->stats.completed;
+    if (request.on_complete) request.on_complete(impl_->ctx->now(), IoStatus::kOk);
+    return;
+  }
+  if (impl_->inflight >= impl_->params.queue_depth) {
+    impl_->backlog.push_back(std::move(request));
+    impl_->stats.backlog_peak = std::max<std::uint64_t>(impl_->stats.backlog_peak,
+                                                        impl_->backlog.size());
+    return;
+  }
+  impl_->start(std::move(request));
+}
+
+Bytes UringBlockDevice::capacity() const { return impl_->capacity; }
+
+std::string UringBlockDevice::name() const { return impl_->params.label; }
+
+std::uint64_t UringBlockDevice::seed() const { return impl_->params.seed; }
+
+std::size_t UringBlockDevice::poll(SimTime max_wait) {
+  std::size_t completed = impl_->reap();
+  if (completed == 0 && impl_->inflight > 0 && max_wait > 0) {
+    impl_->wait(max_wait);
+    completed = impl_->reap();
+  }
+  return completed;
+}
+
+std::size_t UringBlockDevice::in_flight() const {
+  return impl_->inflight + impl_->backlog.size();
+}
+
+Status UringBlockDevice::register_buffers(
+    const std::vector<std::pair<std::byte*, Bytes>>& regions) {
+  if (impl_->buffers_registered) return make_error("uring: buffers already registered");
+  if (impl_->inflight > 0) return make_error("uring: cannot register with I/O in flight");
+  if (regions.empty()) return Status::success();
+
+  std::vector<Impl::Region> sorted;
+  sorted.reserve(std::min(regions.size(), kMaxRegisteredRegions));
+  for (const auto& [base, length] : regions) {
+    if (sorted.size() == kMaxRegisteredRegions) break;
+    if (base != nullptr && length > 0) sorted.push_back({base, length});
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Impl::Region& a, const Impl::Region& b) { return a.base < b.base; });
+
+  std::vector<iovec> iovecs(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    iovecs[i].iov_base = sorted[i].base;
+    iovecs[i].iov_len = sorted[i].length;
+  }
+  const int rc = sys_io_uring_register(impl_->ring_fd, IORING_REGISTER_BUFFERS,
+                                       iovecs.data(), static_cast<unsigned>(iovecs.size()));
+  if (rc < 0) {
+    return make_error("uring: buffer registration failed: " + std::string(strerror(errno)));
+  }
+  impl_->regions = std::move(sorted);
+  impl_->buffers_registered = true;
+  return Status::success();
+}
+
+const UringStats& UringBlockDevice::stats() const { return impl_->stats; }
+
+bool UringBlockDevice::using_direct() const { return impl_->direct_fd >= 0; }
+
+}  // namespace sst::blockdev

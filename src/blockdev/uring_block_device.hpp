@@ -1,0 +1,122 @@
+// Real-I/O block device: io_uring + (attempted) O_DIRECT over a slice of a
+// regular file or block device. This is the one BlockDevice implementation
+// that performs actual disk I/O; everything above it — scheduler, staging
+// area, clients — is the same code that runs against the simulated stack,
+// scheduled on exec::RealContext instead of the simulator.
+//
+// The header is portable (no kernel headers leak out of the pimpl); the
+// implementation is only compiled when the build enables -DSST_WITH_URING=ON,
+// so referencing UringBlockDevice::open() without it is a link error. Use
+// uring_backend_available() to branch at runtime.
+//
+// I/O model:
+//  - Bounded in-flight depth: at most `queue_depth` operations are inside
+//    the ring; further submissions park in a FIFO backlog and drain as
+//    completions arrive, so a burst can never overflow the submission queue.
+//  - O_DIRECT is attempted first and silently degrades to buffered I/O when
+//    the filesystem refuses it (tmpfs) or a request is not 4096-aligned
+//    (pointer, offset and length all must be).
+//  - Buffers registered via register_buffers() (typically the staging area's
+//    extent-slab regions) are used as io_uring fixed buffers: requests whose
+//    data pointer falls inside a registered region submit READ_FIXED /
+//    WRITE_FIXED and skip the per-op pin/unpin.
+//  - Short reads/writes are transparently resubmitted for the remainder;
+//    a completion with a kernel error surfaces as IoStatus::kMediaError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "exec/real_context.hpp"
+
+namespace sst::blockdev {
+
+struct UringParams {
+  /// Backing file, pre-formatted with the deterministic content pattern
+  /// (scripts/mkpattern.py) when read verification matters.
+  std::string path;
+  ByteOffset base_offset = 0;  ///< first byte of this device's slice
+  /// Slice size in bytes; 0 = everything from base_offset to end of file.
+  /// Must be sector aligned.
+  Bytes capacity = 0;
+  std::uint32_t queue_depth = 64;  ///< bounded in-flight depth (ring size)
+  bool direct = true;              ///< try O_DIRECT before buffered I/O
+  /// Pattern seed reported through seed() so integrity checks can verify
+  /// reads against a mkpattern.py-formatted file. Note the pattern is a
+  /// whole-file property: a slice at base_offset B holds the pattern for
+  /// absolute offsets [B, B+capacity).
+  std::uint64_t seed = 0;
+  std::string label = "uring0";
+};
+
+struct UringStats {
+  std::uint64_t submitted = 0;         ///< requests accepted by submit()
+  std::uint64_t completed = 0;         ///< requests fully completed
+  std::uint64_t errors = 0;            ///< completions with a kernel error
+  std::uint64_t short_resubmits = 0;   ///< short read/write continuations
+  std::uint64_t fixed_buffer_ops = 0;  ///< ops that used a registered buffer
+  std::uint64_t direct_ops = 0;        ///< ops issued through the O_DIRECT fd
+  std::uint64_t backlog_peak = 0;      ///< max requests parked beyond queue_depth
+};
+
+class UringBlockDevice final : public BlockDevice, public exec::CompletionDriver {
+ public:
+  /// Open the backing file and set up the ring. Fails (as a value, no
+  /// exceptions) when the file can't be opened, the slice exceeds the file,
+  /// or the kernel rejects io_uring setup. On success the device has
+  /// registered itself as a completion driver on `ctx`; destruction
+  /// unregisters it, so the device must not outlive the context.
+  [[nodiscard]] static Result<std::unique_ptr<UringBlockDevice>> open(
+      exec::RealContext& ctx, UringParams params);
+
+  ~UringBlockDevice() override;
+
+  /// Asserts sector alignment and slice bounds like every other device.
+  /// Requests without a data pointer are completed inline (a real device
+  /// cannot transfer into nothing; timing-only probes are a simulator
+  /// concept).
+  void submit(BlockRequest request) override;
+
+  [[nodiscard]] Bytes capacity() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t seed() const;
+
+  // exec::CompletionDriver
+  std::size_t poll(SimTime max_wait) override;
+  [[nodiscard]] std::size_t in_flight() const override;
+
+  /// Register memory regions (e.g. ExtentSlab::regions()) as io_uring fixed
+  /// buffers. Call once, before I/O is in flight; at most 1024 regions are
+  /// registered (the kernel iovec limit), the rest simply stay unfixed.
+  /// Best-effort: on error the device keeps working without fixed buffers.
+  Status register_buffers(const std::vector<std::pair<std::byte*, Bytes>>& regions);
+
+  [[nodiscard]] const UringStats& stats() const;
+  /// True when the backing file accepted O_DIRECT (tmpfs doesn't; those
+  /// runs transparently use buffered I/O instead).
+  [[nodiscard]] bool using_direct() const;
+
+ private:
+  struct Impl;
+  explicit UringBlockDevice(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// True when the library was built with -DSST_WITH_URING=ON. When false,
+/// UringBlockDevice is declared but not defined — don't call open().
+[[nodiscard]] constexpr bool uring_backend_available() {
+#if defined(SST_WITH_URING)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace sst::blockdev

@@ -87,6 +87,19 @@ class ExtentSlab {
   [[nodiscard]] std::size_t live_extents() const { return live_; }
   [[nodiscard]] Bytes live_bytes() const { return live_bytes_; }
 
+  /// Every backing allocation the slab owns (live or parked on a free
+  /// list), as (base, capacity) pairs. Backing memory is never freed, so
+  /// the pointers stay valid for the slab's lifetime — which is what lets a
+  /// real-I/O backend register them once as fixed DMA buffers.
+  [[nodiscard]] std::vector<std::pair<std::byte*, Bytes>> regions() const {
+    std::vector<std::pair<std::byte*, Bytes>> out;
+    out.reserve(extents_.size());
+    for (const auto& extent : extents_) {
+      out.emplace_back(extent.mem.get(), extent.capacity);
+    }
+    return out;
+  }
+
  private:
   friend class ExtentRef;
 

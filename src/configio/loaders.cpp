@@ -370,6 +370,24 @@ Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
     return make_error("slo.burn_rate must be in [0, 1]");
   }
   ec.attribution = cfg.get_bool("obs.attribution", false);
+
+  // Execution backend: sim (default, deterministic) or real (io_uring over
+  // a backing file; requires a -DSST_WITH_URING=ON build).
+  const std::string backend_kind = cfg.get_string("backend.kind", "sim");
+  if (backend_kind == "real") {
+    ec.backend.kind = experiment::BackendConfig::Kind::kReal;
+  } else if (backend_kind != "sim") {
+    return make_error("backend.kind must be sim or real, got '" + backend_kind + "'");
+  }
+  ec.backend.path = cfg.get_string("backend.path", "");
+  const auto queue_depth = cfg.get_int("backend.queue_depth", ec.backend.queue_depth);
+  if (queue_depth < 1) return make_error("backend.queue_depth must be >= 1");
+  ec.backend.queue_depth = static_cast<std::uint32_t>(queue_depth);
+  ec.backend.direct = cfg.get_bool("backend.direct", ec.backend.direct);
+  if (ec.backend.kind == experiment::BackendConfig::Kind::kReal &&
+      ec.backend.path.empty()) {
+    return make_error("backend.kind=real requires backend.path");
+  }
   return ec;
 }
 

@@ -6,7 +6,7 @@
 
 namespace sst::ctrl {
 
-Controller::Controller(sim::Simulator& simulator, ControllerParams params, ControllerId id)
+Controller::Controller(exec::ExecutionContext& simulator, ControllerParams params, ControllerId id)
     : sim_(simulator), params_(params), id_(id), cache_(params.cache_size) {}
 
 std::uint32_t Controller::attach_disk(disk::DiskParams disk_params) {

@@ -17,7 +17,7 @@
 #include "controller/params.hpp"
 #include "disk/disk.hpp"
 #include "obs/tracer.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::ctrl {
 
@@ -40,7 +40,7 @@ struct ControllerStats {
 
 class Controller {
  public:
-  Controller(sim::Simulator& simulator, ControllerParams params, ControllerId id);
+  Controller(exec::ExecutionContext& simulator, ControllerParams params, ControllerId id);
 
   /// Attach a new disk on the next channel; returns its channel index.
   std::uint32_t attach_disk(disk::DiskParams disk_params);
@@ -69,7 +69,7 @@ class Controller {
   void handle_read(ControllerCommand cmd);
   void handle_write(ControllerCommand cmd);
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   ControllerParams params_;
   ControllerId id_;
   ExtentCache cache_;

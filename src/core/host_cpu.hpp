@@ -9,7 +9,7 @@
 
 #include "common/types.hpp"
 #include "core/params.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::core {
 
@@ -24,7 +24,7 @@ struct HostCpuStats {
 
 class HostCpu {
  public:
-  HostCpu(sim::Simulator& simulator, HostOverheadParams params)
+  HostCpu(exec::ExecutionContext& simulator, HostOverheadParams params)
       : sim_(simulator), params_(params) {}
 
   /// Cost of issuing one disk request with `buffers` live I/O buffers.
@@ -45,7 +45,7 @@ class HostCpu {
   [[nodiscard]] SimTime free_at() const { return free_at_; }
 
  private:
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   HostOverheadParams params_;
   SimTime free_at_ = 0;
   HostCpuStats stats_;

@@ -7,7 +7,7 @@
 
 namespace sst::core {
 
-ReliableDevice::ReliableDevice(sim::Simulator& simulator, blockdev::BlockDevice& inner,
+ReliableDevice::ReliableDevice(exec::ExecutionContext& simulator, blockdev::BlockDevice& inner,
                                RetryParams params, std::uint32_t device_index)
     : sim_(simulator), inner_(inner), params_(params), device_index_(device_index) {
   const Status valid = params_.validate();

@@ -22,7 +22,7 @@
 #include "blockdev/block_device.hpp"
 #include "common/result.hpp"
 #include "obs/tracer.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::core {
 
@@ -65,7 +65,7 @@ struct RetryStats {
 class ReliableDevice final : public blockdev::BlockDevice {
  public:
   /// `inner` must outlive this wrapper. `device_index` labels trace events.
-  ReliableDevice(sim::Simulator& simulator, blockdev::BlockDevice& inner,
+  ReliableDevice(exec::ExecutionContext& simulator, blockdev::BlockDevice& inner,
                  RetryParams params, std::uint32_t device_index);
 
   void submit(blockdev::BlockRequest request) override;
@@ -92,14 +92,14 @@ class ReliableDevice final : public blockdev::BlockDevice {
     std::uint32_t attempt = 1;   ///< current attempt number (stale guard)
     bool settled = false;
     IoStatus last_status = IoStatus::kTimeout;
-    sim::EventHandle timer;
+    exec::TaskHandle timer;
   };
 
   void start_attempt(const std::shared_ptr<Pending>& p);
   void attempt_failed(const std::shared_ptr<Pending>& p, IoStatus status);
   void settle(const std::shared_ptr<Pending>& p, IoStatus status);
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   blockdev::BlockDevice& inner_;
   RetryParams params_;
   std::uint32_t device_index_;

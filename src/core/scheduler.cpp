@@ -14,7 +14,7 @@ namespace {
 constexpr std::string_view kLog = "scheduler";
 }  // namespace
 
-StreamScheduler::StreamScheduler(sim::Simulator& simulator,
+StreamScheduler::StreamScheduler(exec::ExecutionContext& simulator,
                                  std::vector<blockdev::BlockDevice*> devices,
                                  SchedulerParams params)
     : sim_(simulator),

@@ -26,7 +26,7 @@
 #include "core/stream_index.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/tracer.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::core {
 
@@ -62,7 +62,7 @@ class StreamScheduler {
  public:
   /// Devices are indexed by position; they must outlive the scheduler. The
   /// params must validate(). The periodic GC arms itself on first use.
-  StreamScheduler(sim::Simulator& simulator,
+  StreamScheduler(exec::ExecutionContext& simulator,
                   std::vector<blockdev::BlockDevice*> devices, SchedulerParams params);
   ~StreamScheduler();
   StreamScheduler(const StreamScheduler&) = delete;
@@ -100,6 +100,7 @@ class StreamScheduler {
   [[nodiscard]] const SchedulerParams& params() const { return params_; }
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const BufferPool& pool() const { return staging_.pool(); }
+  [[nodiscard]] BufferPool& pool() { return staging_.pool(); }
   [[nodiscard]] const StagingStats& staging_stats() const { return staging_.stats(); }
   [[nodiscard]] HostCpu& cpu() { return cpu_; }
   [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
@@ -164,7 +165,7 @@ class StreamScheduler {
   void retire_stream(StreamId id);
   void arm_gc();
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   std::vector<blockdev::BlockDevice*> devices_;
   SchedulerParams params_;
   StagingArea staging_;
@@ -179,7 +180,7 @@ class StreamScheduler {
   /// Failed read-ahead count per device; >= device_fail_threshold = failed.
   std::vector<std::uint32_t> device_errors_;
   StreamId next_stream_id_ = 1;
-  sim::EventHandle gc_event_;
+  exec::TaskHandle gc_event_;
   SchedulerStats stats_;
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;

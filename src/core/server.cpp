@@ -6,7 +6,7 @@
 
 namespace sst::core {
 
-StorageServer::StorageServer(sim::Simulator& simulator,
+StorageServer::StorageServer(exec::ExecutionContext& simulator,
                              std::vector<blockdev::BlockDevice*> devices,
                              SchedulerParams params)
     : sim_(simulator),

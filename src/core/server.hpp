@@ -16,7 +16,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/slo.hpp"
 #include "obs/tracer.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::core {
 
@@ -33,7 +33,7 @@ class StorageServer {
  public:
   /// Devices must outlive the server; they are indexed by position in
   /// `devices` (ClientRequest::device).
-  StorageServer(sim::Simulator& simulator, std::vector<blockdev::BlockDevice*> devices,
+  StorageServer(exec::ExecutionContext& simulator, std::vector<blockdev::BlockDevice*> devices,
                 SchedulerParams params);
 
   /// Entry point for client requests. The request must fit the device.
@@ -64,7 +64,7 @@ class StorageServer {
   /// server) and emit per-stage breakdown spans. Requires request.trace.
   void stamp_request(ClientRequest& request, obs::RequestRoute route);
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   std::vector<blockdev::BlockDevice*> devices_;
   Classifier classifier_;
   StreamScheduler scheduler_;

@@ -99,6 +99,9 @@ class StagingArea {
 
   [[nodiscard]] std::size_t buffered_count() const { return buffered_count_; }
   [[nodiscard]] const BufferPool& pool() const { return pool_; }
+  /// Mutable pool access for backends that pre-warm and register the
+  /// extent slab as DMA buffers before I/O starts.
+  [[nodiscard]] BufferPool& pool() { return pool_; }
   [[nodiscard]] std::size_t live_buffers() const { return pool_.live_buffers(); }
   [[nodiscard]] const StagingStats& stats() const { return stats_; }
 

@@ -8,7 +8,7 @@
 
 namespace sst::disk {
 
-Disk::Disk(sim::Simulator& simulator, DiskParams params, DiskId id)
+Disk::Disk(exec::ExecutionContext& simulator, DiskParams params, DiskId id)
     : sim_(simulator),
       params_(params),
       id_(id),

@@ -22,7 +22,7 @@
 #include "disk/scheduler.hpp"
 #include "disk/seek_model.hpp"
 #include "obs/tracer.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 #include "stats/histogram.hpp"
 
 namespace sst::disk {
@@ -46,7 +46,7 @@ struct DiskStats {
 
 class Disk {
  public:
-  Disk(sim::Simulator& simulator, DiskParams params, DiskId id);
+  Disk(exec::ExecutionContext& simulator, DiskParams params, DiskId id);
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
 
@@ -90,7 +90,7 @@ class Disk {
     Lba budget_sectors = 0;
   };
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   DiskParams params_;
   DiskId id_;
   Geometry geometry_;

@@ -1,0 +1,132 @@
+#include "exec/real_context.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace sst::exec {
+
+RealContext::RealContext() : epoch_(std::chrono::steady_clock::now()) {}
+
+SimTime RealContext::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+std::uint32_t RealContext::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void RealContext::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.alive = false;
+  ++slot.generation;  // invalidates outstanding handles and heap records
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+TaskHandle RealContext::schedule_at(SimTime when, TaskFn fn) {
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.alive = true;
+  ++live_;
+  const std::uint32_t generation = slot.generation;
+  queue_.push(HeapEntry{when, next_seq_++, index, generation});
+  return make_handle(index, generation);
+}
+
+bool RealContext::task_pending(std::uint32_t slot, std::uint32_t generation) const {
+  return slot < slots_.size() && slots_[slot].generation == generation &&
+         slots_[slot].alive;
+}
+
+void RealContext::cancel_task(std::uint32_t slot, std::uint32_t generation) {
+  if (!task_pending(slot, generation)) return;
+  --live_;
+  release_slot(slot);  // the heap record goes stale and is purged lazily
+}
+
+void RealContext::purge_dead_tops() {
+  while (!queue_.empty() &&
+         slots_[queue_.top().slot].generation != queue_.top().generation) {
+    queue_.pop();
+  }
+}
+
+std::size_t RealContext::fire_due() {
+  std::size_t fired = 0;
+  for (;;) {
+    purge_dead_tops();
+    if (queue_.empty() || queue_.top().when > now()) return fired;
+    const HeapEntry top = queue_.top();
+    queue_.pop();
+    Slot& slot = slots_[top.slot];
+    TaskFn fn = std::move(slot.fn);
+    --live_;
+    release_slot(top.slot);  // recycle before invoking: fn may schedule again
+    ++executed_;
+    fn();
+    ++fired;
+  }
+}
+
+std::size_t RealContext::total_in_flight() const {
+  std::size_t total = 0;
+  for (const CompletionDriver* driver : drivers_) total += driver->in_flight();
+  return total;
+}
+
+void RealContext::wait_for_work(SimTime max_wait) {
+  for (CompletionDriver* driver : drivers_) {
+    if (driver->in_flight() > 0) {
+      driver->poll(max_wait);
+      return;
+    }
+  }
+  // No I/O outstanding: completions cannot arrive (submissions only happen
+  // from this thread), so plain sleep until the next timer is safe.
+  if (max_wait > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(max_wait));
+}
+
+void RealContext::add_driver(CompletionDriver* driver) { drivers_.push_back(driver); }
+
+void RealContext::remove_driver(CompletionDriver* driver) {
+  drivers_.erase(std::remove(drivers_.begin(), drivers_.end(), driver),
+                 drivers_.end());
+}
+
+void RealContext::run_until(SimTime deadline) {
+  for (;;) {
+    fire_due();
+    const SimTime t = now();
+    if (t >= deadline) return;
+    purge_dead_tops();
+    const SimTime next = queue_.empty() ? kSimTimeMax : queue_.top().when;
+    const SimTime target = std::min(deadline, next);
+    wait_for_work(target > t ? target - t : 0);
+  }
+}
+
+void RealContext::run() {
+  for (;;) {
+    fire_due();
+    if (live_ == 0 && total_in_flight() == 0) return;
+    purge_dead_tops();
+    const SimTime t = now();
+    SimTime wait = msec(1);  // responsive floor while I/O is in flight
+    if (!queue_.empty() && queue_.top().when > t) {
+      wait = std::min(wait, queue_.top().when - t);
+    }
+    wait_for_work(wait);
+  }
+}
+
+}  // namespace sst::exec

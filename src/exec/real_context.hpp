@@ -1,0 +1,121 @@
+// Wall-clock execution context: the real-I/O counterpart of the simulator.
+//
+// RealContext runs the same callback graph the simulator runs, but `now()`
+// is the monotonic clock (nanoseconds since construction, so time starts at
+// zero like a simulation) and scheduled tasks fire from a reactor loop.
+// Between due timers the loop polls registered CompletionDrivers — sources
+// of asynchronous completions such as the io_uring block device — so I/O
+// completions and timer callbacks are delivered on one thread, preserving
+// the single-threaded execution model every layer above the block-device
+// seam was written against.
+//
+// Task bookkeeping mirrors the simulator's slab: slots are recycled through
+// a free list, handles address (slot, generation), and cancelled heap
+// records are purged lazily when they surface.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "exec/execution_context.hpp"
+
+namespace sst::exec {
+
+/// A pollable source of asynchronous completions (an io_uring reactor, an
+/// eventfd, ...). RealContext drains drivers between timer callbacks.
+class CompletionDriver {
+ public:
+  virtual ~CompletionDriver() = default;
+
+  /// Deliver ready completions, blocking up to `max_wait` nanoseconds when
+  /// none are ready yet. Returns the number of completions delivered.
+  virtual std::size_t poll(SimTime max_wait) = 0;
+
+  /// Operations submitted and not yet completed.
+  [[nodiscard]] virtual std::size_t in_flight() const = 0;
+};
+
+class RealContext final : public ExecutionContext {
+ public:
+  RealContext();
+  ~RealContext() override = default;
+
+  /// Monotonic nanoseconds since construction.
+  [[nodiscard]] SimTime now() const override;
+
+  /// Past deadlines are allowed (unlike the simulator): the task fires on
+  /// the reactor's next turn.
+  TaskHandle schedule_at(SimTime when, TaskFn fn) override;
+
+  /// Register/unregister a completion source. Drivers must outlive their
+  /// registration and are polled in registration order.
+  void add_driver(CompletionDriver* driver);
+  void remove_driver(CompletionDriver* driver);
+
+  /// Run timers and completion drivers until the wall clock reaches
+  /// `deadline` (nanoseconds since construction). Tasks due exactly at the
+  /// deadline still run; like Simulator::run_until, consecutive calls see
+  /// contiguous time.
+  void run_until(SimTime deadline);
+
+  /// Run until no timers are pending and no driver has I/O in flight.
+  void run();
+
+  [[nodiscard]] std::size_t pending_tasks() const { return live_; }
+  [[nodiscard]] std::uint64_t executed_tasks() const { return executed_; }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+  struct Slot {
+    TaskFn fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool alive = false;
+  };
+
+  /// Heap records are plain data; the callback stays in the slab. Ties on
+  /// `when` break by scheduling order (seq), matching the simulator.
+  struct HeapEntry {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] bool task_pending(std::uint32_t slot,
+                                  std::uint32_t generation) const override;
+  void cancel_task(std::uint32_t slot, std::uint32_t generation) override;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  /// Drop cancelled records off the top of the timer heap.
+  void purge_dead_tops();
+  /// Fire every timer due at or before the current wall clock. Returns the
+  /// number fired.
+  std::size_t fire_due();
+  [[nodiscard]] std::size_t total_in_flight() const;
+  /// Poll drivers (blocking up to `max_wait`) or, with no I/O in flight,
+  /// sleep for `max_wait`.
+  void wait_for_work(SimTime max_wait);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> queue_;
+  std::vector<CompletionDriver*> drivers_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace sst::exec

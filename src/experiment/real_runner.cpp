@@ -1,0 +1,345 @@
+// Real-I/O experiment runner: the simulation harness's wiring — scheduler,
+// server, closed-loop stream clients, attribution, SLO windows — executed
+// against real files through io_uring block devices on a wall-clock
+// execution context. Built to answer one question: does the stream
+// scheduler's benefit survive contact with a real I/O path? (See
+// bench/calibration.cpp for the sim-vs-real comparison harness.)
+//
+// Scope: the flat device view only. Fault injection, raid, the simulated
+// network link and the sharded engine all model hardware — the real backend
+// has real hardware, so configurations enabling them are rejected rather
+// than half-simulated.
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/sharding.hpp"
+
+#if defined(SST_WITH_URING)
+#include <sys/stat.h>
+
+#include "blockdev/uring_block_device.hpp"
+#include "exec/real_context.hpp"
+#endif
+
+namespace sst::experiment {
+
+bool real_backend_available() {
+#if defined(SST_WITH_URING)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if !defined(SST_WITH_URING)
+
+ExperimentResult run_experiment_real(const ExperimentConfig& config) {
+  (void)config;
+  throw std::runtime_error(
+      "backend.kind=real requires a build with -DSST_WITH_URING=ON");
+}
+
+#else
+
+namespace {
+
+/// Recycling allocator for the raw-client data path (no scheduler staging
+/// in front of the device): buffers are 4096-aligned so O_DIRECT stays
+/// usable, and recycled per size so the closed-loop steady state stops
+/// allocating after the first lap.
+class ScratchBuffers {
+ public:
+  std::byte* acquire(Bytes size) {
+    auto& free_list = free_[size];
+    if (!free_list.empty()) {
+      std::byte* buffer = free_list.back();
+      free_list.pop_back();
+      return buffer;
+    }
+    void* mem = std::aligned_alloc(4096, size);
+    if (mem == nullptr) throw std::bad_alloc();
+    owned_.emplace_back(static_cast<std::byte*>(mem));
+    return static_cast<std::byte*>(mem);
+  }
+
+  void release(std::byte* buffer, Bytes size) { free_[size].push_back(buffer); }
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::byte* ptr) const { std::free(ptr); }
+  };
+  std::unordered_map<Bytes, std::vector<std::byte*>> free_;
+  std::vector<std::unique_ptr<std::byte, FreeDeleter>> owned_;
+};
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::runtime_error("backend.kind=real: " + what);
+}
+
+void validate(const ExperimentConfig& config) {
+  if (config.backend.path.empty()) reject("backend.path is required");
+  if (config.shards > 1) reject("sim.shards > 1 is not supported (wall-clock runs are not sharded)");
+  const auto& stack = config.topology.stack;
+  if (stack.fault.enabled()) reject("fault injection models hardware the real backend actually has");
+  if (stack.retry.has_value()) reject("the retry layer is not supported");
+  if (stack.raid.enabled()) reject("raid aggregation is not supported");
+  if (stack.network.has_value()) reject("the simulated network link is not supported");
+  if (config.tracer != nullptr && !config.scheduler.has_value()) {
+    reject("tracing without a scheduler is not supported");
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment_real(const ExperimentConfig& config) {
+  validate(config);
+
+  exec::RealContext ctx;
+
+  // Carve the backing file into one equal, 4096-aligned slice per logical
+  // device — the real counterpart of "N disks".
+  const std::uint32_t device_count = config.topology.logical_device_count();
+  struct stat st{};
+  if (::stat(config.backend.path.c_str(), &st) != 0) {
+    reject("cannot stat " + config.backend.path + ": " + std::string(strerror(errno)));
+  }
+  const auto file_size = static_cast<Bytes>(st.st_size);
+  const Bytes slice = file_size / device_count / 4096 * 4096;
+  if (slice == 0) {
+    reject(config.backend.path + " is too small for " + std::to_string(device_count) +
+           " device slices");
+  }
+
+  std::vector<std::unique_ptr<blockdev::UringBlockDevice>> owned_devices;
+  std::vector<blockdev::BlockDevice*> devices;
+  for (std::uint32_t i = 0; i < device_count; ++i) {
+    blockdev::UringParams params;
+    params.path = config.backend.path;
+    params.base_offset = static_cast<ByteOffset>(i) * slice;
+    params.capacity = slice;
+    params.queue_depth = config.backend.queue_depth;
+    params.direct = config.backend.direct;
+    params.label = "uring" + std::to_string(i);
+    auto device = blockdev::UringBlockDevice::open(ctx, params);
+    if (!device.ok()) reject(device.error().message);
+    devices.push_back(device.value().get());
+    owned_devices.push_back(std::move(device).value());
+  }
+
+  std::unique_ptr<core::StorageServer> server;
+  if (config.scheduler.has_value()) {
+    // Real I/O needs real memory: staging must materialize so read-ahead
+    // requests carry destination buffers the kernel can DMA into.
+    core::SchedulerParams sched_params = *config.scheduler;
+    sched_params.materialize_buffers = true;
+    server = std::make_unique<core::StorageServer>(ctx, devices, sched_params);
+
+    // Pre-warm the extent slab to the steady-state working set and register
+    // it with every ring: requests whose buffers land in these extents use
+    // fixed (pre-pinned) buffers. Best-effort — registration failure (e.g.
+    // locked-memory limits) just means plain READ/WRITE ops.
+    core::BufferPool& pool = server->scheduler().pool();
+    {
+      std::vector<std::unique_ptr<core::IoBuffer>> warm;
+      for (std::uint32_t i = 0; i < config.backend.queue_depth; ++i) {
+        auto buffer = pool.allocate(0, 0, sched_params.read_ahead, ctx.now());
+        if (buffer == nullptr) break;
+        warm.push_back(std::move(buffer));
+      }
+    }
+    const auto regions = pool.extent_slab().regions();
+    for (auto& device : owned_devices) {
+      (void)device->register_buffers(regions);
+    }
+  }
+  if (config.tracer != nullptr && server) server->set_tracer(config.tracer);
+  if (config.flight != nullptr && server) server->set_flight_recorder(config.flight);
+
+  const bool attribution =
+      config.attribution || config.slo.enabled() || config.flight != nullptr;
+  obs::LatencyAttributor attributor;
+  obs::WindowedLatencyRecorder slo_windows(config.slo.window);
+  if (config.slo.enabled()) attributor.attach_window(&slo_windows);
+
+  // After the measurement window closes, new client requests are dropped so
+  // in-flight I/O can drain before teardown (closed-loop clients stall on
+  // the completion that never comes).
+  auto draining = std::make_shared<bool>(false);
+
+  ScratchBuffers scratch;
+  workload::RequestSink sink;
+  if (server) {
+    sink = [srv = server.get(), draining](core::ClientRequest req) {
+      if (*draining) return;
+      srv->submit(std::move(req));
+    };
+  } else {
+    // Raw path: attach a real buffer to each request (a data-less request
+    // would transfer nothing) and recycle it on completion.
+    sink = [&devices, &scratch, draining](core::ClientRequest req) {
+      if (*draining) return;
+      blockdev::BlockRequest io;
+      io.offset = req.offset;
+      io.length = req.length;
+      io.op = req.op;
+      io.id = req.id;
+      io.data = req.data != nullptr ? req.data : scratch.acquire(req.length);
+      const bool borrowed = req.data == nullptr;
+      io.on_complete = [&scratch, data = io.data, length = req.length, borrowed,
+                        prev = std::move(req.on_complete)](SimTime done, IoStatus status) {
+        if (borrowed) scratch.release(data, length);
+        if (prev) prev(done, status);
+      };
+      devices.at(req.device)->submit(std::move(io));
+    };
+  }
+
+  std::vector<std::unique_ptr<workload::StreamClient>> clients;
+  clients.reserve(config.streams.size());
+  for (std::uint32_t i = 0; i < config.streams.size(); ++i) {
+    workload::StreamSpec spec = config.streams[i];
+    if (spec.device >= devices.size()) reject("stream device index out of range");
+    // Stream placements were drawn against the simulated disk's capacity;
+    // fold them into the (usually much smaller) real slice, preserving the
+    // uniform request-aligned spread.
+    const Bytes cap = devices.at(spec.device)->capacity();
+    const Bytes slots = cap / spec.request_size;
+    if (slots == 0) {
+      reject("device slice smaller than one request (" +
+             std::to_string(spec.request_size) + " bytes)");
+    }
+    spec.start_offset = spec.start_offset / spec.request_size % slots * spec.request_size;
+    if (spec.region_bytes != 0 && spec.start_offset + spec.region_bytes > cap) {
+      spec.region_bytes = cap - spec.start_offset;
+    }
+    if (spec.seed == 0) {
+      spec.seed = stream_seed(shard_workload_seed(config.workload_seed, 0), i);
+    }
+    workload::RequestSink client_sink = sink;
+    if (attribution) {
+      client_sink = [&attributor, &ctx, flight = config.flight, base = sink,
+                     ordinal = i, seq = std::uint64_t{0}](core::ClientRequest req) mutable {
+        obs::RequestTrace* trace =
+            attributor.acquire(obs::make_request_id(ordinal, ++seq), ctx.now());
+        req.trace = trace;
+        if (flight != nullptr) {
+          flight->record(obs::FlightCode::kIssue, ctx.now(), trace->rid, req.device,
+                         req.offset);
+        }
+        req.on_complete = [&attributor, &ctx, flight, trace,
+                           prev = std::move(req.on_complete)](SimTime done,
+                                                              IoStatus status) {
+          const bool ok = io_ok(status);
+          if (flight != nullptr) {
+            flight->record(obs::FlightCode::kComplete, ctx.now(), trace->rid,
+                           done >= trace->issue ? done - trace->issue : 0, ok ? 1 : 0);
+          }
+          attributor.complete(trace, done, ok);
+          if (prev) prev(done, status);
+        };
+        base(std::move(req));
+      };
+    }
+    clients.push_back(std::make_unique<workload::StreamClient>(
+        ctx, std::move(client_sink), spec, devices.at(spec.device)->capacity()));
+  }
+  for (auto& client : clients) client->start();
+
+  obs::TimeSeriesSampler sampler(ctx, config.sample_interval);
+  if (config.sample_interval > 0) {
+    sampler.add_gauge("mbps", [&clients, prev_bytes = Bytes{0}, prev_time = SimTime{0},
+                               &ctx]() mutable {
+      Bytes total = 0;
+      for (const auto& client : clients) total += client->stats().throughput.total_bytes();
+      const SimTime now = ctx.now();
+      const Bytes delta = total >= prev_bytes ? total - prev_bytes : total;
+      const double mbps = now > prev_time ? mb_per_sec(delta, now - prev_time) : 0.0;
+      prev_bytes = total;
+      prev_time = now;
+      return mbps;
+    });
+    if (server) {
+      core::StreamScheduler& sched = server->scheduler();
+      sampler.add_gauge("dispatch_set",
+                        [&sched]() { return static_cast<double>(sched.dispatched_count()); });
+      sampler.add_gauge("pool_mb", [&sched]() {
+        return static_cast<double>(sched.pool().committed()) / 1e6;
+      });
+    }
+    sampler.start();
+  }
+
+  ctx.run_until(config.warmup);
+  for (auto& client : clients) client->begin_measurement();
+  attributor.begin_measurement();
+  const SimTime t0 = ctx.now();
+  const SimTime t1 = t0 + config.measure;
+  ctx.run_until(t1);
+
+  // Stop admitting work, then give in-flight I/O (and the scheduler's tail
+  // of read-ahead) a bounded window to drain.
+  *draining = true;
+  const SimTime drain_deadline = ctx.now() + sec(5);
+  auto in_flight = [&owned_devices]() {
+    std::size_t total = 0;
+    for (const auto& device : owned_devices) total += device->in_flight();
+    return total;
+  };
+  while (in_flight() > 0 && ctx.now() < drain_deadline) {
+    ctx.run_until(ctx.now() + msec(5));
+  }
+
+  ExperimentResult result;
+  double min_mbps = 1e18;
+  double max_mbps = 0.0;
+  result.stream_mbps.reserve(clients.size());
+  for (const auto& client : clients) {
+    const auto& cs = client->stats();
+    const double mbps = cs.throughput.mbps(t0, t1);
+    result.stream_mbps.push_back(mbps);
+    result.total_mbps += mbps;
+    min_mbps = std::min(min_mbps, mbps);
+    max_mbps = std::max(max_mbps, mbps);
+    result.requests_completed += cs.completed;
+    result.client_errors += cs.errors;
+    result.latency.merge(cs.latency);
+  }
+  result.min_stream_mbps = clients.empty() ? 0.0 : min_mbps;
+  result.max_stream_mbps = max_mbps;
+  result.sim_events_dispatched = ctx.executed_tasks();
+  if (server) {
+    result.scheduler_stats = server->scheduler().stats();
+    result.server_stats = server->stats();
+    result.classifier_stats = server->classifier().stats();
+    result.staging_stats = server->scheduler().staging_stats();
+    result.host_cpu_utilization = server->scheduler().cpu().stats().utilization(t1);
+    result.peak_buffer_memory = server->scheduler().pool().stats().peak_committed;
+    result.devices_failed = server->scheduler().failed_device_count();
+  }
+  if (config.sample_interval > 0) {
+    sampler.stop();
+    result.timeseries = sampler.take();
+  }
+  if (attribution) {
+    result.breakdown = attributor.breakdown();
+    result.breakdown.enabled = true;
+  }
+  result.slo_report = obs::SloEngine::evaluate(config.slo, slo_windows, result.latency);
+  if (config.flight != nullptr && result.slo_report.enabled && !result.slo_report.pass) {
+    config.flight->record(obs::FlightCode::kSloBreach, ctx.now(), 0,
+                          result.slo_report.windows_breached,
+                          result.slo_report.windows_evaluated);
+  }
+  return result;
+}
+
+#endif  // SST_WITH_URING
+
+}  // namespace sst::experiment

@@ -23,6 +23,9 @@ struct RollingLatency {
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (config.backend.kind == BackendConfig::Kind::kReal) {
+    return run_experiment_real(config);
+  }
   if (config.shards > 1) {
     const ShardPlan plan = plan_shards(config.topology, config.shards, config.lookahead);
     // The plan can collapse to one shard (single controller, striping);

@@ -26,6 +26,23 @@
 
 namespace sst::experiment {
 
+/// Which execution backend carries the experiment (`backend.*` keys).
+/// kSim is the default and the only deterministic one; kReal replays the
+/// same scheduler/client wiring against real files through the io_uring
+/// block device on a wall-clock ExecutionContext.
+struct BackendConfig {
+  enum class Kind : std::uint8_t { kSim, kReal };
+  Kind kind = Kind::kSim;
+  /// Backing file for kReal (`backend.path`), pre-formatted with
+  /// scripts/mkpattern.py; carved into one slice per logical device.
+  std::string path;
+  /// Per-device io_uring depth (`backend.queue_depth`).
+  std::uint32_t queue_depth = 64;
+  /// Attempt O_DIRECT (`backend.direct`); buffered fallback is automatic
+  /// on filesystems that refuse it (tmpfs).
+  bool direct = true;
+};
+
 struct ExperimentConfig {
   /// The whole simulated deployment: the physical node plus the declarative
   /// device stack above it (fault injection, retry, raid, network link).
@@ -72,6 +89,9 @@ struct ExperimentConfig {
   /// (owned by the caller, like the tracer). Sharded runs record into
   /// per-shard rings merged back into this one after the engine joins.
   obs::FlightRecorder* flight = nullptr;
+  /// Execution backend (`backend.*` keys). kSim unless configured
+  /// otherwise; see run_experiment_real() for what kReal supports.
+  BackendConfig backend;
 };
 
 /// Parallel-engine counters; `shards` stays 1 (and nothing is exported)
@@ -136,7 +156,21 @@ struct ExperimentResult {
 };
 
 /// Run one configuration to completion. Deterministic: same config, same
-/// result.
+/// result — except with backend.kind = kReal, where wall-clock timing makes
+/// every run unique.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// True when the library was built with the io_uring backend
+/// (-DSST_WITH_URING=ON); backend.kind = real is rejected otherwise.
+[[nodiscard]] bool real_backend_available();
+
+/// Run the configuration against real files: one UringBlockDevice slice of
+/// `backend.path` per logical device, the same scheduler/server/client
+/// wiring as the simulation, on a wall-clock execution context. Supports
+/// the flat device view only (no fault injection, raid, network or sharded
+/// engine — those model hardware the real backend actually has). Throws
+/// std::runtime_error when the backend is unavailable or the backing file
+/// doesn't fit the topology.
+[[nodiscard]] ExperimentResult run_experiment_real(const ExperimentConfig& config);
 
 }  // namespace sst::experiment

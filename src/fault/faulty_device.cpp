@@ -4,7 +4,7 @@
 
 namespace sst::fault {
 
-FaultyDevice::FaultyDevice(sim::Simulator& simulator, blockdev::BlockDevice& inner,
+FaultyDevice::FaultyDevice(exec::ExecutionContext& simulator, blockdev::BlockDevice& inner,
                            FaultInjector& injector, std::uint32_t device_index)
     : sim_(simulator), inner_(inner), injector_(injector), device_index_(device_index) {}
 

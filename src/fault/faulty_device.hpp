@@ -20,7 +20,7 @@
 #include "blockdev/block_device.hpp"
 #include "fault/injector.hpp"
 #include "obs/tracer.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::fault {
 
@@ -28,7 +28,7 @@ class FaultyDevice final : public blockdev::BlockDevice {
  public:
   /// `inner` and `injector` must outlive this wrapper; `device_index` is
   /// the identity the injector keys its decisions on.
-  FaultyDevice(sim::Simulator& simulator, blockdev::BlockDevice& inner,
+  FaultyDevice(exec::ExecutionContext& simulator, blockdev::BlockDevice& inner,
                FaultInjector& injector, std::uint32_t device_index);
 
   void submit(blockdev::BlockRequest request) override;
@@ -42,7 +42,7 @@ class FaultyDevice final : public blockdev::BlockDevice {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   blockdev::BlockDevice& inner_;
   FaultInjector& injector_;
   std::uint32_t device_index_;

@@ -20,7 +20,7 @@ void Channel::send(Bytes payload_bytes, std::function<void()> deliver) {
   sim_.schedule_at(arrival, std::move(deliver));
 }
 
-RemoteSink::RemoteSink(sim::Simulator& simulator, workload::RequestSink server,
+RemoteSink::RemoteSink(exec::ExecutionContext& simulator, workload::RequestSink server,
                        LinkParams params)
     : sim_(simulator),
       server_(std::move(server)),

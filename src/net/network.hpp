@@ -17,7 +17,7 @@
 
 #include "common/types.hpp"
 #include "fault/injector.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 #include "stats/histogram.hpp"
 #include "workload/generator.hpp"
 
@@ -53,7 +53,7 @@ struct NetFaultStats {
 /// One direction of a full-duplex link: serializes message transmissions.
 class Channel {
  public:
-  Channel(sim::Simulator& simulator, const LinkParams& params)
+  Channel(exec::ExecutionContext& simulator, const LinkParams& params)
       : sim_(simulator), params_(params) {}
 
   /// Deliver `payload_bytes` (+ header) to the far side; `deliver` fires at
@@ -63,7 +63,7 @@ class Channel {
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
 
  private:
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   LinkParams params_;
   SimTime busy_until_ = 0;
   LinkStats stats_;
@@ -74,7 +74,7 @@ class Channel {
 /// like client machines behind one NIC.
 class RemoteSink {
  public:
-  RemoteSink(sim::Simulator& simulator, workload::RequestSink server, LinkParams params);
+  RemoteSink(exec::ExecutionContext& simulator, workload::RequestSink server, LinkParams params);
 
   /// The sink to hand to generators (issues travel uplink; completions
   /// return downlink).
@@ -103,7 +103,7 @@ class RemoteSink {
   [[nodiscard]] const NetFaultStats& fault_stats() const { return fault_stats_; }
 
  private:
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   workload::RequestSink server_;
   LinkParams params_;
   Channel uplink_;

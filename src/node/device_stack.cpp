@@ -54,7 +54,7 @@ raid::MirrorStats DeviceStack::mirror_totals() const {
   return totals;
 }
 
-DeviceStackBuilder::DeviceStackBuilder(sim::Simulator& simulator,
+DeviceStackBuilder::DeviceStackBuilder(exec::ExecutionContext& simulator,
                                        std::vector<blockdev::BlockDevice*> base)
     : stack_(new DeviceStack()) {
   assert(!base.empty());

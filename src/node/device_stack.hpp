@@ -29,7 +29,7 @@
 #include "obs/tracer.hpp"
 #include "raid/mirrored_volume.hpp"
 #include "raid/striped_volume.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 #include "workload/generator.hpp"
 
 namespace sst::io {
@@ -126,7 +126,7 @@ class DeviceStack {
   friend class DeviceStackBuilder;
   DeviceStack() = default;
 
-  sim::Simulator* sim_ = nullptr;
+  exec::ExecutionContext* sim_ = nullptr;
   std::size_t physical_count_ = 0;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::unique_ptr<fault::FaultyDevice>> faulty_;
@@ -144,7 +144,7 @@ class DeviceStack {
 class DeviceStackBuilder {
  public:
   /// `base` are the physical devices, which must outlive the built stack.
-  DeviceStackBuilder(sim::Simulator& simulator,
+  DeviceStackBuilder(exec::ExecutionContext& simulator,
                      std::vector<blockdev::BlockDevice*> base);
 
   /// Wrap every device in a FaultyDevice fed by one deterministic injector.

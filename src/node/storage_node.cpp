@@ -4,7 +4,7 @@
 
 namespace sst::node {
 
-StorageNode::StorageNode(sim::Simulator& simulator, NodeConfig config)
+StorageNode::StorageNode(exec::ExecutionContext& simulator, NodeConfig config)
     : sim_(simulator), config_(config) {
   assert(config_.num_controllers >= 1);
   assert(config_.disks_per_controller >= 1);

@@ -18,7 +18,7 @@
 #include "core/params.hpp"
 #include "core/server.hpp"
 #include "disk/disk.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::node {
 
@@ -76,7 +76,7 @@ struct NodeDiskTotals {
 
 class StorageNode {
  public:
-  StorageNode(sim::Simulator& simulator, NodeConfig config);
+  StorageNode(exec::ExecutionContext& simulator, NodeConfig config);
   StorageNode(const StorageNode&) = delete;
   StorageNode& operator=(const StorageNode&) = delete;
 
@@ -107,7 +107,7 @@ class StorageNode {
   void attach_tracer(obs::Tracer* tracer);
 
  private:
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   NodeConfig config_;
   std::vector<std::unique_ptr<ctrl::Controller>> controllers_;
   std::vector<std::unique_ptr<blockdev::SimBlockDevice>> devices_;

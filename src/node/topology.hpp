@@ -112,7 +112,7 @@ struct TopologySpec {
 /// The built deployment: the storage node plus its device stack.
 class Topology {
  public:
-  Topology(sim::Simulator& simulator, const TopologySpec& spec)
+  Topology(exec::ExecutionContext& simulator, const TopologySpec& spec)
       : node_(simulator, spec.node),
         stack_(io::DeviceStackBuilder(simulator, node_.devices())
                    .apply(spec.stack)

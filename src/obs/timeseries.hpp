@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::obs {
 
@@ -40,7 +40,7 @@ struct TimeSeries {
 class TimeSeriesSampler {
  public:
   /// `interval` is the sim-time spacing between samples; must be > 0.
-  TimeSeriesSampler(sim::Simulator& sim, SimTime interval)
+  TimeSeriesSampler(exec::ExecutionContext& sim, SimTime interval)
       : sim_(sim), interval_(interval) {}
   TimeSeriesSampler(const TimeSeriesSampler&) = delete;
   TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
@@ -72,11 +72,11 @@ class TimeSeriesSampler {
   void sample();
   void arm();
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   SimTime interval_;
   std::vector<std::function<double()>> gauges_;
   TimeSeries series_;
-  sim::EventHandle tick_;
+  exec::TaskHandle tick_;
 };
 
 }  // namespace sst::obs

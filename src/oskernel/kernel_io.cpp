@@ -5,7 +5,7 @@
 
 namespace sst::oskernel {
 
-KernelIo::KernelIo(sim::Simulator& simulator, blockdev::BlockDevice& device,
+KernelIo::KernelIo(exec::ExecutionContext& simulator, blockdev::BlockDevice& device,
                    KernelIoParams params)
     : sim_(simulator),
       device_(device),

@@ -24,7 +24,7 @@
 #include "blockdev/block_device.hpp"
 #include "common/types.hpp"
 #include "oskernel/iosched.hpp"
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::oskernel {
 
@@ -51,7 +51,7 @@ class KernelIo {
   static constexpr Bytes kPageSize = 4 * KiB;
 
   /// `device` must outlive the KernelIo.
-  KernelIo(sim::Simulator& simulator, blockdev::BlockDevice& device, KernelIoParams params);
+  KernelIo(exec::ExecutionContext& simulator, blockdev::BlockDevice& device, KernelIoParams params);
   ~KernelIo();
   KernelIo(const KernelIo&) = delete;
   KernelIo& operator=(const KernelIo&) = delete;
@@ -98,7 +98,7 @@ class KernelIo {
   void try_dispatch();
   void on_io_complete(PageIndex first, PageIndex last, std::uint32_t pid, SimTime now);
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   blockdev::BlockDevice& device_;
   KernelIoParams params_;
   std::unique_ptr<IoScheduler> sched_;
@@ -110,7 +110,7 @@ class KernelIo {
 
   bool device_busy_ = false;
   Lba head_lba_ = 0;
-  sim::EventHandle retry_event_;
+  exec::TaskHandle retry_event_;
   KernelIoStats stats_;
 };
 

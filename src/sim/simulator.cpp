@@ -96,7 +96,7 @@ EventHandle Simulator::schedule_at(SimTime when, detail::EventFn fn) {
   ++live_count_;
   const std::uint32_t generation = slot.generation;
   enqueue_slot(index, when);
-  return EventHandle(this, index, generation);
+  return make_handle(index, generation);
 }
 
 void Simulator::cancel_event(std::uint32_t index, std::uint32_t generation) {

@@ -17,151 +17,57 @@
 // per tick, ordered by sequence number, and dispatched back to back.
 // Handles address events by (slot, generation), so a recycled slot
 // invalidates stale handles without shared ownership.
+//
+// Simulator is the simulated implementation of exec::ExecutionContext
+// (exec/execution_context.hpp): every layer above the block-device seam
+// schedules against the abstract context, and this engine — or the
+// wall-clock RealContext — supplies the time base. The class is `final` so
+// call sites holding a concrete Simulator& (the engine's own hot loops,
+// microbenchmarks, the sharded coordinator) still devirtualize now() and
+// schedule_at.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <new>
 #include <queue>
-#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "exec/execution_context.hpp"
+#include "exec/task_fn.hpp"
 
 namespace sst::sim {
 
 namespace detail {
 
-/// Type-erased move-only `void()` callable with inline storage. Closures up
-/// to kInlineBytes (covering every callback in the simulator's hot paths)
-/// live inside the object; larger ones fall back to a single heap
-/// allocation.
-class EventFn {
- public:
-  static constexpr std::size_t kInlineBytes = 64;
-
-  EventFn() noexcept = default;
-
-  template <typename F, typename D = std::decay_t<F>,
-            std::enable_if_t<!std::is_same_v<D, EventFn> && std::is_invocable_v<D&>, int> = 0>
-  // NOLINTNEXTLINE(google-explicit-constructor) — callable adaptor by design
-  EventFn(F&& fn) {
-    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<D>) {
-      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
-      ops_ = &kInlineOps<D>;
-    } else {
-      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
-      ops_ = &kHeapOps<D>;
-    }
-  }
-
-  EventFn(EventFn&& other) noexcept { move_from(other); }
-  EventFn& operator=(EventFn&& other) noexcept {
-    if (this != &other) {
-      reset();
-      move_from(other);
-    }
-    return *this;
-  }
-  EventFn(const EventFn&) = delete;
-  EventFn& operator=(const EventFn&) = delete;
-  ~EventFn() { reset(); }
-
-  void reset() noexcept {
-    if (ops_ != nullptr) {
-      ops_->destroy(storage_);
-      ops_ = nullptr;
-    }
-  }
-
-  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
-
-  void operator()() {
-    assert(ops_ != nullptr);
-    ops_->invoke(storage_);
-  }
-
- private:
-  struct Ops {
-    void (*invoke)(void* storage);
-    /// Move-construct the callable at `dst` from `src`, destroying `src`.
-    void (*relocate)(void* dst, void* src);
-    void (*destroy)(void* storage);
-  };
-
-  template <typename D>
-  static constexpr Ops kInlineOps{
-      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
-      [](void* dst, void* src) {
-        D* from = std::launder(reinterpret_cast<D*>(src));
-        ::new (dst) D(std::move(*from));
-        from->~D();
-      },
-      [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); }};
-
-  template <typename D>
-  static constexpr Ops kHeapOps{
-      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
-      [](void* dst, void* src) {
-        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
-      },
-      [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); }};
-
-  void move_from(EventFn& other) noexcept {
-    ops_ = other.ops_;
-    if (ops_ != nullptr) {
-      ops_->relocate(storage_, other.storage_);
-      other.ops_ = nullptr;
-    }
-  }
-
-  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
-  const Ops* ops_ = nullptr;
-};
+/// Historical name for the type-erased event callable; the implementation
+/// moved to exec::TaskFn so both execution contexts share one slab-friendly
+/// representation.
+using EventFn = exec::TaskFn;
 
 }  // namespace detail
-
-class Simulator;
 
 /// Handle used to cancel a scheduled event. Cancellation of a wheel-resident
 /// event unlinks it in O(1) and recycles its slot immediately; events parked
 /// in the overflow heap or the current dispatch batch release their callback
 /// immediately and leave a stale record that is skipped when reached.
-/// Handles are small value types addressing a slab slot by generation, so
-/// they stay safely inert after the event fires or is cancelled (the slot's
-/// generation moves on). The handle must not outlive the Simulator itself.
-class EventHandle {
- public:
-  EventHandle() = default;
+/// EventHandle is the execution-context TaskHandle: small value type
+/// addressing a slab slot by generation, safely inert after the event fires
+/// or is cancelled. The handle must not outlive the Simulator itself.
+using EventHandle = exec::TaskHandle;
 
-  /// True while the event has neither fired nor been cancelled.
-  [[nodiscard]] bool pending() const;
-
-  void cancel();
-
- private:
-  friend class Simulator;
-  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t generation)
-      : sim_(sim), slot_(slot), generation_(generation) {}
-
-  Simulator* sim_ = nullptr;
-  std::uint32_t slot_ = 0;
-  std::uint32_t generation_ = 0;
-};
-
-class Simulator {
+class Simulator final : public exec::ExecutionContext {
  public:
   Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Schedule `fn` to run at absolute time `when` (must be >= now()).
-  EventHandle schedule_at(SimTime when, detail::EventFn fn);
+  EventHandle schedule_at(SimTime when, detail::EventFn fn) override;
 
   /// Schedule `fn` to run `delay` nanoseconds from now.
   EventHandle schedule_after(SimTime delay, detail::EventFn fn) {
@@ -193,8 +99,6 @@ class Simulator {
   [[nodiscard]] std::uint64_t overflow_events() const { return overflowed_; }
 
  private:
-  friend class EventHandle;
-
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
   /// Wheel geometry: kLevels levels of 64 buckets; level L buckets are
   /// 64^L ns wide, so the wheel spans 2^(6*kLevels) ns before the overflow
@@ -270,6 +174,15 @@ class Simulator {
   }
   void cancel_event(std::uint32_t slot, std::uint32_t generation);
 
+  /// exec::TaskHandle support: handles minted by schedule_at resolve here.
+  [[nodiscard]] bool task_pending(std::uint32_t slot,
+                                  std::uint32_t generation) const override {
+    return event_pending(slot, generation);
+  }
+  void cancel_task(std::uint32_t slot, std::uint32_t generation) override {
+    cancel_event(slot, generation);
+  }
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -294,13 +207,5 @@ class Simulator {
   std::vector<BatchEntry> batch_;
   std::size_t batch_pos_ = 0;
 };
-
-inline bool EventHandle::pending() const {
-  return sim_ != nullptr && sim_->event_pending(slot_, generation_);
-}
-
-inline void EventHandle::cancel() {
-  if (sim_ != nullptr) sim_->cancel_event(slot_, generation_);
-}
 
 }  // namespace sst::sim

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::workload {
 
@@ -14,7 +14,7 @@ namespace {
 constexpr SimTime kErrorRetryDelay = msec(10);
 }  // namespace
 
-StreamClient::StreamClient(sim::Simulator& simulator, RequestSink sink, StreamSpec spec,
+StreamClient::StreamClient(exec::ExecutionContext& simulator, RequestSink sink, StreamSpec spec,
                            Bytes device_capacity)
     : sim_(simulator),
       sink_(std::move(sink)),
@@ -114,7 +114,7 @@ SimTime StreamClient::think_delay() {
   return delay;
 }
 
-RandomClient::RandomClient(sim::Simulator& simulator, RequestSink sink, std::uint32_t device,
+RandomClient::RandomClient(exec::ExecutionContext& simulator, RequestSink sink, std::uint32_t device,
                            Bytes device_capacity, Bytes request_size,
                            std::uint32_t outstanding, std::uint64_t seed)
     : sim_(simulator),

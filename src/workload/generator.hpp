@@ -17,8 +17,8 @@
 #include "stats/histogram.hpp"
 #include "stats/meters.hpp"
 
-namespace sst::sim {
-class Simulator;
+namespace sst::exec {
+class ExecutionContext;
 }
 
 namespace sst::workload {
@@ -77,7 +77,7 @@ struct ClientStats {
 /// Closed-loop sequential reader (one emulated stream).
 class StreamClient {
  public:
-  StreamClient(sim::Simulator& simulator, RequestSink sink, StreamSpec spec,
+  StreamClient(exec::ExecutionContext& simulator, RequestSink sink, StreamSpec spec,
                Bytes device_capacity);
 
   /// Issue the initial window of requests.
@@ -100,7 +100,7 @@ class StreamClient {
   void on_complete(SimTime issued_at, Bytes length, IoStatus status);
   [[nodiscard]] SimTime think_delay();
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   RequestSink sink_;
   StreamSpec spec_;
   Rng rng_;
@@ -115,7 +115,7 @@ class StreamClient {
 /// Closed-loop uniform-random reader (non-sequential traffic).
 class RandomClient {
  public:
-  RandomClient(sim::Simulator& simulator, RequestSink sink, std::uint32_t device,
+  RandomClient(exec::ExecutionContext& simulator, RequestSink sink, std::uint32_t device,
                Bytes device_capacity, Bytes request_size, std::uint32_t outstanding,
                std::uint64_t seed);
 
@@ -126,7 +126,7 @@ class RandomClient {
  private:
   void issue_one();
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   RequestSink sink_;
   std::uint32_t device_;
   Bytes capacity_;

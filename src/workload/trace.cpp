@@ -4,11 +4,11 @@
 #include <charconv>
 #include <sstream>
 
-#include "sim/simulator.hpp"
+#include "exec/execution_context.hpp"
 
 namespace sst::workload {
 
-TraceRecorder::TraceRecorder(sim::Simulator& simulator, RequestSink downstream)
+TraceRecorder::TraceRecorder(exec::ExecutionContext& simulator, RequestSink downstream)
     : sim_(simulator), downstream_(std::move(downstream)) {}
 
 RequestSink TraceRecorder::sink() {
@@ -96,7 +96,7 @@ Result<std::vector<TraceRecord>> trace_from_text(std::string_view text) {
   return records;
 }
 
-TraceReplayer::TraceReplayer(sim::Simulator& simulator, RequestSink sink,
+TraceReplayer::TraceReplayer(exec::ExecutionContext& simulator, RequestSink sink,
                              std::vector<TraceRecord> trace, ReplayMode mode,
                              std::uint32_t window)
     : sim_(simulator),

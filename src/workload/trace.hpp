@@ -33,7 +33,7 @@ class TraceRecorder {
  public:
   /// Wrap `downstream`: requests pass through unchanged, metadata and
   /// latency are recorded. The recorder must outlive all wrapped requests.
-  TraceRecorder(sim::Simulator& simulator, RequestSink downstream);
+  TraceRecorder(exec::ExecutionContext& simulator, RequestSink downstream);
 
   /// The sink to hand to generators.
   [[nodiscard]] RequestSink sink();
@@ -43,7 +43,7 @@ class TraceRecorder {
   void clear();
 
  private:
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   RequestSink downstream_;
   std::vector<TraceRecord> records_;
   std::size_t completed_ = 0;
@@ -61,7 +61,7 @@ enum class ReplayMode : std::uint8_t {
 
 class TraceReplayer {
  public:
-  TraceReplayer(sim::Simulator& simulator, RequestSink sink, std::vector<TraceRecord> trace,
+  TraceReplayer(exec::ExecutionContext& simulator, RequestSink sink, std::vector<TraceRecord> trace,
                 ReplayMode mode, std::uint32_t window = 8);
 
   /// Schedule/issue the trace; completions are counted as they land.
@@ -77,7 +77,7 @@ class TraceReplayer {
   void issue_next_closed();
   void issue_record(std::size_t index);
 
-  sim::Simulator& sim_;
+  exec::ExecutionContext& sim_;
   RequestSink sink_;
   std::vector<TraceRecord> trace_;
   ReplayMode mode_;

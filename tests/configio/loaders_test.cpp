@@ -160,6 +160,54 @@ TEST(ExperimentLoader, RejectsBadWorkload) {
   EXPECT_FALSE(load_experiment(make({{"workload.request", "1000"}})).ok());  // unaligned
 }
 
+TEST(ExperimentLoader, BackendDefaultsToSim) {
+  const auto e = load_experiment(make({{"workload.streams", "2"}}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().backend.kind, experiment::BackendConfig::Kind::kSim);
+  EXPECT_TRUE(e.value().backend.path.empty());
+  EXPECT_EQ(e.value().backend.queue_depth, 64u);
+  EXPECT_TRUE(e.value().backend.direct);
+}
+
+TEST(ExperimentLoader, BackendKeysRoundTrip) {
+  const auto e = load_experiment(make({{"workload.streams", "2"},
+                                       {"backend.kind", "real"},
+                                       {"backend.path", "/dev/shm/backing.img"},
+                                       {"backend.queue_depth", "128"},
+                                       {"backend.direct", "false"}}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().backend.kind, experiment::BackendConfig::Kind::kReal);
+  EXPECT_EQ(e.value().backend.path, "/dev/shm/backing.img");
+  EXPECT_EQ(e.value().backend.queue_depth, 128u);
+  EXPECT_FALSE(e.value().backend.direct);
+}
+
+TEST(ExperimentLoader, BackendSimIgnoresPath) {
+  // An explicit sim backend with a stray path is fine: the path is unused.
+  const auto e = load_experiment(
+      make({{"workload.streams", "2"}, {"backend.kind", "sim"},
+            {"backend.path", "/tmp/ignored"}}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().backend.kind, experiment::BackendConfig::Kind::kSim);
+}
+
+TEST(ExperimentLoader, RejectsBadBackend) {
+  // Unknown kind.
+  EXPECT_FALSE(
+      load_experiment(make({{"workload.streams", "2"}, {"backend.kind", "fast"}}))
+          .ok());
+  // Real backend without a backing file.
+  EXPECT_FALSE(
+      load_experiment(make({{"workload.streams", "2"}, {"backend.kind", "real"}}))
+          .ok());
+  // Zero queue depth.
+  EXPECT_FALSE(load_experiment(make({{"workload.streams", "2"},
+                                     {"backend.kind", "real"},
+                                     {"backend.path", "/dev/shm/backing.img"},
+                                     {"backend.queue_depth", "0"}}))
+                   .ok());
+}
+
 TEST(ExperimentLoader, EndToEndRuns) {
   const auto e = load_experiment(make({{"workload.streams", "2"},
                                        {"disk.capacity", "4G"},
