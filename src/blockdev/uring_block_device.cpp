@@ -36,6 +36,13 @@ namespace {
 constexpr std::uint64_t kDirectAlign = 4096;
 /// Kernel limit on registered-buffer iovecs (UIO_MAXIOV).
 constexpr std::size_t kMaxRegisteredRegions = 1024;
+/// sqe.len is 32-bit; cap each SQE well below the wrap point and let the
+/// short-transfer continuation pick up the remainder. 1 GiB keeps O_DIRECT
+/// alignment (multiple of 4096) for any aligned request.
+constexpr Bytes kMaxSqeBytes = Bytes{1} << 30;
+/// Transient kernel results (-EAGAIN/-EINTR) are resubmitted up to this
+/// many times per request before surfacing as a media error.
+constexpr std::uint32_t kMaxTransientRetries = 8;
 
 int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
   return static_cast<int>(syscall(__NR_io_uring_setup, entries, params));
@@ -102,6 +109,7 @@ struct UringBlockDevice::Impl {
     Bytes done = 0;  ///< bytes already transferred (short-op continuation)
     int buf_index = -1;
     std::uint32_t next_free = UINT32_MAX;
+    std::uint32_t retries = 0;  ///< consecutive -EAGAIN/-EINTR resubmits
     bool alive = false;
   };
   std::vector<Pending> pending;
@@ -220,6 +228,9 @@ struct UringBlockDevice::Impl {
     const ByteOffset file_offset = params.base_offset + request.offset + entry.done;
     std::byte* data = request.data + entry.done;
     const Bytes remaining = request.length - entry.done;
+    // sqe.len is only 32 bits wide: issue at most kMaxSqeBytes per SQE and
+    // let reap()'s short-transfer continuation submit the rest.
+    const Bytes chunk = std::min(remaining, kMaxSqeBytes);
 
     const bool use_direct = direct_fd >= 0 && aligned_for_direct(request, file_offset) &&
                             (reinterpret_cast<std::uintptr_t>(data) % kDirectAlign) == 0 &&
@@ -233,7 +244,7 @@ struct UringBlockDevice::Impl {
     sqe.fd = use_direct ? direct_fd : buffered_fd;
     sqe.off = file_offset;
     sqe.addr = reinterpret_cast<std::uint64_t>(data);
-    sqe.len = static_cast<std::uint32_t>(remaining);
+    sqe.len = static_cast<std::uint32_t>(chunk);
     sqe.user_data = index;
     if (entry.buf_index >= 0) {
       sqe.opcode = request.op == IoOp::kRead ? IORING_OP_READ_FIXED : IORING_OP_WRITE_FIXED;
@@ -267,6 +278,7 @@ struct UringBlockDevice::Impl {
     Pending& entry = pending[index];
     entry.request = std::move(request);
     entry.done = 0;
+    entry.retries = 0;
     entry.buf_index = region_of(entry.request.data, entry.request.length);
     entry.alive = true;
     ++inflight;
@@ -292,7 +304,17 @@ struct UringBlockDevice::Impl {
       if (cqe.res > 0 && entry.done + static_cast<Bytes>(cqe.res) < entry.request.length) {
         // Short transfer: continue where it stopped.
         entry.done += static_cast<Bytes>(cqe.res);
+        entry.retries = 0;  // forward progress resets the transient budget
         ++stats.short_resubmits;
+        submit_sqe(index);
+        continue;
+      }
+      if ((cqe.res == -EAGAIN || cqe.res == -EINTR) &&
+          entry.retries < kMaxTransientRetries) {
+        // Transient kernel result, not a media failure: resubmit the same
+        // continuation (bounded, so a persistently unready fd still errors).
+        ++entry.retries;
+        ++stats.transient_retries;
         submit_sqe(index);
         continue;
       }

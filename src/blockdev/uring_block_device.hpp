@@ -20,8 +20,10 @@
 //    extent-slab regions) are used as io_uring fixed buffers: requests whose
 //    data pointer falls inside a registered region submit READ_FIXED /
 //    WRITE_FIXED and skip the per-op pin/unpin.
-//  - Short reads/writes are transparently resubmitted for the remainder;
-//    a completion with a kernel error surfaces as IoStatus::kMediaError.
+//  - Short reads/writes are transparently resubmitted for the remainder,
+//    and transient kernel results (-EAGAIN/-EINTR) are retried a bounded
+//    number of times; any other completion error surfaces as
+//    IoStatus::kMediaError.
 #pragma once
 
 #include <cstddef>
@@ -61,6 +63,7 @@ struct UringStats {
   std::uint64_t completed = 0;         ///< requests fully completed
   std::uint64_t errors = 0;            ///< completions with a kernel error
   std::uint64_t short_resubmits = 0;   ///< short read/write continuations
+  std::uint64_t transient_retries = 0; ///< -EAGAIN/-EINTR resubmits
   std::uint64_t fixed_buffer_ops = 0;  ///< ops that used a registered buffer
   std::uint64_t direct_ops = 0;        ///< ops issued through the O_DIRECT fd
   std::uint64_t backlog_peak = 0;      ///< max requests parked beyond queue_depth

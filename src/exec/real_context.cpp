@@ -85,11 +85,26 @@ std::size_t RealContext::total_in_flight() const {
 }
 
 void RealContext::wait_for_work(SimTime max_wait) {
+  // Non-blocking sweep over every driver first: with several devices busy,
+  // blocking in one ring would starve completions on the others.
+  std::size_t delivered = 0;
+  std::size_t busy = 0;
+  CompletionDriver* block_in = nullptr;
   for (CompletionDriver* driver : drivers_) {
-    if (driver->in_flight() > 0) {
-      driver->poll(max_wait);
-      return;
+    if (driver->in_flight() == 0) continue;
+    ++busy;
+    if (block_in == nullptr) block_in = driver;
+    delivered += driver->poll(0);
+  }
+  if (delivered > 0) return;
+  if (block_in != nullptr) {
+    // Nothing ready anywhere: block in one ring, but with multiple busy
+    // drivers cap the nap so the others are swept again promptly.
+    block_in->poll(busy > 1 ? std::min<SimTime>(max_wait, msec(1)) : max_wait);
+    for (CompletionDriver* driver : drivers_) {
+      if (driver != block_in && driver->in_flight() > 0) driver->poll(0);
     }
+    return;
   }
   // No I/O outstanding: completions cannot arrive (submissions only happen
   // from this thread), so plain sleep until the next timer is safe.

@@ -295,6 +295,15 @@ ExperimentResult run_experiment_real(const ExperimentConfig& config) {
   while (in_flight() > 0 && ctx.now() < drain_deadline) {
     ctx.run_until(ctx.now() + msec(5));
   }
+  // Past the graceful window the drain becomes unconditional: completion
+  // callbacks capture the clients, scratch buffers and attributor declared
+  // below owned_devices, so letting ~UringBlockDevice deliver them after
+  // those locals are destroyed would be a use-after-free. The device
+  // destructor drains unboundedly anyway — doing it here only moves the
+  // wait to a point where every callback target is still alive.
+  while (in_flight() > 0) {
+    ctx.run_until(ctx.now() + msec(5));
+  }
 
   ExperimentResult result;
   double min_mbps = 1e18;
