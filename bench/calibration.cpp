@@ -14,13 +14,17 @@
 // -DSST_WITH_URING=ON; exits 2 otherwise.
 //
 //   calibration [--real-file PATH] [--out FILE] [--streams N]
-//               [--request BYTES] [--measure-ms MS]
+//               [--request BYTES] [--measure-ms MS] [--devices D]
+//               [--reactors N]
 //
 //   --real-file PATH   backing file for the real run (see scripts/mkpattern.py)
 //   --out FILE         JSON report path (default BENCH_calibration_real.json)
 //   --streams N        concurrent sequential streams (default 64)
 //   --request BYTES    request size in bytes (default 65536)
 //   --measure-ms MS    measurement window per run (default 2000)
+//   --devices D        logical devices / file slices (default 1)
+//   --reactors N       when > 1, adds real rows at backend.reactors=N next
+//                      to the 1-reactor rows (needs --devices >= N)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,31 +64,37 @@ double run_streams(std::uint32_t streams, Bytes request, bool with_scheduler, By
 struct CalRow {
   std::string mode;     ///< "raw" or "sched"
   std::string backend;  ///< "sim" or "real"
+  std::uint32_t reactors = 0;  ///< 0 for sim rows, effective count for real
   double mbps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
+  double syscalls_per_request = 0.0;  ///< 0 for sim rows
   std::uint64_t requests = 0;
 };
 
-/// The shared 1x1 workload both backends run: N sequential streams over the
-/// first `span` bytes (the real file's size) of the single device.
+/// The shared workload both backends run: N sequential streams spread over
+/// `devices` logical devices, each stream inside the first `span` bytes of
+/// its device (the real file slice's size).
 experiment::ExperimentConfig cal_config(std::uint32_t streams, Bytes request,
                                         SimTime measure, Bytes span,
-                                        bool with_scheduler) {
+                                        bool with_scheduler,
+                                        std::uint32_t devices) {
   node::NodeConfig node = node::NodeConfig::base();
-  node.num_controllers = 1;
+  node.num_controllers = devices;
   node.disks_per_controller = 1;
   experiment::ExperimentConfig cfg;
   cfg.topology.node = node;
   cfg.warmup = msec(250);
   cfg.measure = measure;
-  cfg.streams = workload::make_uniform_streams(streams, 1, span, request);
+  cfg.streams = workload::make_uniform_streams(streams, devices, span, request);
   if (with_scheduler) {
     // The paper's R=8M only fits when the backing file is large; scale the
-    // per-stream read-ahead down so N streams' staging stays inside the
-    // file while keeping the request multiple the scheduler expects.
-    Bytes ra = span / streams;
+    // per-stream read-ahead down so each device's resident streams' staging
+    // stays inside its slice while keeping the request multiple the
+    // scheduler expects.
+    const std::uint32_t per_device = streams / devices > 0 ? streams / devices : 1;
+    Bytes ra = span / per_device;
     if (ra > 8 * MiB) ra = 8 * MiB;
     if (ra < request) ra = request;
     ra = ra / request * request;
@@ -103,17 +113,20 @@ CalRow run_one(const experiment::ExperimentConfig& cfg, const char* mode,
   CalRow row;
   row.mode = mode;
   row.backend = backend;
+  row.reactors = result.reactor_summary.enabled ? result.reactor_summary.reactors : 0;
   row.mbps = result.total_mbps;
   row.p50_ms = result.latency.p50_ms();
   row.p99_ms = result.latency.p99_ms();
   row.p999_ms = result.latency.p999_ms();
+  row.syscalls_per_request = result.uring_summary.syscalls_per_request();
   row.requests = result.requests_completed;
   return row;
 }
 
 /// Sim-vs-real comparison over the same workload; writes the JSON report.
 int run_real_calibration(const std::string& file, const std::string& out_path,
-                         std::uint32_t streams, Bytes request, SimTime measure) {
+                         std::uint32_t streams, Bytes request, SimTime measure,
+                         std::uint32_t devices, std::uint32_t reactors) {
   if (!experiment::real_backend_available()) {
     std::fprintf(stderr,
                  "calibration: --real-file needs a build with -DSST_WITH_URING=ON\n");
@@ -128,30 +141,46 @@ int run_real_calibration(const std::string& file, const std::string& out_path,
                  file.c_str());
     return 1;
   }
-  const Bytes span = static_cast<Bytes>(file_size) / request * request;
+  // Per-device slice, truncated to whole requests.
+  const Bytes span =
+      static_cast<Bytes>(file_size) / devices / request * request;
 
   std::vector<CalRow> rows;
   for (const bool with_scheduler : {false, true}) {
     const char* mode = with_scheduler ? "sched" : "raw";
     experiment::ExperimentConfig cfg =
-        cal_config(streams, request, measure, span, with_scheduler);
+        cal_config(streams, request, measure, span, with_scheduler, devices);
     rows.push_back(run_one(cfg, mode, "sim"));
     cfg.backend.kind = experiment::BackendConfig::Kind::kReal;
     cfg.backend.path = file;
-    try {
-      rows.push_back(run_one(cfg, mode, "real"));
-    } catch (const std::exception& err) {
-      std::fprintf(stderr, "calibration: real run failed: %s\n", err.what());
-      return 1;
+    std::vector<std::uint32_t> reactor_counts{1};
+    if (reactors > 1) reactor_counts.push_back(reactors);
+    for (const std::uint32_t r : reactor_counts) {
+      cfg.backend.reactors = r;
+      try {
+        rows.push_back(run_one(cfg, mode, "real"));
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "calibration: real run failed: %s\n", err.what());
+        return 1;
+      }
     }
   }
 
-  std::printf("== sim vs real (%u streams, %llu B requests, %s) ==\n", streams,
-              static_cast<unsigned long long>(request), file.c_str());
+  std::printf("== sim vs real (%u streams, %llu B requests, %u device%s, %s) ==\n",
+              streams, static_cast<unsigned long long>(request), devices,
+              devices == 1 ? "" : "s", file.c_str());
   for (const auto& row : rows) {
-    std::printf("%-5s %-4s : %8.1f MB/s  p50 %7.3f ms  p99 %7.3f ms\n",
-                row.mode.c_str(), row.backend.c_str(), row.mbps, row.p50_ms,
-                row.p99_ms);
+    if (row.reactors > 0) {
+      std::printf(
+          "%-5s %-4s r=%u : %8.1f MB/s  p50 %7.3f ms  p99 %7.3f ms  "
+          "%.3f enters/req\n",
+          row.mode.c_str(), row.backend.c_str(), row.reactors, row.mbps,
+          row.p50_ms, row.p99_ms, row.syscalls_per_request);
+    } else {
+      std::printf("%-5s %-4s     : %8.1f MB/s  p50 %7.3f ms  p99 %7.3f ms\n",
+                  row.mode.c_str(), row.backend.c_str(), row.mbps, row.p50_ms,
+                  row.p99_ms);
+    }
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -161,17 +190,20 @@ int run_real_calibration(const std::string& file, const std::string& out_path,
   }
   std::fprintf(out,
                "{\n  \"file\": \"%s\",\n  \"streams\": %u,\n"
-               "  \"request\": %llu,\n  \"measure_ms\": %.0f,\n  \"runs\": [\n",
+               "  \"request\": %llu,\n  \"measure_ms\": %.0f,\n"
+               "  \"devices\": %u,\n  \"runs\": [\n",
                file.c_str(), streams, static_cast<unsigned long long>(request),
-               to_millis(measure));
+               to_millis(measure), devices);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];
     std::fprintf(out,
-                 "    {\"mode\": \"%s\", \"backend\": \"%s\", \"mbps\": %.3f, "
+                 "    {\"mode\": \"%s\", \"backend\": \"%s\", \"reactors\": %u, "
+                 "\"mbps\": %.3f, "
                  "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+                 "\"syscalls_per_request\": %.4f, "
                  "\"requests\": %llu}%s\n",
-                 row.mode.c_str(), row.backend.c_str(), row.mbps, row.p50_ms,
-                 row.p99_ms, row.p999_ms,
+                 row.mode.c_str(), row.backend.c_str(), row.reactors, row.mbps,
+                 row.p50_ms, row.p99_ms, row.p999_ms, row.syscalls_per_request,
                  static_cast<unsigned long long>(row.requests),
                  i + 1 < rows.size() ? "," : "");
   }
@@ -189,6 +221,8 @@ int main(int argc, char** argv) {
   std::uint32_t streams = 64;
   Bytes request = 64 * KiB;
   SimTime measure = msec(2000);
+  std::uint32_t devices = 1;
+  std::uint32_t reactors = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -208,10 +242,15 @@ int main(int argc, char** argv) {
       request = static_cast<Bytes>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--measure-ms") {
       measure = msec(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--devices") {
+      devices = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--reactors") {
+      reactors = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: calibration [--real-file PATH] [--out FILE] "
-                   "[--streams N] [--request BYTES] [--measure-ms MS]\n");
+                   "[--streams N] [--request BYTES] [--measure-ms MS] "
+                   "[--devices D] [--reactors N]\n");
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
@@ -223,7 +262,14 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(kSectorSize));
       return 1;
     }
-    return run_real_calibration(real_file, out_path, streams, request, measure);
+    if (devices == 0 || reactors == 0 || streams < devices || reactors > devices) {
+      std::fprintf(stderr,
+                   "calibration: need devices >= 1, streams >= devices and "
+                   "reactors <= devices\n");
+      return 1;
+    }
+    return run_real_calibration(real_file, out_path, streams, request, measure,
+                                devices, reactors);
   }
   disk::DiskParams params = disk::DiskParams::wd800jd();
   disk::Geometry geometry(params.geometry);

@@ -63,6 +63,10 @@
 //   backend.queue_depth=64      per-device io_uring in-flight depth
 //   backend.direct=true         try O_DIRECT first (tmpfs and friends fall
 //                               back to buffered I/O automatically)
+//   backend.reactors=1          reactor threads; > 1 carves the devices into
+//                               per-reactor groups, each with its own rings
+//                               and epoll loop (the real mirror of
+//                               sim.shards)
 //
 // Exit codes: 0 = success, 1 = usage/config/runtime error, 3 = SLO breach,
 // 4 = backend.kind=real without an io_uring build. `--help` prints the key
@@ -121,6 +125,7 @@ void print_help() {
       "  backend.path=FILE       backing file, one slice per logical device\n"
       "  backend.queue_depth=64  per-device in-flight depth\n"
       "  backend.direct=true     try O_DIRECT, buffered fallback on refusal\n"
+      "  backend.reactors=1      reactor threads (real mirror of sim.shards)\n"
       "\n"
       "Observability flags:\n"
       "  --trace=FILE --metrics=FILE --timeseries=FILE\n"

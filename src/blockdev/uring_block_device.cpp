@@ -12,11 +12,26 @@
 #include <fcntl.h>
 #include <linux/io_uring.h>
 #include <linux/time_types.h>
+#include <sys/eventfd.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/syscall.h>
 #include <sys/uio.h>
 #include <unistd.h>
+
+// Modern setup flags, defined locally when the build host's kernel headers
+// predate them — availability is detected at runtime (io_uring_setup
+// rejects unknown flags with EINVAL and we fall back), so compiling against
+// old headers must not silently disable the fast path.
+#ifndef IORING_SETUP_COOP_TASKRUN
+#define IORING_SETUP_COOP_TASKRUN (1U << 8)
+#endif
+#ifndef IORING_SETUP_SINGLE_ISSUER
+#define IORING_SETUP_SINGLE_ISSUER (1U << 12)
+#endif
+#ifndef IORING_SETUP_DEFER_TASKRUN
+#define IORING_SETUP_DEFER_TASKRUN (1U << 13)
+#endif
 
 #include <algorithm>
 #include <atomic>
@@ -43,6 +58,10 @@ constexpr Bytes kMaxSqeBytes = Bytes{1} << 30;
 /// Transient kernel results (-EAGAIN/-EINTR) are resubmitted up to this
 /// many times per request before surfacing as a media error.
 constexpr std::uint32_t kMaxTransientRetries = 8;
+/// IORING_REGISTER_EVENTFD by value: it is an enumerator (not a macro) in
+/// <linux/io_uring.h>, so old headers can't be probed with #ifndef. The
+/// ABI value is fixed.
+constexpr unsigned kRegisterEventfd = 4;
 
 int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
   return static_cast<int>(syscall(__NR_io_uring_setup, entries, params));
@@ -81,7 +100,11 @@ struct UringBlockDevice::Impl {
   int direct_fd = -1;    ///< -1 when the filesystem refused O_DIRECT
   int buffered_fd = -1;  ///< always valid; serves unaligned requests
   int ring_fd = -1;
-  bool ext_arg = false;  ///< IORING_FEAT_EXT_ARG: timed waits in one syscall
+  int efd = -1;           ///< registered completion eventfd (multiplex mode)
+  bool ext_arg = false;   ///< IORING_FEAT_EXT_ARG: timed waits in one syscall
+  bool defer_taskrun = false;  ///< ring got IORING_SETUP_DEFER_TASKRUN
+  /// SQEs written into the SQ ring but not yet pushed to the kernel.
+  unsigned staged = 0;
 
   // Ring mappings. With IORING_FEAT_SINGLE_MMAP the SQ and CQ rings share
   // one mapping; sqes are always their own.
@@ -135,17 +158,56 @@ struct UringBlockDevice::Impl {
     }
     if (sq_ring_mem != MAP_FAILED) munmap(sq_ring_mem, sq_ring_bytes);
     if (ring_fd >= 0) close(ring_fd);
+    if (efd >= 0) close(efd);
     if (direct_fd >= 0) close(direct_fd);
     if (buffered_fd >= 0) close(buffered_fd);
   }
 
   Status setup_ring() {
+    // Runtime feature detection with graceful fallback: each attempt drops
+    // the newest flag set, so an old kernel (EINVAL on unknown setup flags)
+    // ends at a plain ring. Multiplexed rings never ask for the taskrun
+    // flags — COOP/DEFER_TASKRUN defer CQE posting until the issuer enters
+    // the kernel, which would leave an epoll_wait on the ring eventfd
+    // sleeping through completions.
+    const unsigned coop = IORING_SETUP_COOP_TASKRUN;
+    const unsigned single = IORING_SETUP_SINGLE_ISSUER;
+    const unsigned defer = IORING_SETUP_DEFER_TASKRUN;
+    std::vector<unsigned> attempts;
+    if (params.multiplex) {
+      attempts = {single, 0};
+    } else {
+      attempts = {coop | single | defer, coop | single, coop, 0};
+    }
     io_uring_params setup{};
-    ring_fd = sys_io_uring_setup(params.queue_depth, &setup);
+    for (const unsigned flags : attempts) {
+      setup = io_uring_params{};
+      setup.flags = flags;
+      ring_fd = sys_io_uring_setup(params.queue_depth, &setup);
+      if (ring_fd >= 0) {
+        stats.setup_flags = flags;
+        defer_taskrun = (flags & defer) != 0;
+        break;
+      }
+      if (errno != EINVAL) break;  // only unknown-flag rejections fall back
+    }
     if (ring_fd < 0) {
       return make_error("io_uring_setup failed: " + std::string(strerror(errno)));
     }
     ext_arg = (setup.features & IORING_FEAT_EXT_ARG) != 0;
+
+    if (params.multiplex) {
+      // Completion eventfd for the reactor's epoll set. Best-effort: a ring
+      // without one still works, it just forces the reactor onto the
+      // capped-poll fallback path.
+      efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+      if (efd >= 0 &&
+          sys_io_uring_register(ring_fd, kRegisterEventfd, &efd, 1) < 0) {
+        close(efd);
+        efd = -1;
+      }
+      stats.eventfd_registered = efd >= 0;
+    }
 
     sq_ring_bytes = setup.sq_off.array + setup.sq_entries * sizeof(unsigned);
     cq_ring_bytes = setup.cq_off.cqes + setup.cq_entries * sizeof(io_uring_cqe);
@@ -219,10 +281,11 @@ struct UringBlockDevice::Impl {
     return -1;
   }
 
-  /// Queue the continuation of `pending[index]` into the SQ and tell the
-  /// kernel. The ring can never be full here: SQEs are consumed by the
-  /// submit syscall and in-ring requests are capped at queue_depth.
-  void submit_sqe(std::uint32_t index) {
+  /// Stage the continuation of `pending[index]` into the SQ ring without
+  /// telling the kernel — flush() pushes the whole staged batch with one
+  /// io_uring_enter. The ring can never be full here: SQEs are consumed by
+  /// the flush syscall and in-ring requests are capped at queue_depth.
+  void stage_sqe(std::uint32_t index) {
     Pending& entry = pending[index];
     const BlockRequest& request = entry.request;
     const ByteOffset file_offset = params.base_offset + request.offset + entry.done;
@@ -255,24 +318,74 @@ struct UringBlockDevice::Impl {
     }
     sq_array[slot] = slot;
     store_release(sq_tail, tail + 1);
+    ++staged;
+  }
 
-    int rc;
-    do {
-      rc = sys_io_uring_enter(ring_fd, 1, 0, 0, nullptr, 0);
-    } while (rc < 0 && errno == EINTR);
-    // Submission failure is a programming or resource error the completion
-    // path can't see; surface it as an immediate media error.
-    if (rc < 0) {
+  /// Record one successful enter that pushed `batch` SQEs.
+  void note_batch(unsigned batch) {
+    if (batch == 0) return;
+    ++stats.flush_batches;
+    stats.sqes_flushed += batch;
+    stats.batch_size_max = std::max<std::uint64_t>(stats.batch_size_max, batch);
+    std::size_t bucket = 0;
+    while ((batch >> (bucket + 1)) != 0 && bucket + 1 < kUringBatchBuckets) {
+      ++bucket;
+    }
+    ++stats.batch_size_log2[bucket];
+  }
+
+  /// Kernel refused to accept `count` staged SQEs: rewind the SQ tail past
+  /// them and surface each as an immediate media error — the completion
+  /// path can't see a request the kernel never took.
+  void fail_staged(unsigned count) {
+    const unsigned tail = load_acquire(sq_tail);
+    std::vector<std::uint32_t> failed;
+    failed.reserve(count);
+    for (unsigned j = 0; j < count; ++j) {
+      const unsigned slot = (tail - count + j) & sq_mask;
+      failed.push_back(static_cast<std::uint32_t>(sqes[slot].user_data));
+    }
+    store_release(sq_tail, tail - count);
+    staged -= count;
+    for (const std::uint32_t index : failed) {
       ++stats.errors;
       ++stats.completed;
-      const BlockRequest done = std::move(entry.request);
+      const BlockRequest done = std::move(pending[index].request);
       release_pending(index);
       --inflight;
       if (done.on_complete) done.on_complete(ctx->now(), IoStatus::kMediaError);
     }
   }
 
-  /// Move one accepted request into the ring.
+  /// Push every staged SQE to the kernel: one io_uring_enter for the whole
+  /// batch. With DEFER_TASKRUN the enter also carries GETEVENTS (with
+  /// min_complete = 0 it never blocks) so deferred completions post in the
+  /// same syscall. Returns the number of SQEs flushed.
+  std::size_t flush() {
+    const unsigned batch = staged;
+    unsigned remaining = staged;
+    std::uint32_t transient = 0;
+    while (remaining > 0) {
+      const unsigned wait_flags = defer_taskrun ? IORING_ENTER_GETEVENTS : 0;
+      const int rc =
+          sys_io_uring_enter(ring_fd, remaining, 0, wait_flags, nullptr, 0);
+      ++stats.enter_syscalls;
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN && transient++ < kMaxTransientRetries) continue;
+        // Hard submission failure (resource exhaustion, ring gone): fail
+        // everything the kernel didn't take.
+        fail_staged(remaining);
+        return batch - remaining;
+      }
+      remaining -= static_cast<unsigned>(rc);
+      staged -= static_cast<unsigned>(rc);
+      note_batch(static_cast<unsigned>(rc));
+    }
+    return batch;
+  }
+
+  /// Move one accepted request into the ring (staged; not yet submitted).
   void start(BlockRequest request) {
     const std::uint32_t index = acquire_pending();
     Pending& entry = pending[index];
@@ -282,7 +395,7 @@ struct UringBlockDevice::Impl {
     entry.buf_index = region_of(entry.request.data, entry.request.length);
     entry.alive = true;
     ++inflight;
-    submit_sqe(index);
+    stage_sqe(index);
   }
 
   /// Drain every ready CQE; returns the number of *requests* completed
@@ -306,7 +419,7 @@ struct UringBlockDevice::Impl {
         entry.done += static_cast<Bytes>(cqe.res);
         entry.retries = 0;  // forward progress resets the transient budget
         ++stats.short_resubmits;
-        submit_sqe(index);
+        stage_sqe(index);
         continue;
       }
       if ((cqe.res == -EAGAIN || cqe.res == -EINTR) &&
@@ -315,7 +428,7 @@ struct UringBlockDevice::Impl {
         // continuation (bounded, so a persistently unready fd still errors).
         ++entry.retries;
         ++stats.transient_retries;
-        submit_sqe(index);
+        stage_sqe(index);
         continue;
       }
       const IoStatus status = cqe.res <= 0 ? IoStatus::kMediaError : IoStatus::kOk;
@@ -336,28 +449,58 @@ struct UringBlockDevice::Impl {
     return completed_requests;
   }
 
-  /// Block in the kernel until at least one completion or `max_wait` ns.
-  void wait(SimTime max_wait) {
-    if (ext_arg) {
+  /// Flush any staged SQEs and block in the kernel until completions or
+  /// `max_wait` ns — submit and wait combined into a single io_uring_enter
+  /// (IORING_ENTER_GETEVENTS), so the steady-state reactor turn costs one
+  /// syscall per batch. min_complete scales with the pipeline (a quarter of
+  /// the in-flight requests, capped) instead of waking per completion:
+  /// devices whose completions trickle one at a time would otherwise cost
+  /// one enter each. The closed loop refills what the wait drains, the
+  /// remaining three quarters keep the device busy meanwhile, and the
+  /// timeout still returns exactly at the caller's deadline, so timers
+  /// never slip.
+  void flush_and_wait(SimTime max_wait) {
+    if (!ext_arg) {
+      // Ancient-kernel fallback (no EXT_ARG): an untimed GETEVENTS wait
+      // would block past the caller's deadline, so flush separately, nap
+      // briefly and let the caller re-poll.
+      flush();
+      timespec ts{};
+      const SimTime nap = std::min<SimTime>(max_wait, 1'000'000);  // <= 1 ms
+      ts.tv_nsec = static_cast<long>(nap);
+      nanosleep(&ts, nullptr);
+      return;
+    }
+    // Every staged SQE rides this enter, so afterwards all `inflight`
+    // requests are kernel-side — the wait target is safe to derive from it.
+    const auto wait_nr = static_cast<unsigned>(
+        std::clamp<std::size_t>(inflight / 4, 1, 32));
+    for (;;) {
+      const unsigned to_submit = staged;
       __kernel_timespec ts{};
       ts.tv_sec = static_cast<long long>(max_wait / 1'000'000'000ULL);
       ts.tv_nsec = static_cast<long long>(max_wait % 1'000'000'000ULL);
       io_uring_getevents_arg arg{};
       arg.ts = reinterpret_cast<std::uint64_t>(&ts);
-      int rc;
-      do {
-        rc = sys_io_uring_enter(ring_fd, 0, 1,
-                                IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg,
-                                sizeof(arg));
-      } while (rc < 0 && errno == EINTR);
+      const int rc = sys_io_uring_enter(
+          ring_fd, to_submit, wait_nr,
+          IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg, sizeof(arg));
+      ++stats.enter_syscalls;
+      if (rc >= 0) {
+        // rc = SQEs the kernel consumed before (and regardless of) the
+        // wait outcome.
+        staged -= static_cast<unsigned>(rc);
+        note_batch(static_cast<unsigned>(rc));
+        if (staged > 0) flush();  // partial consume (rare): push the rest
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == ETIME) return;  // deadline, nothing submitted (staged was 0)
+      // Submission-side error: route through flush(), which owns the
+      // retry/fail-staged handling, then let the caller re-poll.
+      flush();
       return;
     }
-    // Ancient-kernel fallback: an untimed GETEVENTS wait would block past
-    // the caller's deadline, so nap briefly and let the caller re-poll.
-    timespec ts{};
-    const SimTime nap = std::min<SimTime>(max_wait, 1'000'000);  // <= 1 ms
-    ts.tv_nsec = static_cast<long>(nap);
-    nanosleep(&ts, nullptr);
   }
 };
 
@@ -414,8 +557,10 @@ Result<std::unique_ptr<UringBlockDevice>> UringBlockDevice::open(exec::RealConte
 UringBlockDevice::UringBlockDevice(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
 
 UringBlockDevice::~UringBlockDevice() {
-  // Drain rather than abandon: completion callbacks own buffers.
-  while (impl_->inflight > 0 || !impl_->backlog.empty()) poll(msec(1));
+  // Drain rather than abandon: completion callbacks own buffers. poll()
+  // blocks in the combined flush+wait path, so a deep backlog drains at one
+  // syscall per completion batch instead of one per millisecond.
+  while (impl_->inflight > 0 || !impl_->backlog.empty()) poll(msec(50));
   impl_->ctx->remove_driver(this);
 }
 
@@ -451,7 +596,7 @@ std::uint64_t UringBlockDevice::seed() const { return impl_->params.seed; }
 std::size_t UringBlockDevice::poll(SimTime max_wait) {
   std::size_t completed = impl_->reap();
   if (completed == 0 && impl_->inflight > 0 && max_wait > 0) {
-    impl_->wait(max_wait);
+    impl_->flush_and_wait(max_wait);
     completed = impl_->reap();
   }
   return completed;
@@ -460,6 +605,19 @@ std::size_t UringBlockDevice::poll(SimTime max_wait) {
 std::size_t UringBlockDevice::in_flight() const {
   return impl_->inflight + impl_->backlog.size();
 }
+
+std::size_t UringBlockDevice::flush() {
+  // Reactor-driven flush with plugging: hold the staged batch back while
+  // the kernel still owns more than half the pipeline. Completions of the
+  // kernel-side majority keep waking the reactor, staged work accumulates
+  // toward ~queue_depth/2 per enter, and the rule degenerates to
+  // flush-immediately the moment the kernel side would run dry (staged
+  // SQEs count toward `inflight`, so kernel-side = inflight - staged).
+  if (2 * impl_->staged < impl_->inflight) return 0;
+  return impl_->flush();
+}
+
+int UringBlockDevice::event_fd() const { return impl_->efd; }
 
 Status UringBlockDevice::register_buffers(
     const std::vector<std::pair<std::byte*, Bytes>>& regions) {

@@ -13,6 +13,18 @@
 //  - Bounded in-flight depth: at most `queue_depth` operations are inside
 //    the ring; further submissions park in a FIFO backlog and drain as
 //    completions arrive, so a burst can never overflow the submission queue.
+//  - Batched submission: submit() only *stages* SQEs into the submission
+//    ring. The kernel is told about them by flush() — one io_uring_enter
+//    for the whole staged batch — or by poll(), which combines the flush
+//    with a completion wait (IORING_ENTER_GETEVENTS) so the steady-state
+//    hot path is one syscall per batch, not per request. The reactor
+//    (exec::RealContext) calls flush() on every turn before blocking.
+//  - Modern setup flags (IORING_SETUP_COOP_TASKRUN / SINGLE_ISSUER /
+//    DEFER_TASKRUN) are attempted with runtime feature detection and
+//    graceful fallback on older kernels; stats().setup_flags reports what
+//    the ring actually got. Rings opened with multiplex=true skip the
+//    taskrun flags (deferred completion posting would starve an epoll
+//    waiter) and instead register an eventfd the reactor can multiplex.
 //  - O_DIRECT is attempted first and silently degrades to buffered I/O when
 //    the filesystem refuses it (tmpfs) or a request is not 4096-aligned
 //    (pointer, offset and length all must be).
@@ -26,6 +38,7 @@
 //    IoStatus::kMediaError.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -56,7 +69,18 @@ struct UringParams {
   /// absolute offsets [B, B+capacity).
   std::uint64_t seed = 0;
   std::string label = "uring0";
+  /// True when the ring will be driven from an epoll reactor alongside
+  /// other rings: registers an eventfd (exposed via event_fd()) and opens
+  /// the ring without COOP/DEFER_TASKRUN — deferred task running only
+  /// posts CQEs when the issuer enters the kernel, which would starve a
+  /// task blocked in epoll_wait. Leave false when the reactor blocks
+  /// inside this ring (the single-busy-ring fast path).
+  bool multiplex = false;
 };
+
+/// Size of UringStats::batch_size_log2: bucket i counts flushed batches of
+/// [2^i, 2^(i+1)) SQEs, with the last bucket open-ended.
+inline constexpr std::size_t kUringBatchBuckets = 8;
 
 struct UringStats {
   std::uint64_t submitted = 0;         ///< requests accepted by submit()
@@ -67,6 +91,24 @@ struct UringStats {
   std::uint64_t fixed_buffer_ops = 0;  ///< ops that used a registered buffer
   std::uint64_t direct_ops = 0;        ///< ops issued through the O_DIRECT fd
   std::uint64_t backlog_peak = 0;      ///< max requests parked beyond queue_depth
+  std::uint64_t enter_syscalls = 0;    ///< io_uring_enter calls (flush + wait)
+  std::uint64_t flush_batches = 0;     ///< enters that carried >= 1 SQE
+  std::uint64_t sqes_flushed = 0;      ///< SQEs pushed by those enters
+  std::uint64_t batch_size_max = 0;    ///< largest single flushed batch
+  /// Histogram of flushed batch sizes: bucket i counts batches in
+  /// [2^i, 2^(i+1)), last bucket open-ended.
+  std::array<std::uint64_t, kUringBatchBuckets> batch_size_log2{};
+  std::uint32_t setup_flags = 0;       ///< IORING_SETUP_* the ring got
+  bool eventfd_registered = false;     ///< multiplex eventfd active
+
+  /// enter_syscalls per completed request — the submission-batching figure
+  /// of merit (one enter per request ~= 1.0+; deep batched pipelines reach
+  /// well below 0.2).
+  [[nodiscard]] double syscalls_per_request() const {
+    return completed > 0 ? static_cast<double>(enter_syscalls) /
+                               static_cast<double>(completed)
+                         : 0.0;
+  }
 };
 
 class UringBlockDevice final : public BlockDevice, public exec::CompletionDriver {
@@ -92,8 +134,17 @@ class UringBlockDevice final : public BlockDevice, public exec::CompletionDriver
   [[nodiscard]] std::uint64_t seed() const;
 
   // exec::CompletionDriver
+  /// Reap ready CQEs; with `max_wait` > 0 and nothing ready, flushes any
+  /// staged SQEs and blocks in the ring — submit and wait combined into a
+  /// single io_uring_enter when the kernel supports EXT_ARG.
   std::size_t poll(SimTime max_wait) override;
   [[nodiscard]] std::size_t in_flight() const override;
+  /// Push every staged SQE to the kernel with one io_uring_enter. Returns
+  /// the number of SQEs flushed (0 = no syscall made).
+  std::size_t flush() override;
+  /// The registered completion eventfd when opened with multiplex=true,
+  /// else -1.
+  [[nodiscard]] int event_fd() const override;
 
   /// Register memory regions (e.g. ExtentSlab::regions()) as io_uring fixed
   /// buffers. Call once, before I/O is in flight; at most 1024 regions are

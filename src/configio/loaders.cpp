@@ -384,6 +384,9 @@ Result<experiment::ExperimentConfig> load_experiment(const Config& cfg) {
   if (queue_depth < 1) return make_error("backend.queue_depth must be >= 1");
   ec.backend.queue_depth = static_cast<std::uint32_t>(queue_depth);
   ec.backend.direct = cfg.get_bool("backend.direct", ec.backend.direct);
+  const auto reactors = cfg.get_int("backend.reactors", ec.backend.reactors);
+  if (reactors < 1) return make_error("backend.reactors must be >= 1");
+  ec.backend.reactors = static_cast<std::uint32_t>(reactors);
   if (ec.backend.kind == experiment::BackendConfig::Kind::kReal &&
       ec.backend.path.empty()) {
     return make_error("backend.kind=real requires backend.path");

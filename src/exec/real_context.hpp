@@ -3,11 +3,24 @@
 // RealContext runs the same callback graph the simulator runs, but `now()`
 // is the monotonic clock (nanoseconds since construction, so time starts at
 // zero like a simulation) and scheduled tasks fire from a reactor loop.
-// Between due timers the loop polls registered CompletionDrivers — sources
+// Between due timers the loop drains registered CompletionDrivers — sources
 // of asynchronous completions such as the io_uring block device — so I/O
 // completions and timer callbacks are delivered on one thread, preserving
 // the single-threaded execution model every layer above the block-device
 // seam was written against.
+//
+// The reactor is event-driven, not polling. Each turn it (1) sweeps all
+// busy drivers non-blocking — batched devices only write SQEs locally, and
+// staged submissions deliberately ride along until a blocking decision so
+// completion callbacks coalesce into larger batches — and only when
+// nothing was ready (2) blocks: inside the single busy ring (staged
+// submissions and the completion wait combined into one io_uring_enter)
+// when exactly one eventfd-less driver has I/O in flight, or in one
+// epoll_wait over every busy driver's eventfd plus a timerfd armed at the
+// timer heap's next deadline otherwise, flushing every driver's staged
+// batch first. Idle contexts (no I/O in flight) sleep exactly until the
+// next timer. ReactorStats counts wakeups, and classifies them
+// (completion / timer / spurious).
 //
 // Task bookkeeping mirrors the simulator's slab: slots are recycled through
 // a free list, handles address (slot, generation), and cancelled heap
@@ -32,16 +45,45 @@ class CompletionDriver {
 
   /// Deliver ready completions, blocking up to `max_wait` nanoseconds when
   /// none are ready yet. Returns the number of completions delivered.
+  /// Blocking implementations should flush staged submissions first (and
+  /// ideally combine the flush with the wait in one syscall).
   virtual std::size_t poll(SimTime max_wait) = 0;
 
   /// Operations submitted and not yet completed.
   [[nodiscard]] virtual std::size_t in_flight() const = 0;
+
+  /// Push locally staged submissions toward the kernel. Batched drivers
+  /// override this; the default no-op suits drivers that submit eagerly.
+  /// Implementations may hold small batches back while enough of their own
+  /// work remains in flight (plugging), but must guarantee forward
+  /// progress: never return with work staged and nothing in flight.
+  /// Returns the number of submissions flushed.
+  virtual std::size_t flush() { return 0; }
+
+  /// An fd that becomes readable when completions arrive, or -1 when the
+  /// driver cannot be multiplexed. The reactor epolls it when several
+  /// drivers are busy at once, draining its readability (an 8-byte
+  /// eventfd-style read) before calling poll(0).
+  [[nodiscard]] virtual int event_fd() const { return -1; }
+};
+
+/// Reactor wakeup accounting, exported as the reactor.* metrics group by
+/// the real experiment runner.
+struct ReactorStats {
+  std::uint64_t wakeups = 0;           ///< blocking waits that returned
+  std::uint64_t completion_wakeups = 0;///< returned with completions delivered
+  std::uint64_t timer_wakeups = 0;     ///< returned at the armed deadline
+  std::uint64_t spurious_wakeups = 0;  ///< returned early with nothing to do
+  std::uint64_t epoll_waits = 0;       ///< multi-driver epoll_wait blocks
+  std::uint64_t inring_waits = 0;      ///< single-driver in-ring blocks
+  std::uint64_t idle_sleeps = 0;       ///< no-I/O sleeps until the next timer
+  std::uint64_t completions = 0;       ///< completions the reactor delivered
 };
 
 class RealContext final : public ExecutionContext {
  public:
   RealContext();
-  ~RealContext() override = default;
+  ~RealContext() override;
 
   /// Monotonic nanoseconds since construction.
   [[nodiscard]] SimTime now() const override;
@@ -51,7 +93,8 @@ class RealContext final : public ExecutionContext {
   TaskHandle schedule_at(SimTime when, TaskFn fn) override;
 
   /// Register/unregister a completion source. Drivers must outlive their
-  /// registration and are polled in registration order.
+  /// registration and are polled in registration order. A driver exposing
+  /// an event_fd() is added to the reactor's epoll set.
   void add_driver(CompletionDriver* driver);
   void remove_driver(CompletionDriver* driver);
 
@@ -66,6 +109,7 @@ class RealContext final : public ExecutionContext {
 
   [[nodiscard]] std::size_t pending_tasks() const { return live_; }
   [[nodiscard]] std::uint64_t executed_tasks() const { return executed_; }
+  [[nodiscard]] const ReactorStats& reactor_stats() const { return stats_; }
 
  private:
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
@@ -104,9 +148,14 @@ class RealContext final : public ExecutionContext {
   /// number fired.
   std::size_t fire_due();
   [[nodiscard]] std::size_t total_in_flight() const;
-  /// Poll drivers (blocking up to `max_wait`) or, with no I/O in flight,
-  /// sleep for `max_wait`.
+  /// Flush staged submissions, sweep for ready completions, and block up
+  /// to `max_wait` ns for I/O or the deadline (whichever comes first).
   void wait_for_work(SimTime max_wait);
+  /// Block in one epoll_wait over every busy driver's eventfd plus the
+  /// deadline timerfd. Pre-condition: a non-blocking sweep came up empty.
+  void wait_multiplexed(SimTime max_wait);
+  /// Consume an eventfd-style readable signal without blocking.
+  static void drain_event_fd(int fd);
 
   std::chrono::steady_clock::time_point epoch_;
   std::vector<Slot> slots_;
@@ -116,6 +165,9 @@ class RealContext final : public ExecutionContext {
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  int epoll_fd_ = -1;  ///< multiplexes driver eventfds + timer_fd_
+  int timer_fd_ = -1;  ///< arms the timer heap's next deadline for epoll
+  ReactorStats stats_;
 };
 
 }  // namespace sst::exec

@@ -110,6 +110,44 @@ std::string ExperimentResult::to_json() const {
     reg.counter("sim.shard_max_events", shard_summary.max_shard_events);
   }
 
+  // The uring/reactor groups only appear for real-backend runs, keeping
+  // simulated exports byte-identical (golden parity).
+  if (uring_summary.enabled) {
+    reg.counter("uring.devices", uring_summary.devices);
+    reg.counter("uring.direct_devices", uring_summary.direct_devices);
+    reg.counter("uring.submitted", uring_summary.submitted);
+    reg.counter("uring.completed", uring_summary.completed);
+    reg.counter("uring.errors", uring_summary.errors);
+    reg.counter("uring.short_resubmits", uring_summary.short_resubmits);
+    reg.counter("uring.transient_retries", uring_summary.transient_retries);
+    reg.counter("uring.fixed_buffer_ops", uring_summary.fixed_buffer_ops);
+    reg.counter("uring.direct_ops", uring_summary.direct_ops);
+    reg.counter("uring.backlog_peak", uring_summary.backlog_peak);
+    reg.counter("uring.enter_syscalls", uring_summary.enter_syscalls);
+    reg.counter("uring.flush_batches", uring_summary.flush_batches);
+    reg.counter("uring.sqes_flushed", uring_summary.sqes_flushed);
+    reg.counter("uring.batch_size_max", uring_summary.batch_size_max);
+    reg.gauge("uring.syscalls_per_request", uring_summary.syscalls_per_request());
+    std::vector<double> buckets(uring_summary.batch_size_log2.begin(),
+                                uring_summary.batch_size_log2.end());
+    reg.array("uring.batch_size_log2", std::move(buckets));
+    std::vector<double> per_device(uring_summary.per_device_completed.begin(),
+                                   uring_summary.per_device_completed.end());
+    reg.array("uring.device_completed", std::move(per_device));
+  }
+  if (reactor_summary.enabled) {
+    reg.counter("reactor.count", reactor_summary.reactors);
+    reg.counter("reactor.requested", reactor_summary.requested);
+    reg.counter("reactor.wakeups", reactor_summary.wakeups);
+    reg.counter("reactor.completion_wakeups", reactor_summary.completion_wakeups);
+    reg.counter("reactor.timer_wakeups", reactor_summary.timer_wakeups);
+    reg.counter("reactor.spurious_wakeups", reactor_summary.spurious_wakeups);
+    reg.counter("reactor.epoll_waits", reactor_summary.epoll_waits);
+    reg.counter("reactor.inring_waits", reactor_summary.inring_waits);
+    reg.counter("reactor.idle_sleeps", reactor_summary.idle_sleeps);
+    reg.counter("reactor.completions", reactor_summary.completions);
+  }
+
   reg.counter("staging.bytes_copied", staging_stats.bytes_copied);
   reg.counter("staging.zero_copy_hits", staging_stats.zero_copy_hits);
 

@@ -5,6 +5,16 @@
 // scheduler's benefit survive contact with a real I/O path? (See
 // bench/calibration.cpp for the sim-vs-real comparison harness.)
 //
+// Parallelism mirrors the sharded sim engine (PR 6): backend.reactors = N
+// carves the logical devices into contiguous per-reactor groups, each with
+// its own RealContext, rings, scheduler slice and resident clients on a
+// dedicated thread. Streams pin to devices, so — unlike the sim shards —
+// no cross-thread trampoline is needed: each client lives entirely on the
+// reactor that owns its device. Group outcomes are plain data merged on
+// the calling thread with the same adders run_experiment_sharded uses.
+// backend.reactors = 1 (the default) runs the whole experiment inline on
+// the calling thread, preserving the single-reactor behaviour exactly.
+//
 // Scope: the flat device view only. Fault injection, raid, the simulated
 // network link and the sharded engine all model hardware — the real backend
 // has real hardware, so configurations enabling them are rejected rather
@@ -16,6 +26,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "experiment/runner.hpp"
@@ -25,7 +36,9 @@
 #include <sys/stat.h>
 
 #include "blockdev/uring_block_device.hpp"
+#include "common/thread_pool.hpp"
 #include "exec/real_context.hpp"
+#include "experiment/aggregate.hpp"
 #endif
 
 namespace sst::experiment {
@@ -86,6 +99,7 @@ class ScratchBuffers {
 void validate(const ExperimentConfig& config) {
   if (config.backend.path.empty()) reject("backend.path is required");
   if (config.shards > 1) reject("sim.shards > 1 is not supported (wall-clock runs are not sharded)");
+  if (config.backend.reactors == 0) reject("backend.reactors must be >= 1");
   const auto& stack = config.topology.stack;
   if (stack.fault.enabled()) reject("fault injection models hardware the real backend actually has");
   if (stack.retry.has_value()) reject("the retry layer is not supported");
@@ -96,48 +110,92 @@ void validate(const ExperimentConfig& config) {
   }
 }
 
-}  // namespace
+/// One reactor's share of the deployment: a contiguous run of logical
+/// devices plus every stream homed on them (global ordinal kept for seeds,
+/// request ids and result ordering).
+struct GroupPlan {
+  std::uint32_t id = 0;
+  std::uint32_t dev_begin = 0;
+  std::uint32_t dev_count = 0;
+  /// Rings are opened multiplex (registered eventfd, no taskrun flags) when
+  /// the group drives more than one of them through epoll; a sole ring is
+  /// fastest with the reactor blocked inside it.
+  bool multiplex = false;
+  std::vector<std::pair<std::uint32_t, workload::StreamSpec>> streams;
+};
 
-ExperimentResult run_experiment_real(const ExperimentConfig& config) {
-  validate(config);
+struct StreamOutcome {
+  std::uint32_t ordinal = 0;  ///< index into ExperimentConfig::streams
+  double mbps = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  stats::LatencyHistogram latency;
+};
 
+/// Plain-data result of one reactor group, produced on the group's thread
+/// and merged on the caller's.
+struct GroupOutcome {
+  std::vector<StreamOutcome> streams;
+  core::SchedulerStats scheduler_stats;
+  core::ServerStats server_stats;
+  core::ClassifierStats classifier_stats;
+  core::StagingStats staging_stats;
+  double host_cpu_utilization = 0.0;
+  Bytes peak_buffer_memory = 0;
+  std::uint64_t devices_failed = 0;
+  std::uint64_t tasks_executed = 0;
+  SimTime end_time = 0;  ///< group wall clock when the drain finished
+  bool has_server = false;
+  UringSummary uring;  ///< per_device_completed indexed group-locally
+  exec::ReactorStats reactor;
+  obs::TimeSeries timeseries;
+  obs::LatencyBreakdown breakdown;
+  std::unique_ptr<obs::WindowedLatencyRecorder> slo_windows;
+  std::unique_ptr<obs::FlightRecorder> flight;  ///< group-private ring
+  std::unique_ptr<obs::Tracer> tracer;          ///< group-private tracer
+  std::string error;  ///< non-empty = the group threw; message to rethrow
+};
+
+/// Run one reactor group start to finish: open the group's rings, wire the
+/// scheduler slice and resident clients, run warm-up + measurement on this
+/// thread's RealContext, drain, and report. With backend.reactors > 1 this
+/// executes on a pool thread — IORING_SETUP_SINGLE_ISSUER binds each ring
+/// to the thread that opened it, so setup, I/O and teardown all stay here.
+GroupOutcome run_reactor_group(const ExperimentConfig& config, const GroupPlan& plan,
+                               Bytes slice, std::uint32_t total_devices,
+                               std::uint32_t total_reactors) {
+  GroupOutcome out;
   exec::RealContext ctx;
-
-  // Carve the backing file into one equal, 4096-aligned slice per logical
-  // device — the real counterpart of "N disks".
-  const std::uint32_t device_count = config.topology.logical_device_count();
-  struct stat st{};
-  if (::stat(config.backend.path.c_str(), &st) != 0) {
-    reject("cannot stat " + config.backend.path + ": " + std::string(strerror(errno)));
-  }
-  const auto file_size = static_cast<Bytes>(st.st_size);
-  const Bytes slice = file_size / device_count / 4096 * 4096;
-  if (slice == 0) {
-    reject(config.backend.path + " is too small for " + std::to_string(device_count) +
-           " device slices");
-  }
 
   std::vector<std::unique_ptr<blockdev::UringBlockDevice>> owned_devices;
   std::vector<blockdev::BlockDevice*> devices;
-  for (std::uint32_t i = 0; i < device_count; ++i) {
+  for (std::uint32_t i = 0; i < plan.dev_count; ++i) {
+    const std::uint32_t global = plan.dev_begin + i;
     blockdev::UringParams params;
     params.path = config.backend.path;
-    params.base_offset = static_cast<ByteOffset>(i) * slice;
+    params.base_offset = static_cast<ByteOffset>(global) * slice;
     params.capacity = slice;
     params.queue_depth = config.backend.queue_depth;
     params.direct = config.backend.direct;
-    params.label = "uring" + std::to_string(i);
+    params.label = "uring" + std::to_string(global);
+    params.multiplex = plan.multiplex;
     auto device = blockdev::UringBlockDevice::open(ctx, params);
     if (!device.ok()) reject(device.error().message);
     devices.push_back(device.value().get());
     owned_devices.push_back(std::move(device).value());
   }
 
+  const bool whole_node = plan.dev_count == total_devices;
   std::unique_ptr<core::StorageServer> server;
   if (config.scheduler.has_value()) {
     // Real I/O needs real memory: staging must materialize so read-ahead
-    // requests carry destination buffers the kernel can DMA into.
-    core::SchedulerParams sched_params = *config.scheduler;
+    // requests carry destination buffers the kernel can DMA into. Groups
+    // smaller than the node get their proportional scheduler share, exactly
+    // like a sim shard; the whole-node group keeps the params untouched.
+    core::SchedulerParams sched_params =
+        whole_node ? *config.scheduler
+                   : slice_scheduler_params(*config.scheduler, plan.dev_count,
+                                            total_devices);
     sched_params.materialize_buffers = true;
     server = std::make_unique<core::StorageServer>(ctx, devices, sched_params);
 
@@ -159,14 +217,32 @@ ExperimentResult run_experiment_real(const ExperimentConfig& config) {
       (void)device->register_buffers(regions);
     }
   }
-  if (config.tracer != nullptr && server) server->set_tracer(config.tracer);
-  if (config.flight != nullptr && server) server->set_flight_recorder(config.flight);
+  out.has_server = server != nullptr;
+
+  // Observation sinks: with one reactor the caller's tracer/flight recorder
+  // are used directly (single-threaded, like PR 9); with several, each group
+  // records into private instances merged after the join (single-writer).
+  obs::Tracer* tracer = config.tracer;
+  obs::FlightRecorder* flight = config.flight;
+  if (total_reactors > 1) {
+    if (config.tracer != nullptr) {
+      out.tracer = std::make_unique<obs::Tracer>();
+      tracer = out.tracer.get();
+    }
+    if (config.flight != nullptr) {
+      out.flight = std::make_unique<obs::FlightRecorder>(config.flight->capacity());
+      out.flight->set_shard(plan.id);
+      flight = out.flight.get();
+    }
+  }
+  if (tracer != nullptr && server) server->set_tracer(tracer);
+  if (flight != nullptr && server) server->set_flight_recorder(flight);
 
   const bool attribution =
       config.attribution || config.slo.enabled() || config.flight != nullptr;
   obs::LatencyAttributor attributor;
-  obs::WindowedLatencyRecorder slo_windows(config.slo.window);
-  if (config.slo.enabled()) attributor.attach_window(&slo_windows);
+  out.slo_windows = std::make_unique<obs::WindowedLatencyRecorder>(config.slo.window);
+  if (config.slo.enabled()) attributor.attach_window(out.slo_windows.get());
 
   // After the measurement window closes, new client requests are dropped so
   // in-flight I/O can drain before teardown (closed-loop clients stall on
@@ -202,10 +278,10 @@ ExperimentResult run_experiment_real(const ExperimentConfig& config) {
   }
 
   std::vector<std::unique_ptr<workload::StreamClient>> clients;
-  clients.reserve(config.streams.size());
-  for (std::uint32_t i = 0; i < config.streams.size(); ++i) {
-    workload::StreamSpec spec = config.streams[i];
-    if (spec.device >= devices.size()) reject("stream device index out of range");
+  clients.reserve(plan.streams.size());
+  for (const auto& [ordinal, planned_spec] : plan.streams) {
+    workload::StreamSpec spec = planned_spec;
+    spec.device -= plan.dev_begin;  // group-local device index
     // Stream placements were drawn against the simulated disk's capacity;
     // fold them into the (usually much smaller) real slice, preserving the
     // uniform request-aligned spread.
@@ -219,13 +295,12 @@ ExperimentResult run_experiment_real(const ExperimentConfig& config) {
     if (spec.region_bytes != 0 && spec.start_offset + spec.region_bytes > cap) {
       spec.region_bytes = cap - spec.start_offset;
     }
-    if (spec.seed == 0) {
-      spec.seed = stream_seed(shard_workload_seed(config.workload_seed, 0), i);
-    }
     workload::RequestSink client_sink = sink;
     if (attribution) {
-      client_sink = [&attributor, &ctx, flight = config.flight, base = sink,
-                     ordinal = i, seq = std::uint64_t{0}](core::ClientRequest req) mutable {
+      // Request ids key on the global stream ordinal, so rids are invariant
+      // across reactor counts (exactly like the sharded runner).
+      client_sink = [&attributor, &ctx, flight, base = sink, ordinal = ordinal,
+                     seq = std::uint64_t{0}](core::ClientRequest req) mutable {
         obs::RequestTrace* trace =
             attributor.acquire(obs::make_request_id(ordinal, ++seq), ctx.now());
         req.trace = trace;
@@ -252,10 +327,16 @@ ExperimentResult run_experiment_real(const ExperimentConfig& config) {
   }
   for (auto& client : clients) client->start();
 
+  // Gauges keep the single-reactor names when the group is the whole node
+  // (metrics-surface parity with PR 9); reactor groups prefix theirs like
+  // sim shards, and the merge step sums the per-group mbps columns back
+  // into the global "mbps".
+  const std::string prefix =
+      total_reactors > 1 ? "reactor" + std::to_string(plan.id) + "." : "";
   obs::TimeSeriesSampler sampler(ctx, config.sample_interval);
   if (config.sample_interval > 0) {
-    sampler.add_gauge("mbps", [&clients, prev_bytes = Bytes{0}, prev_time = SimTime{0},
-                               &ctx]() mutable {
+    sampler.add_gauge(prefix + "mbps", [&clients, prev_bytes = Bytes{0},
+                                        prev_time = SimTime{0}, &ctx]() mutable {
       Bytes total = 0;
       for (const auto& client : clients) total += client->stats().throughput.total_bytes();
       const SimTime now = ctx.now();
@@ -267,9 +348,9 @@ ExperimentResult run_experiment_real(const ExperimentConfig& config) {
     });
     if (server) {
       core::StreamScheduler& sched = server->scheduler();
-      sampler.add_gauge("dispatch_set",
+      sampler.add_gauge(prefix + "dispatch_set",
                         [&sched]() { return static_cast<double>(sched.dispatched_count()); });
-      sampler.add_gauge("pool_mb", [&sched]() {
+      sampler.add_gauge(prefix + "pool_mb", [&sched]() {
         return static_cast<double>(sched.pool().committed()) / 1e6;
       });
     }
@@ -305,46 +386,303 @@ ExperimentResult run_experiment_real(const ExperimentConfig& config) {
     ctx.run_until(ctx.now() + msec(5));
   }
 
-  ExperimentResult result;
-  double min_mbps = 1e18;
-  double max_mbps = 0.0;
-  result.stream_mbps.reserve(clients.size());
-  for (const auto& client : clients) {
-    const auto& cs = client->stats();
-    const double mbps = cs.throughput.mbps(t0, t1);
-    result.stream_mbps.push_back(mbps);
-    result.total_mbps += mbps;
-    min_mbps = std::min(min_mbps, mbps);
-    max_mbps = std::max(max_mbps, mbps);
-    result.requests_completed += cs.completed;
-    result.client_errors += cs.errors;
-    result.latency.merge(cs.latency);
+  out.streams.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const auto& cs = clients[i]->stats();
+    StreamOutcome stream;
+    stream.ordinal = plan.streams[i].first;
+    stream.mbps = cs.throughput.mbps(t0, t1);
+    stream.completed = cs.completed;
+    stream.errors = cs.errors;
+    stream.latency = cs.latency;
+    out.streams.push_back(std::move(stream));
   }
-  result.min_stream_mbps = clients.empty() ? 0.0 : min_mbps;
-  result.max_stream_mbps = max_mbps;
-  result.sim_events_dispatched = ctx.executed_tasks();
+  out.tasks_executed = ctx.executed_tasks();
+  out.end_time = ctx.now();
   if (server) {
-    result.scheduler_stats = server->scheduler().stats();
-    result.server_stats = server->stats();
-    result.classifier_stats = server->classifier().stats();
-    result.staging_stats = server->scheduler().staging_stats();
-    result.host_cpu_utilization = server->scheduler().cpu().stats().utilization(t1);
-    result.peak_buffer_memory = server->scheduler().pool().stats().peak_committed;
-    result.devices_failed = server->scheduler().failed_device_count();
+    out.scheduler_stats = server->scheduler().stats();
+    out.server_stats = server->stats();
+    out.classifier_stats = server->classifier().stats();
+    out.staging_stats = server->scheduler().staging_stats();
+    out.host_cpu_utilization = server->scheduler().cpu().stats().utilization(t1);
+    out.peak_buffer_memory = server->scheduler().pool().stats().peak_committed;
+    out.devices_failed = server->scheduler().failed_device_count();
   }
   if (config.sample_interval > 0) {
     sampler.stop();
-    result.timeseries = sampler.take();
+    out.timeseries = sampler.take();
   }
   if (attribution) {
-    result.breakdown = attributor.breakdown();
+    out.breakdown = attributor.breakdown();
+    out.breakdown.enabled = true;
+  }
+
+  out.uring.devices = plan.dev_count;
+  out.uring.per_device_completed.resize(plan.dev_count, 0);
+  for (std::uint32_t i = 0; i < plan.dev_count; ++i) {
+    const blockdev::UringStats& ds = owned_devices[i]->stats();
+    if (owned_devices[i]->using_direct()) ++out.uring.direct_devices;
+    out.uring.submitted += ds.submitted;
+    out.uring.completed += ds.completed;
+    out.uring.errors += ds.errors;
+    out.uring.short_resubmits += ds.short_resubmits;
+    out.uring.transient_retries += ds.transient_retries;
+    out.uring.fixed_buffer_ops += ds.fixed_buffer_ops;
+    out.uring.direct_ops += ds.direct_ops;
+    out.uring.backlog_peak = std::max(out.uring.backlog_peak, ds.backlog_peak);
+    out.uring.enter_syscalls += ds.enter_syscalls;
+    out.uring.flush_batches += ds.flush_batches;
+    out.uring.sqes_flushed += ds.sqes_flushed;
+    out.uring.batch_size_max = std::max(out.uring.batch_size_max, ds.batch_size_max);
+    for (std::size_t b = 0; b < blockdev::kUringBatchBuckets; ++b) {
+      out.uring.batch_size_log2[b] += ds.batch_size_log2[b];
+    }
+    out.uring.per_device_completed[i] = ds.completed;
+  }
+  out.reactor = ctx.reactor_stats();
+  return out;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment_real(const ExperimentConfig& config) {
+  validate(config);
+
+  // Carve the backing file into one equal, 4096-aligned slice per logical
+  // device — the real counterpart of "N disks".
+  const std::uint32_t device_count = config.topology.logical_device_count();
+  struct stat st{};
+  if (::stat(config.backend.path.c_str(), &st) != 0) {
+    reject("cannot stat " + config.backend.path + ": " + std::string(strerror(errno)));
+  }
+  const auto file_size = static_cast<Bytes>(st.st_size);
+  const Bytes slice = file_size / device_count / 4096 * 4096;
+  if (slice == 0) {
+    reject(config.backend.path + " is too small for " + std::to_string(device_count) +
+           " device slices");
+  }
+
+  // Reactor plan: near-even contiguous device ranges, like sharded
+  // controller slices. The request is clamped to the device count (a
+  // reactor without a device would just spin its timer heap).
+  const std::uint32_t reactors = std::min(config.backend.reactors, device_count);
+  std::vector<GroupPlan> plans(reactors);
+  for (std::uint32_t k = 0; k < reactors; ++k) {
+    plans[k].id = k;
+    plans[k].dev_begin = k * device_count / reactors;
+    plans[k].dev_count = (k + 1) * device_count / reactors - plans[k].dev_begin;
+    plans[k].multiplex = plans[k].dev_count > 1;
+  }
+
+  // Home every stream on the reactor owning its device, keeping the global
+  // ordinal: seeds stay on the shard-0 chain with the global ordinal and
+  // rids key on it too, so results are invariant across reactor counts.
+  for (std::uint32_t i = 0; i < config.streams.size(); ++i) {
+    workload::StreamSpec spec = config.streams[i];
+    if (spec.device >= device_count) reject("stream device index out of range");
+    if (spec.seed == 0) {
+      spec.seed = stream_seed(shard_workload_seed(config.workload_seed, 0), i);
+    }
+    const std::uint32_t k =
+        static_cast<std::uint32_t>(spec.device) * reactors / device_count;
+    GroupPlan& plan = plans[std::min(k, reactors - 1)];
+    // Integer division can land a boundary device one group early/late;
+    // walk to the owner.
+    std::uint32_t owner = plan.id;
+    while (spec.device < plans[owner].dev_begin) --owner;
+    while (spec.device >= plans[owner].dev_begin + plans[owner].dev_count) ++owner;
+    plans[owner].streams.emplace_back(i, std::move(spec));
+  }
+
+  std::vector<GroupOutcome> outcomes(reactors);
+  if (reactors == 1) {
+    outcomes[0] = run_reactor_group(config, plans[0], slice, device_count, 1);
+  } else {
+    // One pool thread per group; the group function must run start to
+    // finish on its thread (SINGLE_ISSUER rings). ThreadPool tasks must not
+    // throw, so failures are carried out as messages and rethrown here.
+    ThreadPool pool(reactors);
+    for (std::uint32_t k = 0; k < reactors; ++k) {
+      pool.submit([&config, &plans, &outcomes, k, slice, device_count, reactors]() {
+        try {
+          outcomes[k] =
+              run_reactor_group(config, plans[k], slice, device_count, reactors);
+        } catch (const std::exception& e) {
+          outcomes[k].error = e.what();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const GroupOutcome& outcome : outcomes) {
+    if (!outcome.error.empty()) throw std::runtime_error(outcome.error);
+  }
+
+  ExperimentResult result;
+  result.stream_mbps.assign(config.streams.size(), 0.0);
+  double min_mbps = 1e18;
+  double max_mbps = 0.0;
+  std::size_t stream_count = 0;
+  for (const GroupOutcome& outcome : outcomes) {
+    for (const StreamOutcome& stream : outcome.streams) {
+      result.stream_mbps[stream.ordinal] = stream.mbps;
+      result.total_mbps += stream.mbps;
+      min_mbps = std::min(min_mbps, stream.mbps);
+      max_mbps = std::max(max_mbps, stream.mbps);
+      result.requests_completed += stream.completed;
+      result.client_errors += stream.errors;
+      result.latency.merge(stream.latency);
+      ++stream_count;
+    }
+  }
+  result.min_stream_mbps = stream_count == 0 ? 0.0 : min_mbps;
+  result.max_stream_mbps = max_mbps;
+
+  result.uring_summary.enabled = true;
+  result.uring_summary.per_device_completed.assign(device_count, 0);
+  result.reactor_summary.enabled = true;
+  result.reactor_summary.reactors = reactors;
+  result.reactor_summary.requested = config.backend.reactors;
+  for (std::uint32_t k = 0; k < reactors; ++k) {
+    const GroupOutcome& outcome = outcomes[k];
+    result.sim_events_dispatched += outcome.tasks_executed;
+    if (outcome.has_server) {
+      add_scheduler_stats(result.scheduler_stats, outcome.scheduler_stats);
+      add_server_stats(result.server_stats, outcome.server_stats);
+      add_classifier_stats(result.classifier_stats, outcome.classifier_stats);
+      add_staging_stats(result.staging_stats, outcome.staging_stats);
+      // Reactors are parallel host threads: the binding figure is the
+      // busiest one's CPU, not a sum that could read past 100%.
+      result.host_cpu_utilization =
+          std::max(result.host_cpu_utilization, outcome.host_cpu_utilization);
+      result.peak_buffer_memory += outcome.peak_buffer_memory;
+      result.devices_failed += outcome.devices_failed;
+    }
+
+    UringSummary& u = result.uring_summary;
+    const UringSummary& g = outcome.uring;
+    u.devices += g.devices;
+    u.direct_devices += g.direct_devices;
+    u.submitted += g.submitted;
+    u.completed += g.completed;
+    u.errors += g.errors;
+    u.short_resubmits += g.short_resubmits;
+    u.transient_retries += g.transient_retries;
+    u.fixed_buffer_ops += g.fixed_buffer_ops;
+    u.direct_ops += g.direct_ops;
+    u.backlog_peak = std::max(u.backlog_peak, g.backlog_peak);
+    u.enter_syscalls += g.enter_syscalls;
+    u.flush_batches += g.flush_batches;
+    u.sqes_flushed += g.sqes_flushed;
+    u.batch_size_max = std::max(u.batch_size_max, g.batch_size_max);
+    for (std::size_t b = 0; b < u.batch_size_log2.size(); ++b) {
+      u.batch_size_log2[b] += g.batch_size_log2[b];
+    }
+    for (std::uint32_t d = 0; d < outcome.uring.devices; ++d) {
+      u.per_device_completed[plans[k].dev_begin + d] = g.per_device_completed[d];
+    }
+
+    ReactorSummary& r = result.reactor_summary;
+    r.wakeups += outcome.reactor.wakeups;
+    r.completion_wakeups += outcome.reactor.completion_wakeups;
+    r.timer_wakeups += outcome.reactor.timer_wakeups;
+    r.spurious_wakeups += outcome.reactor.spurious_wakeups;
+    r.epoll_waits += outcome.reactor.epoll_waits;
+    r.inring_waits += outcome.reactor.inring_waits;
+    r.idle_sleeps += outcome.reactor.idle_sleeps;
+    r.completions += outcome.reactor.completions;
+  }
+
+  if (config.tracer != nullptr && reactors > 1) {
+    for (std::uint32_t k = 0; k < reactors; ++k) {
+      if (outcomes[k].tracer == nullptr) continue;
+      const std::uint32_t dev_begin = plans[k].dev_begin;
+      const std::uint32_t group = k;
+      // Shift each category of the group-local track-id layout back into
+      // global coordinates — same scheme as the sharded merge, minus the
+      // controller window (the real path has no controllers).
+      config.tracer->merge_from(*outcomes[k].tracer, [dev_begin, group](std::uint32_t tid) {
+        if (tid >= 0x30000) {
+          return 0x30000 + (((tid - 0x30000) + group * 0x4000) & 0xFFFFU);
+        }
+        if (tid >= 0x20000) return tid + dev_begin;
+        if (tid >= 0x10000) return tid;
+        if (tid >= 0x100) return tid + dev_begin;
+        if (tid == obs::kSchedulerTrack) return obs::kSchedulerTrack + group;
+        return tid;
+      });
+    }
+  }
+
+  if (config.sample_interval > 0) {
+    // Wall clocks tick independently, so group series can differ by a
+    // sample; concatenate column-wise on the shortest timeline.
+    std::size_t rows = outcomes[0].timeseries.times.size();
+    for (const GroupOutcome& outcome : outcomes) {
+      rows = std::min(rows, outcome.timeseries.times.size());
+    }
+    result.timeseries = std::move(outcomes[0].timeseries);
+    result.timeseries.times.resize(rows);
+    result.timeseries.rows.resize(rows);
+    for (std::uint32_t k = 1; k < reactors; ++k) {
+      obs::TimeSeries series = std::move(outcomes[k].timeseries);
+      for (auto& name : series.names) {
+        result.timeseries.names.push_back(std::move(name));
+      }
+      for (std::size_t row = 0; row < rows; ++row) {
+        auto& dst = result.timeseries.rows[row];
+        dst.insert(dst.end(), series.rows[row].begin(), series.rows[row].end());
+      }
+    }
+    if (reactors > 1) {
+      // Node-wide MB/s is the row-wise sum of the per-reactor gauges —
+      // same name and meaning as the single-reactor column.
+      std::vector<std::size_t> mbps_cols;
+      for (std::size_t col = 0; col < result.timeseries.names.size(); ++col) {
+        const std::string& name = result.timeseries.names[col];
+        if (name.size() > 5 && name.compare(name.size() - 5, 5, ".mbps") == 0) {
+          mbps_cols.push_back(col);
+        }
+      }
+      if (!mbps_cols.empty()) {
+        result.timeseries.names.push_back("mbps");
+        for (auto& row : result.timeseries.rows) {
+          double total = 0.0;
+          for (const std::size_t col : mbps_cols) total += row[col];
+          row.push_back(total);
+        }
+      }
+    }
+  }
+
+  const bool attribution =
+      config.attribution || config.slo.enabled() || config.flight != nullptr;
+  obs::WindowedLatencyRecorder slo_windows(config.slo.window);
+  if (attribution) {
     result.breakdown.enabled = true;
+    for (GroupOutcome& outcome : outcomes) {
+      result.breakdown.merge_from(outcome.breakdown);
+      if (outcome.slo_windows) slo_windows.merge_from(*outcome.slo_windows);
+    }
   }
   result.slo_report = obs::SloEngine::evaluate(config.slo, slo_windows, result.latency);
-  if (config.flight != nullptr && result.slo_report.enabled && !result.slo_report.pass) {
-    config.flight->record(obs::FlightCode::kSloBreach, ctx.now(), 0,
-                          result.slo_report.windows_breached,
-                          result.slo_report.windows_evaluated);
+  if (config.flight != nullptr) {
+    if (reactors > 1) {
+      // Stitch the group-private rings into the caller's recorder, like the
+      // sharded merge (ordered by timestamp, newest capacity() kept).
+      for (GroupOutcome& outcome : outcomes) {
+        if (outcome.flight) config.flight->merge_from(*outcome.flight);
+      }
+    }
+    if (result.slo_report.enabled && !result.slo_report.pass) {
+      SimTime end = 0;
+      for (const GroupOutcome& outcome : outcomes) {
+        end = std::max(end, outcome.end_time);
+      }
+      config.flight->record(obs::FlightCode::kSloBreach, end, 0,
+                            result.slo_report.windows_breached,
+                            result.slo_report.windows_evaluated);
+    }
   }
   return result;
 }

@@ -5,6 +5,7 @@
 // MB/s, response-time distribution, cache/scheduler counters).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -41,6 +42,12 @@ struct BackendConfig {
   /// Attempt O_DIRECT (`backend.direct`); buffered fallback is automatic
   /// on filesystems that refuse it (tmpfs).
   bool direct = true;
+  /// Reactor threads for kReal (`backend.reactors`). > 1 carves the logical
+  /// devices into contiguous per-reactor groups, each with its own
+  /// RealContext, rings and clients on a dedicated thread — the real-I/O
+  /// mirror of `sim.shards`. 1 (default) runs the single-reactor engine
+  /// inline, byte-compatible with the pre-reactor metrics surface.
+  std::uint32_t reactors = 1;
 };
 
 struct ExperimentConfig {
@@ -94,6 +101,59 @@ struct ExperimentConfig {
   BackendConfig backend;
 };
 
+/// io_uring device counters summed over every ring of a real run; `enabled`
+/// only when backend.kind = real executed, which gates the uring.* metrics
+/// group (sim exports stay byte-identical). Mirrors blockdev::UringStats
+/// without depending on the uring header.
+struct UringSummary {
+  bool enabled = false;
+  std::uint32_t devices = 0;         ///< rings opened (one per logical device)
+  std::uint32_t direct_devices = 0;  ///< rings whose backing fd took O_DIRECT
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t short_resubmits = 0;
+  std::uint64_t transient_retries = 0;
+  std::uint64_t fixed_buffer_ops = 0;
+  std::uint64_t direct_ops = 0;
+  std::uint64_t backlog_peak = 0;  ///< max over devices
+  std::uint64_t enter_syscalls = 0;
+  std::uint64_t flush_batches = 0;
+  std::uint64_t sqes_flushed = 0;
+  std::uint64_t batch_size_max = 0;
+  /// Summed flushed-batch-size histogram: bucket i counts batches of
+  /// [2^i, 2^(i+1)) SQEs, last bucket open-ended (kUringBatchBuckets wide).
+  std::array<std::uint64_t, 8> batch_size_log2{};
+  /// Completed requests per logical device (global device order) — the
+  /// balance figure the multi-reactor CI smoke asserts on.
+  std::vector<std::uint64_t> per_device_completed;
+
+  /// io_uring_enter calls per completed request, the submission-batching
+  /// figure of merit (one enter per request ~= 1.0+; batched pipelines at
+  /// depth reach well below 0.2).
+  [[nodiscard]] double syscalls_per_request() const {
+    return completed > 0 ? static_cast<double>(enter_syscalls) /
+                               static_cast<double>(completed)
+                         : 0.0;
+  }
+};
+
+/// Reactor wakeup accounting summed over every RealContext of a real run;
+/// `enabled` gates the reactor.* metrics group like UringSummary.
+struct ReactorSummary {
+  bool enabled = false;
+  std::uint32_t reactors = 1;   ///< effective reactor count
+  std::uint32_t requested = 1;  ///< configured value before clamping
+  std::uint64_t wakeups = 0;
+  std::uint64_t completion_wakeups = 0;
+  std::uint64_t timer_wakeups = 0;
+  std::uint64_t spurious_wakeups = 0;
+  std::uint64_t epoll_waits = 0;
+  std::uint64_t inring_waits = 0;
+  std::uint64_t idle_sleeps = 0;
+  std::uint64_t completions = 0;
+};
+
 /// Parallel-engine counters; `shards` stays 1 (and nothing is exported)
 /// for single-threaded runs.
 struct ShardSummary {
@@ -138,6 +198,10 @@ struct ExperimentResult {
   /// Parallel-engine counters; exported as sim.shard_* only when the run
   /// actually sharded (keeping single-shard exports byte-identical).
   ShardSummary shard_summary;
+  /// Real-backend ring counters; exported as uring.* only for real runs.
+  UringSummary uring_summary;
+  /// Real-backend reactor counters; exported as reactor.* only for real runs.
+  ReactorSummary reactor_summary;
   /// Sampled gauges; empty unless ExperimentConfig::sample_interval > 0.
   obs::TimeSeries timeseries;
   /// SLO verdict; `enabled` only when the config declared an objective.

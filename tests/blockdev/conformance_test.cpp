@@ -126,13 +126,16 @@ struct ReliableHarness final : DeviceHarness {
 #if defined(SST_WITH_URING)
 /// Real-I/O harness: a 4 MiB pattern-formatted temp file behind
 /// UringBlockDevice. run_all() spins the RealContext reactor until the
-/// ring drains.
+/// ring drains. With `multiplex` the ring registers an eventfd and the
+/// reactor delivers completions through its epoll path — the multi-device
+/// configuration — so the conformance contract is exercised on both
+/// blocking disciplines.
 struct UringHarness final : DeviceHarness {
   std::string path;
   exec::RealContext rctx;
   std::unique_ptr<UringBlockDevice> dev;
 
-  UringHarness() {
+  explicit UringHarness(bool multiplex = false) {
     char tmpl[] = "/tmp/sst_conformance_XXXXXX";
     const int fd = ::mkstemp(tmpl);
     if (fd < 0) throw std::runtime_error("mkstemp failed");
@@ -151,6 +154,7 @@ struct UringHarness final : DeviceHarness {
     params.path = path;
     params.queue_depth = 32;
     params.seed = kSeed;
+    params.multiplex = multiplex;
     auto result = UringBlockDevice::open(rctx, params);
     if (!result.ok()) {
       throw std::runtime_error("uring open failed: " + result.error().message);
@@ -342,6 +346,10 @@ std::vector<HarnessSpec> conformance_specs() {
 #if defined(SST_WITH_URING)
   specs.push_back(
       {"uring", [] { return std::unique_ptr<DeviceHarness>(new UringHarness); }});
+  specs.push_back({"uring_multiplex", [] {
+                     return std::unique_ptr<DeviceHarness>(
+                         new UringHarness(/*multiplex=*/true));
+                   }});
 #endif
   return specs;
 }

@@ -167,6 +167,7 @@ TEST(ExperimentLoader, BackendDefaultsToSim) {
   EXPECT_TRUE(e.value().backend.path.empty());
   EXPECT_EQ(e.value().backend.queue_depth, 64u);
   EXPECT_TRUE(e.value().backend.direct);
+  EXPECT_EQ(e.value().backend.reactors, 1u);
 }
 
 TEST(ExperimentLoader, BackendKeysRoundTrip) {
@@ -174,12 +175,14 @@ TEST(ExperimentLoader, BackendKeysRoundTrip) {
                                        {"backend.kind", "real"},
                                        {"backend.path", "/dev/shm/backing.img"},
                                        {"backend.queue_depth", "128"},
-                                       {"backend.direct", "false"}}));
+                                       {"backend.direct", "false"},
+                                       {"backend.reactors", "2"}}));
   ASSERT_TRUE(e.ok());
   EXPECT_EQ(e.value().backend.kind, experiment::BackendConfig::Kind::kReal);
   EXPECT_EQ(e.value().backend.path, "/dev/shm/backing.img");
   EXPECT_EQ(e.value().backend.queue_depth, 128u);
   EXPECT_FALSE(e.value().backend.direct);
+  EXPECT_EQ(e.value().backend.reactors, 2u);
 }
 
 TEST(ExperimentLoader, BackendSimIgnoresPath) {
@@ -206,6 +209,16 @@ TEST(ExperimentLoader, RejectsBadBackend) {
                                      {"backend.path", "/dev/shm/backing.img"},
                                      {"backend.queue_depth", "0"}}))
                    .ok());
+  // Zero reactors: the reactor count carves the device groups, so it must
+  // be at least one even for the sim backend (where it is simply unused).
+  const auto zero_reactors =
+      load_experiment(make({{"workload.streams", "2"},
+                            {"backend.kind", "real"},
+                            {"backend.path", "/dev/shm/backing.img"},
+                            {"backend.reactors", "0"}}));
+  ASSERT_FALSE(zero_reactors.ok());
+  EXPECT_NE(zero_reactors.error().message.find("backend.reactors"),
+            std::string::npos);
 }
 
 TEST(ExperimentLoader, EndToEndRuns) {
